@@ -1,0 +1,203 @@
+// Ablation benchmarks (google-benchmark) for the design choices DESIGN.md
+// calls out: which decomposition types run, sharing extraction, variable
+// reordering, and the eliminate threshold. Each benchmark measures the
+// full BDS optimize time and reports the resulting gate count and literal
+// count as counters, so both runtime and quality effects are visible.
+#include <benchmark/benchmark.h>
+
+#include "core/bds.hpp"
+#include "gen/gen.hpp"
+#include "map/mapper.hpp"
+
+namespace {
+
+using namespace bds;
+
+net::Network circuit_for(int id) {
+  switch (id) {
+    case 0:
+      return gen::alu(8);
+    case 1:
+      return gen::array_multiplier(6);
+    case 2:
+      return gen::barrel_shifter(32);
+    default:
+      return gen::hamming_corrector(4);
+  }
+}
+
+const char* circuit_name(int id) {
+  switch (id) {
+    case 0:
+      return "alu8";
+    case 1:
+      return "m6x6";
+    case 2:
+      return "bshift32";
+    default:
+      return "ecc15";
+  }
+}
+
+void run_and_report(benchmark::State& state, const net::Network& input,
+                    const core::BdsOptions& opts) {
+  core::BdsStats stats;
+  net::Network out;
+  for (auto _ : state) {
+    out = core::bds_optimize(input, opts, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["gates"] =
+      static_cast<double>(out.num_logic_nodes());
+  state.counters["literals"] = static_cast<double>(out.total_literals());
+  state.counters["mapped_area"] = map::map_network(out).area;
+  state.counters["shannon_steps"] =
+      static_cast<double>(stats.decompose.shannon);
+}
+
+// ---- decomposition-type ablation (priority list of Section IV-C) ----------
+
+void BM_DecompositionTypes(benchmark::State& state) {
+  const int circuit = static_cast<int>(state.range(0));
+  const int mask = static_cast<int>(state.range(1));
+  const net::Network input = circuit_for(circuit);
+  core::BdsOptions opts;
+  opts.decompose.use_simple_dominators = (mask & 1) != 0;
+  opts.decompose.use_mux = (mask & 2) != 0;
+  opts.decompose.use_generalized = (mask & 4) != 0;
+  opts.decompose.use_xdom = (mask & 8) != 0;
+  state.SetLabel(std::string(circuit_name(circuit)) + "/" +
+                 ((mask & 1) ? "dom," : "") + ((mask & 2) ? "mux," : "") +
+                 ((mask & 4) ? "gen," : "") + ((mask & 8) ? "xdom" : "") +
+                 (mask == 0 ? "shannon-only" : ""));
+  run_and_report(state, input, opts);
+}
+BENCHMARK(BM_DecompositionTypes)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 3, 7, 15}})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- sharing extraction on/off ----------------------------------------------
+
+void BM_SharingExtraction(benchmark::State& state) {
+  const int circuit = static_cast<int>(state.range(0));
+  const bool sharing = state.range(1) != 0;
+  const net::Network input = circuit_for(circuit);
+  core::BdsOptions opts;
+  opts.sharing = sharing;
+  state.SetLabel(std::string(circuit_name(circuit)) +
+                 (sharing ? "/sharing" : "/no-sharing"));
+  run_and_report(state, input, opts);
+}
+BENCHMARK(BM_SharingExtraction)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- per-supernode variable reordering on/off ---------------------------------
+
+void BM_Reordering(benchmark::State& state) {
+  const int circuit = static_cast<int>(state.range(0));
+  const bool reorder = state.range(1) != 0;
+  const net::Network input = circuit_for(circuit);
+  core::BdsOptions opts;
+  opts.reorder = reorder;
+  state.SetLabel(std::string(circuit_name(circuit)) +
+                 (reorder ? "/sift" : "/no-reorder"));
+  run_and_report(state, input, opts);
+}
+BENCHMARK(BM_Reordering)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- eliminate threshold sweep (partition granularity, Section IV-B) ---------
+
+void BM_EliminateThreshold(benchmark::State& state) {
+  const int circuit = static_cast<int>(state.range(0));
+  const int threshold = static_cast<int>(state.range(1));
+  const net::Network input = circuit_for(circuit);
+  core::BdsOptions opts;
+  opts.eliminate.threshold = threshold;
+  state.SetLabel(std::string(circuit_name(circuit)) + "/thr=" +
+                 std::to_string(threshold));
+  run_and_report(state, input, opts);
+}
+BENCHMARK(BM_EliminateThreshold)
+    ->ArgsProduct({{0, 1, 2}, {-4, 0, 4, 16, 64}})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- don't-care minimizer: restrict vs constrain (Section III-B remark) -------
+
+void BM_DcMinimizer(benchmark::State& state) {
+  const int circuit = static_cast<int>(state.range(0));
+  const bool use_constrain = state.range(1) != 0;
+  const net::Network input = circuit_for(circuit);
+  core::BdsOptions opts;
+  opts.decompose.dc_minimizer = use_constrain
+                                    ? core::DcMinimizer::kConstrain
+                                    : core::DcMinimizer::kRestrict;
+  state.SetLabel(std::string(circuit_name(circuit)) +
+                 (use_constrain ? "/constrain" : "/restrict"));
+  run_and_report(state, input, opts);
+}
+BENCHMARK(BM_DcMinimizer)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- factoring-tree balancing on/off (future-work item 3) ---------------------
+
+void BM_Balancing(benchmark::State& state) {
+  const int circuit = static_cast<int>(state.range(0));
+  const bool balance = state.range(1) != 0;
+  const net::Network input = circuit_for(circuit);
+  core::BdsOptions opts;
+  opts.balance = balance;
+  state.SetLabel(std::string(circuit_name(circuit)) +
+                 (balance ? "/balanced" : "/chains"));
+  core::BdsStats stats;
+  net::Network out;
+  for (auto _ : state) {
+    out = core::bds_optimize(input, opts, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["gates"] = static_cast<double>(out.num_logic_nodes());
+  state.counters["depth"] = static_cast<double>(out.depth());
+  state.counters["mapped_delay"] = map::map_network(out).delay;
+}
+BENCHMARK(BM_Balancing)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- raw BDD substrate microbenchmarks ----------------------------------------
+
+void BM_BddIteDense(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    bdd::Manager mgr(n);
+    bdd::Bdd f = mgr.zero();
+    // Majority-ish accumulation: stresses ITE and the unique table.
+    for (bdd::Var v = 0; v + 2 < n; ++v) {
+      f = mgr.var(v).ite(f | mgr.var(v + 1), f & mgr.var(v + 2));
+    }
+    benchmark::DoNotOptimize(f.size());
+  }
+}
+BENCHMARK(BM_BddIteDense)->Arg(16)->Arg(24)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_BddSifting(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    bdd::Manager mgr(2 * k);
+    bdd::Bdd f = mgr.one();
+    for (unsigned i = 0; i < k; ++i) {
+      f = f & mgr.var(i).xnor(mgr.var(k + i));  // worst-order comparator
+    }
+    state.ResumeTiming();
+    mgr.reorder_sift();
+    benchmark::DoNotOptimize(f.size());
+  }
+}
+BENCHMARK(BM_BddSifting)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Reproduction of the small/medium-circuit class summary quoted in Section
+// V (from reference [32]): on AND/OR-intensive (random control) circuits
+// BDS roughly matches the algebraic flow in gates with much lower CPU; on
+// XOR-intensive/arithmetic circuits BDS wins literals (paper: -40%), gates
+// (-23%) and CPU (-84%).
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "gen/gen.hpp"
+
+namespace {
+
+using namespace bds;
+
+struct ClassTotals {
+  double sis_gates = 0, bds_gates = 0;
+  double sis_area = 0, bds_area = 0;
+  double sis_cpu = 0, bds_cpu = 0;
+  double sis_xor = 0, bds_xor = 0;
+  unsigned rows = 0;
+  bool all_verified = true;
+
+  void add(const bench::FlowMetrics& s, const bench::FlowMetrics& b) {
+    sis_gates += static_cast<double>(s.gates);
+    bds_gates += static_cast<double>(b.gates);
+    sis_area += s.area;
+    bds_area += b.area;
+    sis_cpu += s.cpu_seconds;
+    bds_cpu += b.cpu_seconds;
+    sis_xor += static_cast<double>(s.xor_gates);
+    bds_xor += static_cast<double>(b.xor_gates);
+    ++rows;
+    all_verified = all_verified && s.verified && b.verified;
+  }
+};
+
+void report(const std::string& title, const ClassTotals& t) {
+  const auto pct = [](double b, double s) {
+    return s == 0 ? 0.0 : 100.0 * (b - s) / s;
+  };
+  std::cout << title << " (" << t.rows << " circuits)\n"
+            << std::fixed << std::setprecision(1)
+            << "  gates:   SIS " << t.sis_gates << "  BDS " << t.bds_gates
+            << "  (" << std::showpos << pct(t.bds_gates, t.sis_gates)
+            << std::noshowpos << "%)\n"
+            << "  area:    SIS " << t.sis_area << "  BDS " << t.bds_area
+            << "  (" << std::showpos << pct(t.bds_area, t.sis_area)
+            << std::noshowpos << "%)\n"
+            << "  CPU:     SIS " << std::setprecision(3) << t.sis_cpu
+            << " s  BDS " << t.bds_cpu << " s  (" << std::showpos
+            << std::setprecision(1) << pct(t.bds_cpu, t.sis_cpu)
+            << std::noshowpos << "%)\n"
+            << "  XOR/XNOR gates mapped: SIS " << std::setprecision(0)
+            << t.sis_xor << "  BDS " << t.bds_xor << "\n"
+            << "  all verified: " << (t.all_verified ? "yes" : "NO") << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Class summary (Section V prose / [32]): AND/OR-intensive "
+               "vs XOR-intensive ==\n\n";
+
+  // Class 1: AND/OR-intensive random/control logic (structured multilevel
+  // DAGs -- the MCNC control circuits' shape -- plus bounded-cone PLAs).
+  ClassTotals andor;
+  {
+    std::vector<net::Network> circuits;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      circuits.push_back(gen::random_multilevel(20, 7, 12, 10, seed));
+    }
+    circuits.push_back(gen::random_control(12, 8, 10, 5));
+    circuits.push_back(gen::random_control(14, 8, 12, 6));
+    circuits.push_back(gen::priority_controller(12));
+    circuits.push_back(gen::priority_controller(20));
+    circuits.push_back(gen::comparator(10));
+    for (const auto& c : circuits) {
+      andor.add(bench::run_sis_flow(c), bench::run_bds_flow(c));
+    }
+  }
+  report("AND/OR-intensive class (paper: BDS -4% gates, +5% area, -37% CPU)",
+         andor);
+
+  // Class 2: XOR-intensive / arithmetic logic.
+  ClassTotals xors;
+  {
+    std::vector<net::Network> circuits;
+    circuits.push_back(gen::parity_tree(16));
+    circuits.push_back(gen::parity_tree(24));
+    circuits.push_back(gen::hamming_corrector(4));
+    circuits.push_back(gen::hamming_corrector(5));
+    circuits.push_back(gen::array_multiplier(5));
+    circuits.push_back(gen::array_multiplier(7));
+    circuits.push_back(gen::ripple_adder(12));
+    circuits.push_back(gen::alu(8));
+    for (const auto& c : circuits) {
+      xors.add(bench::run_sis_flow(c), bench::run_bds_flow(c));
+    }
+  }
+  report(
+      "XOR-intensive class (paper: BDS -40% literals, -23% gates, -84% CPU)",
+      xors);
+  return 0;
+}

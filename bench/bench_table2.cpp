@@ -1,0 +1,72 @@
+// Table II reproduction: BDS vs the SIS-style baseline on large arithmetic
+// circuits -- barrel shifters bshift16..bshift512 and array multipliers
+// m2x2..m32x32 (m64x64 with BDS_BENCH_BIG=1; the paper's SIS run took 6.6
+// hours on it).
+//
+// Expected shape (paper): both flows produce comparable gate counts/areas
+// (BDS within a few percent), BDS delay better on multipliers, and the CPU
+// speedup grows with circuit size (3.9x..300x on shifters, 2x..74x on
+// multipliers).
+#include <cstdlib>
+
+#include "common.hpp"
+#include "gen/gen.hpp"
+
+int main() {
+  using namespace bds;
+  using bench::print_header;
+  using bench::print_row;
+
+  const bool big = std::getenv("BDS_BENCH_BIG") != nullptr;
+
+  print_header("Table II: large arithmetic circuits (barrel shifters)");
+  struct Totals {
+    double sis_gates = 0, bds_gates = 0, sis_area = 0, bds_area = 0;
+    double sis_delay = 0, bds_delay = 0, sis_cpu = 0, bds_cpu = 0;
+    void add(const bench::FlowMetrics& s, const bench::FlowMetrics& b) {
+      sis_gates += static_cast<double>(s.gates);
+      bds_gates += static_cast<double>(b.gates);
+      sis_area += s.area;
+      bds_area += b.area;
+      sis_delay += s.delay;
+      bds_delay += b.delay;
+      sis_cpu += s.cpu_seconds;
+      bds_cpu += b.cpu_seconds;
+    }
+  } totals;
+
+  std::vector<unsigned> shifter_sizes{16, 32, 64, 128, 256};
+  if (big) shifter_sizes.push_back(512);
+  for (const unsigned w : shifter_sizes) {
+    const net::Network input = gen::barrel_shifter(w);
+    const auto sis = bench::run_sis_flow(input);
+    const auto bds = bench::run_bds_flow(input);
+    print_row("bshift" + std::to_string(w), sis, bds);
+    totals.add(sis, bds);
+  }
+
+  print_header("Table II: large arithmetic circuits (array multipliers)");
+  std::vector<unsigned> mult_sizes{2, 4, 8, 16, 32};
+  if (big) mult_sizes.push_back(64);
+  for (const unsigned n : mult_sizes) {
+    const net::Network input = gen::array_multiplier(n);
+    const auto sis = bench::run_sis_flow(input);
+    const auto bds = bench::run_bds_flow(input);
+    print_row("m" + std::to_string(n) + "x" + std::to_string(n), sis, bds);
+    totals.add(sis, bds);
+  }
+
+  std::cout << std::string(95, '-') << "\n";
+  std::cout << "totals: gates " << totals.sis_gates << " (SIS) vs "
+            << totals.bds_gates << " (BDS); area " << totals.sis_area
+            << " vs " << totals.bds_area << "; delay " << totals.sis_delay
+            << " vs " << totals.bds_delay << "\n";
+  std::cout << "        CPU " << totals.sis_cpu << " s vs " << totals.bds_cpu
+            << " s -> overall speedup "
+            << totals.sis_cpu / totals.bds_cpu
+            << "x (paper: ~78x overall, growing with size)\n";
+  if (!big) {
+    std::cout << "(set BDS_BENCH_BIG=1 to add bshift512 and m64x64)\n";
+  }
+  return 0;
+}

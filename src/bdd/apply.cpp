@@ -1,0 +1,117 @@
+// ITE (if-then-else) apply, composition and quantification.
+//
+// ITE subsumes all two-operand Boolean connectives; the standard
+// Brace–Rudell normalizations keep the computed table effective with
+// complement edges.
+#include <algorithm>
+#include <cassert>
+
+#include "bdd/bdd.hpp"
+
+namespace bds::bdd {
+
+Edge Manager::ite(Edge f, Edge g, Edge h) {
+  return ite_rec(f, g, h);
+}
+
+Edge Manager::ite_rec(Edge f, Edge g, Edge h) {
+  // Terminal cases.
+  if (f.is_one()) return g;
+  if (f.is_zero()) return h;
+  if (g == h) return g;
+  // Collapse operands that repeat the selector.
+  if (f == g) g = Edge::one();
+  if (f == !g) g = Edge::zero();
+  if (f == h) h = Edge::zero();
+  if (f == !h) h = Edge::one();
+  if (g.is_one() && h.is_zero()) return f;
+  if (g.is_zero() && h.is_one()) return !f;
+
+  // Normalize: selector regular, then-branch regular (complement the output).
+  if (f.complemented()) {
+    f = !f;
+    std::swap(g, h);
+  }
+  bool out_complement = false;
+  if (g.complemented()) {
+    out_complement = true;
+    g = !g;
+    h = !h;
+  }
+
+  bool hit = false;
+  const Edge cached = cache_lookup(CacheOp::kIte, f, g, h, hit);
+  if (hit) return cached ^ out_complement;
+
+  const std::uint32_t lf = edge_level(f);
+  const std::uint32_t lg = edge_level(g);
+  const std::uint32_t lh = edge_level(h);
+  const std::uint32_t top = std::min({lf, lg, lh});
+  const Var v = level2var_[top];
+
+  const Edge f1 = lf == top ? hi_of(f) : f;
+  const Edge f0 = lf == top ? lo_of(f) : f;
+  const Edge g1 = lg == top ? hi_of(g) : g;
+  const Edge g0 = lg == top ? lo_of(g) : g;
+  const Edge h1 = lh == top ? hi_of(h) : h;
+  const Edge h0 = lh == top ? lo_of(h) : h;
+
+  const Edge r1 = ite_rec(f1, g1, h1);
+  const Edge r0 = ite_rec(f0, g0, h0);
+  const Edge result = mk(v, r1, r0);
+
+  cache_store(CacheOp::kIte, f, g, h, result);
+  return result ^ out_complement;
+}
+
+Edge Manager::compose(Edge f, Var v, Edge g) {
+  return compose_rec(f, v, g, var2level_[v]);
+}
+
+Edge Manager::compose_rec(Edge f, Var v, Edge g, std::uint32_t vlevel) {
+  const std::uint32_t lf = edge_level(f);
+  if (lf > vlevel) return f;  // f cannot depend on v below this point
+  // Normalize the operand to a regular edge for better cache reuse.
+  const bool out_complement = f.complemented();
+  f = f.regular();
+  if (top_var(f) == v) {
+    return ite_rec(g, hi_of(f), lo_of(f)) ^ out_complement;
+  }
+  bool hit = false;
+  const Edge cached =
+      cache_lookup(CacheOp::kCompose, f, g, Edge(v, false), hit);
+  if (hit) return cached ^ out_complement;
+
+  const Edge r1 = compose_rec(hi_of(f), v, g, vlevel);
+  const Edge r0 = compose_rec(lo_of(f), v, g, vlevel);
+  // The substituted variable may appear in g anywhere in the order, so the
+  // children can no longer be stitched with mk(top_var(f), ...) blindly:
+  // use ITE on the top variable to rebuild canonically.
+  const Edge fv = mk(top_var(f), Edge::one(), Edge::zero());
+  const Edge result = ite_rec(fv, r1, r0);
+  cache_store(CacheOp::kCompose, f, g, Edge(v, false), result);
+  return result ^ out_complement;
+}
+
+Edge Manager::exists(Edge f, Var v) {
+  return exists_rec(f, v, var2level_[v]);
+}
+
+Edge Manager::exists_rec(Edge f, Var v, std::uint32_t vlevel) {
+  const std::uint32_t lf = edge_level(f);
+  if (lf > vlevel) return f;
+  if (top_var(f) == v) return ite_rec(hi_of(f), Edge::one(), lo_of(f));
+  // NOTE: exists does not commute with complement, so the cache key must
+  // include the edge's phase -- cache on f as-is.
+  bool hit = false;
+  const Edge cached = cache_lookup(CacheOp::kExists, f, Edge(v, false),
+                                   Edge(v, false), hit);
+  if (hit) return cached;
+  const Edge r1 = exists_rec(hi_of(f), v, vlevel);
+  const Edge r0 = exists_rec(lo_of(f), v, vlevel);
+  const Edge result = mk(top_var(f), r1, r0);
+  cache_store(CacheOp::kExists, f, Edge(v, false), Edge(v, false), result);
+  return result;
+}
+
+}  // namespace bds::bdd

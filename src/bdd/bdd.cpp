@@ -1,0 +1,438 @@
+// Manager core: node arena, unique tables, reference counting, GC,
+// structural queries, and inter-manager transfer ("BDD mapping").
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace bds::bdd {
+
+namespace {
+constexpr std::size_t kInitialBuckets = 16;
+constexpr std::size_t kCacheSize = 1u << 16;  // entries; power of two
+}  // namespace
+
+Manager::Manager(std::uint32_t num_vars) {
+  nodes_.reserve(1024);
+  // Node 0 is the terminal 1.
+  Node terminal;
+  terminal.var = kVarTerminal;
+  terminal.hi = Edge::one();
+  terminal.lo = Edge::one();
+  terminal.ref = 1;  // pinned forever
+  nodes_.push_back(terminal);
+  stats_.live_nodes = 1;
+  stats_.peak_live_nodes = 1;
+  cache_.resize(kCacheSize);
+  ensure_vars(num_vars);
+}
+
+Manager::~Manager() = default;
+
+Var Manager::new_var() {
+  const Var v = static_cast<Var>(var2level_.size());
+  var2level_.push_back(static_cast<std::uint32_t>(level2var_.size()));
+  level2var_.push_back(v);
+  Subtable st;
+  st.buckets.assign(kInitialBuckets, kNil);
+  subtables_.push_back(std::move(st));
+  return v;
+}
+
+void Manager::ensure_vars(std::uint32_t n) {
+  while (num_vars() < n) new_var();
+}
+
+std::uint32_t Manager::edge_level(Edge e) const {
+  const Var v = nodes_[e.node()].var;
+  return v == kVarTerminal ? kLevelTerminal : var2level_[v];
+}
+
+Bdd Manager::constant(bool value) {
+  return Bdd(*this, value ? Edge::one() : Edge::zero());
+}
+Bdd Manager::one() { return constant(true); }
+Bdd Manager::zero() { return constant(false); }
+
+Bdd Manager::var(Var v) {
+  maybe_gc();
+  return Bdd(*this, mk(v, Edge::one(), Edge::zero()));
+}
+Bdd Manager::nvar(Var v) {
+  maybe_gc();
+  return Bdd(*this, mk(v, Edge::zero(), Edge::one()));
+}
+Bdd Manager::wrap(Edge e) { return Bdd(*this, e); }
+
+// ----- unique table ----------------------------------------------------------
+
+std::size_t Manager::hash_triple(Var v, Edge hi, Edge lo, std::size_t buckets) {
+  std::uint64_t h = (static_cast<std::uint64_t>(hi.bits()) << 32) | lo.bits();
+  h ^= static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h) & (buckets - 1);
+}
+
+std::uint32_t Manager::alloc_node(Var v, Edge hi, Edge lo) {
+  std::uint32_t idx;
+  if (!free_list_.empty()) {
+    idx = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    stats_.allocated_nodes = nodes_.size();
+  }
+  Node& n = nodes_[idx];
+  n.var = v;
+  n.hi = hi;
+  n.lo = lo;
+  n.next = kNil;
+  n.ref = 0;
+  // The node holds references to its children for its whole lifetime.
+  ref(hi);
+  ref(lo);
+  return idx;
+}
+
+void Manager::free_node(std::uint32_t idx) {
+  Node& n = nodes_[idx];
+  n.var = kVarTerminal;
+  n.next = kNil;
+  free_list_.push_back(idx);
+}
+
+void Manager::grow_subtable(Subtable& st) {
+  std::vector<std::uint32_t> old = std::move(st.buckets);
+  st.buckets.assign(old.size() * 2, kNil);
+  for (std::uint32_t head : old) {
+    while (head != kNil) {
+      Node& n = nodes_[head];
+      const std::uint32_t next = n.next;
+      const std::size_t b = hash_triple(n.var, n.hi, n.lo, st.buckets.size());
+      n.next = st.buckets[b];
+      st.buckets[b] = head;
+      head = next;
+    }
+  }
+}
+
+void Manager::unique_insert(std::uint32_t idx) {
+  Node& n = nodes_[idx];
+  Subtable& st = subtables_[n.var];
+  if (st.count + 1 > st.buckets.size() * 4) grow_subtable(st);
+  const std::size_t b = hash_triple(n.var, n.hi, n.lo, st.buckets.size());
+  n.next = st.buckets[b];
+  st.buckets[b] = idx;
+  ++st.count;
+}
+
+void Manager::unique_remove(std::uint32_t idx) {
+  Node& n = nodes_[idx];
+  Subtable& st = subtables_[n.var];
+  const std::size_t b = hash_triple(n.var, n.hi, n.lo, st.buckets.size());
+  std::uint32_t* link = &st.buckets[b];
+  while (*link != idx) {
+    assert(*link != kNil && "node missing from unique table");
+    link = &nodes_[*link].next;
+  }
+  *link = n.next;
+  n.next = kNil;
+  --st.count;
+}
+
+Edge Manager::mk(Var v, Edge hi, Edge lo) {
+  assert(v < num_vars());
+  assert(edge_level(hi) > var2level_[v] && edge_level(lo) > var2level_[v]);
+  if (hi == lo) return hi;
+  // Canonical form: the hi edge must be regular.
+  bool out_complement = false;
+  if (hi.complemented()) {
+    out_complement = true;
+    hi = !hi;
+    lo = !lo;
+  }
+  ++stats_.unique_lookups;
+  Subtable& st = subtables_[v];
+  const std::size_t b = hash_triple(v, hi, lo, st.buckets.size());
+  for (std::uint32_t i = st.buckets[b]; i != kNil; i = nodes_[i].next) {
+    const Node& n = nodes_[i];
+    if (n.hi == hi && n.lo == lo) {
+      return Edge(i, out_complement);
+    }
+  }
+  const std::uint32_t idx = alloc_node(v, hi, lo);
+  unique_insert(idx);
+  return Edge(idx, out_complement);
+}
+
+// ----- reference counting / GC ----------------------------------------------
+
+void Manager::ref(Edge e) {
+  Node& n = nodes_[e.node()];
+  if (n.ref == 0xffffffffu) return;  // saturated
+  if (n.ref++ == 0) {
+    ++stats_.live_nodes;
+    stats_.peak_live_nodes = std::max(stats_.peak_live_nodes, stats_.live_nodes);
+  }
+}
+
+void Manager::deref(Edge e) {
+  Node& n = nodes_[e.node()];
+  if (n.ref == 0xffffffffu) return;
+  assert(n.ref > 0 && "deref of dead node");
+  if (--n.ref == 0) --stats_.live_nodes;
+}
+
+void Manager::gc() {
+  ++stats_.gc_runs;
+  cache_clear();
+  // Sweep dead nodes; freeing one may kill its children, so iterate to a
+  // fixed point. A worklist seeded from all currently-dead nodes suffices
+  // because deref() on a child only ever transitions live -> dead here.
+  std::vector<std::uint32_t> dead;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].var != kVarTerminal && nodes_[i].ref == 0) dead.push_back(i);
+  }
+  while (!dead.empty()) {
+    const std::uint32_t idx = dead.back();
+    dead.pop_back();
+    Node& n = nodes_[idx];
+    if (n.var == kVarTerminal || n.ref != 0) continue;  // already freed/revived
+    const Edge hi = n.hi;
+    const Edge lo = n.lo;
+    unique_remove(idx);
+    free_node(idx);
+    deref(hi);
+    deref(lo);
+    if (!hi.is_constant() && nodes_[hi.node()].ref == 0) dead.push_back(hi.node());
+    if (!lo.is_constant() && nodes_[lo.node()].ref == 0) dead.push_back(lo.node());
+  }
+  update_memory_stats();
+}
+
+void Manager::maybe_gc() {
+  const std::size_t in_tables = nodes_.size() - free_list_.size();
+  if (in_tables > gc_threshold_ && in_tables > stats_.live_nodes * 2) {
+    gc();
+    // If the arena is still mostly live, raise the bar to avoid thrashing.
+    if (nodes_.size() - free_list_.size() > gc_threshold_) {
+      gc_threshold_ = (nodes_.size() - free_list_.size()) * 2;
+    }
+  }
+  update_memory_stats();
+}
+
+void Manager::update_memory_stats() {
+  std::size_t bytes = nodes_.capacity() * sizeof(Node) +
+                      free_list_.capacity() * sizeof(std::uint32_t) +
+                      cache_.capacity() * sizeof(CacheEntry);
+  for (const Subtable& st : subtables_) {
+    bytes += st.buckets.capacity() * sizeof(std::uint32_t);
+  }
+  stats_.memory_bytes = bytes;
+  stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, bytes);
+}
+
+// ----- computed table ---------------------------------------------------------
+
+Edge Manager::cache_lookup(CacheOp op, Edge f, Edge g, Edge h, bool& hit) {
+  ++stats_.cache_lookups;
+  const std::uint64_t key_lo =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(op)) << 32) |
+      f.bits();
+  const std::uint64_t key_hi =
+      (static_cast<std::uint64_t>(g.bits()) << 32) | h.bits();
+  std::uint64_t idx = key_lo * 0x9e3779b97f4a7c15ULL ^ key_hi * 0xff51afd7ed558ccdULL;
+  idx ^= idx >> 29;
+  const CacheEntry& e = cache_[idx & (kCacheSize - 1)];
+  if (e.key_lo == key_lo && e.key_hi == key_hi) {
+    ++stats_.cache_hits;
+    hit = true;
+    return e.result;
+  }
+  hit = false;
+  return Edge::one();
+}
+
+void Manager::cache_store(CacheOp op, Edge f, Edge g, Edge h, Edge result) {
+  const std::uint64_t key_lo =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(op)) << 32) |
+      f.bits();
+  const std::uint64_t key_hi =
+      (static_cast<std::uint64_t>(g.bits()) << 32) | h.bits();
+  std::uint64_t idx = key_lo * 0x9e3779b97f4a7c15ULL ^ key_hi * 0xff51afd7ed558ccdULL;
+  idx ^= idx >> 29;
+  CacheEntry& e = cache_[idx & (kCacheSize - 1)];
+  e.key_lo = key_lo;
+  e.key_hi = key_hi;
+  e.result = result;
+}
+
+void Manager::cache_clear() {
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+}
+
+// ----- structural queries ------------------------------------------------------
+
+Var Manager::top_var(Edge e) const { return nodes_[e.node()].var; }
+
+Edge Manager::hi_of(Edge e) const { return nodes_[e.node()].hi ^ e.complemented(); }
+Edge Manager::lo_of(Edge e) const { return nodes_[e.node()].lo ^ e.complemented(); }
+
+Edge Manager::cofactor(Edge f, Var v, bool value) {
+  // Cofactor by composing with a constant; cheap dedicated recursion.
+  const std::uint32_t vlevel = var2level_[v];
+  if (edge_level(f) > vlevel) return f;
+  if (top_var(f) == v) return value ? hi_of(f) : lo_of(f);
+  return compose_rec(f, v, value ? Edge::one() : Edge::zero(), vlevel);
+}
+
+void Manager::count_nodes(Edge e, std::unordered_set<std::uint32_t>& seen,
+                          std::size_t& n) const {
+  // Iterative DFS; cost is proportional to the function's size, not the
+  // arena's (eliminate calls this in a tight loop on large managers).
+  std::vector<std::uint32_t> stack{e.node()};
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    stack.pop_back();
+    if (!seen.insert(idx).second) continue;
+    ++n;
+    if (idx == 0) continue;
+    stack.push_back(nodes_[idx].hi.node());
+    stack.push_back(nodes_[idx].lo.node());
+  }
+}
+
+std::size_t Manager::size(Edge e) const {
+  std::unordered_set<std::uint32_t> seen;
+  std::size_t n = 0;
+  count_nodes(e, seen, n);
+  return n;
+}
+
+std::size_t Manager::size(const std::vector<Edge>& roots) const {
+  std::unordered_set<std::uint32_t> seen;
+  std::size_t n = 0;
+  for (Edge e : roots) count_nodes(e, seen, n);
+  return n;
+}
+
+std::vector<Var> Manager::support(Edge e) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<bool> in_support(num_vars(), false);
+  std::vector<std::uint32_t> stack{e.node()};
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    stack.pop_back();
+    if (idx == 0 || seen[idx]) continue;
+    seen[idx] = true;
+    in_support[nodes_[idx].var] = true;
+    stack.push_back(nodes_[idx].hi.node());
+    stack.push_back(nodes_[idx].lo.node());
+  }
+  std::vector<Var> result;
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (in_support[v]) result.push_back(v);
+  }
+  return result;
+}
+
+double Manager::sat_count(Edge e, std::uint32_t nvars) const {
+  // Fraction of the Boolean space mapped to 1, computed over regular edges.
+  std::unordered_map<std::uint32_t, double> density;
+  const std::function<double(Edge)> go = [&](Edge f) -> double {
+    const double d = [&]() -> double {
+      const std::uint32_t idx = f.regular().node();
+      if (idx == 0) return 1.0;
+      const auto it = density.find(idx);
+      if (it != density.end()) return it->second;
+      const Node& n = nodes_[idx];
+      const double result = 0.5 * go(n.hi) + 0.5 * go(n.lo);
+      density.emplace(idx, result);
+      return result;
+    }();
+    return f.complemented() ? 1.0 - d : d;
+  };
+  double frac = go(e);
+  double count = frac;
+  for (std::uint32_t i = 0; i < nvars; ++i) count *= 2.0;
+  return count;
+}
+
+bool Manager::eval(Edge e, const std::vector<bool>& assignment) const {
+  bool phase = e.complemented();
+  std::uint32_t idx = e.node();
+  while (idx != 0) {
+    const Node& n = nodes_[idx];
+    assert(n.var < assignment.size());
+    const Edge next = assignment[n.var] ? n.hi : n.lo;
+    phase ^= next.complemented();
+    idx = next.node();
+  }
+  return !phase;
+}
+
+// ----- transfer ("BDD mapping") ------------------------------------------------
+
+Edge Manager::transfer_to(Manager& dst, Edge e,
+                          const std::vector<Var>& var_map) const {
+  std::unordered_map<std::uint32_t, Edge> memo;  // this-node -> dst regular edge
+  const std::function<Edge(Edge)> go = [&](Edge f) -> Edge {
+    if (f.is_constant()) return f;
+    const std::uint32_t idx = f.regular().node();
+    const auto it = memo.find(idx);
+    if (it != memo.end()) return it->second ^ f.complemented();
+    const Node& n = nodes_[idx];
+    // Recurse children first; no GC can run in dst because only raw
+    // operations are used here.
+    const Edge hi = go(n.hi);
+    const Edge lo = go(n.lo);
+    assert(n.var < var_map.size());
+    // The map may reorder variables relative to dst's order, so rebuild
+    // through ITE (Shannon expansion) rather than raw mk.
+    const Edge v = dst.mk(var_map[n.var], Edge::one(), Edge::zero());
+    const Edge result = dst.ite(v, hi, lo);
+    memo.emplace(idx, result);
+    return result ^ f.complemented();
+  };
+  return go(e);
+}
+
+// ----- consistency check --------------------------------------------------------
+
+bool Manager::check_consistency() const {
+  // Every chained node is canonical, correctly hashed, and ordered.
+  std::size_t chained = 0;
+  for (Var v = 0; v < num_vars(); ++v) {
+    const Subtable& st = subtables_[v];
+    std::size_t in_table = 0;
+    for (std::size_t b = 0; b < st.buckets.size(); ++b) {
+      for (std::uint32_t i = st.buckets[b]; i != kNil; i = nodes_[i].next) {
+        const Node& n = nodes_[i];
+        if (n.var != v) return false;
+        if (n.hi.complemented()) return false;
+        if (n.hi == n.lo) return false;
+        if (edge_level(n.hi) <= var2level_[v]) return false;
+        if (edge_level(n.lo) <= var2level_[v]) return false;
+        if (hash_triple(v, n.hi, n.lo, st.buckets.size()) != b) return false;
+        ++in_table;
+      }
+    }
+    if (in_table != st.count) return false;
+    chained += in_table;
+  }
+  // Arena bookkeeping: every non-free node is chained.
+  const std::size_t in_arena = nodes_.size() - 1 - free_list_.size();
+  if (chained != in_arena) return false;
+  // Level maps are inverse permutations.
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (level2var_[var2level_[v]] != v) return false;
+  }
+  return true;
+}
+
+}  // namespace bds::bdd

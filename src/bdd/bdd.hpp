@@ -1,0 +1,396 @@
+// Reduced ordered binary decision diagrams (ROBDDs) with complement edges.
+//
+// This is the substrate the BDS decomposition engine is built on; it plays
+// the role CUDD played for the original system. Design follows the classic
+// Brace–Rudell–Bryant package:
+//
+//  * Nodes live in a single arena (`std::vector<Node>`) addressed by 32-bit
+//    indices; an `Edge` is a node index plus a complement bit.
+//  * Canonical form: the 1-edge (`hi`) of every node is a regular
+//    (non-complemented) edge; complement is pushed onto incoming edges.
+//    There is a single terminal node representing constant 1; constant 0 is
+//    its complement edge.
+//  * A per-variable unique table guarantees structural canonicity and makes
+//    Rudell-style in-place adjacent-variable swap (and hence sifting
+//    reordering) possible.
+//  * A lossy computed table caches ITE/restrict/compose results.
+//  * Reference counting with deferred reclamation: external references are
+//    held through the RAII `Bdd` handle; dead nodes are reclaimed by
+//    explicit or threshold-triggered garbage collection, which only runs at
+//    handle-level API entry points (never mid-recursion).
+//
+// The decomposition engine needs read access to raw structure (levels,
+// children, complement bits), which `Manager` exposes through the
+// `Edge`/`node_hi`/`node_lo` accessors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bds::bdd {
+
+class Manager;
+class Bdd;
+
+/// A directed edge in the BDD: target node index plus a complement bit.
+class Edge {
+ public:
+  constexpr Edge() : bits_(0) {}
+  constexpr Edge(std::uint32_t node, bool complement)
+      : bits_((node << 1) | static_cast<std::uint32_t>(complement)) {}
+
+  constexpr std::uint32_t node() const { return bits_ >> 1; }
+  constexpr bool complemented() const { return (bits_ & 1u) != 0; }
+  /// Same target with the complement bit cleared.
+  constexpr Edge regular() const { return from_bits(bits_ & ~1u); }
+
+  constexpr Edge operator!() const { return from_bits(bits_ ^ 1u); }
+  /// XOR the complement bit with `c` (phase adjustment while traversing).
+  constexpr Edge operator^(bool c) const {
+    return from_bits(bits_ ^ static_cast<std::uint32_t>(c));
+  }
+
+  constexpr bool operator==(const Edge&) const = default;
+
+  /// Terminal constants. The terminal node always has index 0.
+  static constexpr Edge one() { return Edge(0, false); }
+  static constexpr Edge zero() { return Edge(0, true); }
+
+  constexpr bool is_one() const { return *this == one(); }
+  constexpr bool is_zero() const { return *this == zero(); }
+  constexpr bool is_constant() const { return node() == 0; }
+
+  constexpr std::uint32_t bits() const { return bits_; }
+
+ private:
+  static constexpr Edge from_bits(std::uint32_t b) {
+    Edge e;
+    e.bits_ = b;
+    return e;
+  }
+  std::uint32_t bits_;
+};
+
+/// Variable identifier. Variables keep their identity across reordering;
+/// the manager maps them to levels (positions in the current order).
+using Var = std::uint32_t;
+inline constexpr Var kVarTerminal = 0xffffffffu;
+/// Level of the terminal node: below every variable.
+inline constexpr std::uint32_t kLevelTerminal = 0xffffffffu;
+
+/// Statistics snapshot used by benchmarks to report memory/size columns.
+struct ManagerStats {
+  std::size_t live_nodes = 0;       ///< Nodes with a nonzero reference count.
+  std::size_t allocated_nodes = 0;  ///< Arena slots ever allocated.
+  std::size_t peak_live_nodes = 0;  ///< High-watermark of live_nodes.
+  std::size_t gc_runs = 0;
+  std::size_t unique_lookups = 0;
+  std::size_t cache_lookups = 0;
+  std::size_t cache_hits = 0;
+  std::size_t reorderings = 0;
+  /// Approximate resident bytes of the node arena plus tables.
+  std::size_t memory_bytes = 0;
+  std::size_t peak_memory_bytes = 0;
+};
+
+/// The BDD manager: owns all nodes, tables and the variable order.
+class Manager {
+ public:
+  /// Creates a manager with `num_vars` variables in identity order.
+  explicit Manager(std::uint32_t num_vars = 0);
+  ~Manager();
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  // ----- variables and order ------------------------------------------------
+
+  std::uint32_t num_vars() const { return static_cast<std::uint32_t>(var2level_.size()); }
+  /// Adds a fresh variable at the bottom of the order; returns its id.
+  Var new_var();
+  /// Ensures at least `n` variables exist.
+  void ensure_vars(std::uint32_t n);
+
+  std::uint32_t level_of(Var v) const { return var2level_[v]; }
+  Var var_at_level(std::uint32_t level) const { return level2var_[level]; }
+  /// Level of the node an edge points to (kLevelTerminal for constants).
+  std::uint32_t edge_level(Edge e) const;
+
+  // ----- handle-level API (RAII, GC-safe) -----------------------------------
+
+  Bdd constant(bool value);
+  Bdd one();
+  Bdd zero();
+  Bdd var(Var v);
+  Bdd nvar(Var v);
+  /// Wraps a raw edge in a counted handle.
+  Bdd wrap(Edge e);
+
+  // ----- raw-edge operations ------------------------------------------------
+  // These do not trigger garbage collection; callers holding raw edges across
+  // calls are safe as long as they do not call gc()/reorder themselves.
+
+  /// Finds or creates the canonical node (v, hi, lo).
+  Edge mk(Var v, Edge hi, Edge lo);
+  Edge ite(Edge f, Edge g, Edge h);
+  Edge and_(Edge f, Edge g) { return ite(f, g, Edge::zero()); }
+  Edge or_(Edge f, Edge g) { return ite(f, Edge::one(), g); }
+  Edge xor_(Edge f, Edge g) { return ite(f, !g, g); }
+  Edge xnor_(Edge f, Edge g) { return ite(f, g, !g); }
+
+  /// Positive/negative cofactor with respect to variable v.
+  Edge cofactor(Edge f, Var v, bool value);
+  /// Shallow cofactors w.r.t. the variable at the edge's own top level.
+  Edge hi_of(Edge e) const;
+  Edge lo_of(Edge e) const;
+  Var top_var(Edge e) const;
+
+  /// Coudert–Madre restrict: minimizes f using !care as don't care.
+  /// Guarantees restrict(f, c) & c == f & c. Requires c != 0.
+  Edge restrict_(Edge f, Edge care);
+  /// Coudert–Madre constrain (generalized cofactor): also satisfies
+  /// constrain(f, c) & c == f & c, with the stronger image property
+  /// constrain(f, c)(x) == f(proj_c(x)); may grow the BDD where restrict
+  /// cannot. Requires c != 0.
+  Edge constrain(Edge f, Edge care);
+  /// Existential quantification of a single variable.
+  Edge exists(Edge f, Var v);
+  /// Substitutes function g for variable v inside f.
+  Edge compose(Edge f, Var v, Edge g);
+
+  /// Number of distinct nodes reachable from e (terminal included).
+  std::size_t size(Edge e) const;
+  /// Combined size of a set of roots (shared nodes counted once).
+  std::size_t size(const std::vector<Edge>& roots) const;
+  /// Set of variables the function depends on.
+  std::vector<Var> support(Edge e) const;
+  /// Number of satisfying assignments over `nvars` variables.
+  double sat_count(Edge e, std::uint32_t nvars) const;
+  /// Evaluates the function under a full assignment (indexed by Var).
+  bool eval(Edge e, const std::vector<bool>& assignment) const;
+
+  // ----- node structure access (read only) ----------------------------------
+
+  Var node_var(std::uint32_t node) const { return nodes_[node].var; }
+  Edge node_hi(std::uint32_t node) const { return nodes_[node].hi; }
+  Edge node_lo(std::uint32_t node) const { return nodes_[node].lo; }
+  bool is_terminal(std::uint32_t node) const { return node == 0; }
+
+  // ----- reference counting / garbage collection ----------------------------
+
+  void ref(Edge e);
+  void deref(Edge e);
+  std::uint32_t ref_count(Edge e) const { return nodes_[e.node()].ref; }
+  /// Reclaims all dead nodes. Invalidates the computed table.
+  void gc();
+  /// Runs gc() if the arena grew past the auto-GC threshold.
+  void maybe_gc();
+
+  // ----- dynamic variable reordering (bdd/reorder.cpp) ----------------------
+
+  /// Rudell sifting over all variables. External `Bdd` handles stay valid
+  /// (node identities are preserved or transferred in place).
+  void reorder_sift(double max_growth = 1.2);
+  /// Swaps the variables at levels `level` and `level + 1`.
+  void swap_levels(std::uint32_t level);
+  /// Installs an explicit order (permutation of all vars) by bubble swaps.
+  void set_order(const std::vector<Var>& order);
+
+  // ----- transfer between managers ("BDD mapping", Section IV-B) ------------
+
+  /// Rebuilds `e` (a function of this manager) inside `dst`, renaming
+  /// variables through `var_map` (indexed by this manager's Var).
+  Edge transfer_to(Manager& dst, Edge e, const std::vector<Var>& var_map) const;
+
+  // ----- diagnostics ---------------------------------------------------------
+
+  const ManagerStats& stats() const { return stats_; }
+  std::size_t live_nodes() const { return stats_.live_nodes; }
+  /// Writes a Graphviz rendering of the functions in `roots` (bdd/dot.cpp).
+  void write_dot(std::ostream& os, const std::vector<Edge>& roots,
+                 const std::vector<std::string>& root_names = {},
+                 const std::vector<std::string>& var_names = {}) const;
+  /// Checks internal invariants (canonicity, table consistency). Test-only.
+  bool check_consistency() const;
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    Var var = kVarTerminal;
+    Edge hi{};
+    Edge lo{};
+    std::uint32_t next = kNil;  ///< Unique-table chain.
+    std::uint32_t ref = 0;
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Subtable {
+    std::vector<std::uint32_t> buckets;  ///< Heads of hash chains (kNil-terminated).
+    std::uint32_t count = 0;             ///< Nodes currently chained (live + dead).
+  };
+
+  // Computed-table entry; op tags distinguish cached operations.
+  struct CacheEntry {
+    std::uint64_t key_lo = ~0ULL;  // (op, f)
+    std::uint64_t key_hi = ~0ULL;  // (g, h)
+    Edge result{};
+  };
+  enum class CacheOp : std::uint32_t {
+    kIte = 1,
+    kRestrict,
+    kConstrain,
+    kCompose,
+    kExists,
+  };
+
+  std::uint32_t alloc_node(Var v, Edge hi, Edge lo);
+  void free_node(std::uint32_t idx);
+  void unique_insert(std::uint32_t idx);
+  void unique_remove(std::uint32_t idx);
+  void grow_subtable(Subtable& st);
+  static std::size_t hash_triple(Var v, Edge hi, Edge lo, std::size_t buckets);
+
+  Edge cache_lookup(CacheOp op, Edge f, Edge g, Edge h, bool& hit);
+  void cache_store(CacheOp op, Edge f, Edge g, Edge h, Edge result);
+  void cache_clear();
+
+  Edge ite_rec(Edge f, Edge g, Edge h);
+  Edge restrict_rec(Edge f, Edge c);
+  Edge constrain_rec(Edge f, Edge c);
+  Edge compose_rec(Edge f, Var v, Edge g, std::uint32_t vlevel);
+  Edge exists_rec(Edge f, Var v, std::uint32_t vlevel);
+
+  void count_nodes(Edge e, std::unordered_set<std::uint32_t>& seen,
+                   std::size_t& n) const;
+  void update_memory_stats();
+
+  // Reordering internals (bdd/reorder.cpp).
+  std::uint32_t subtable_live(Var v) const;
+  void sift_var(Var v, double max_growth);
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_list_;
+  std::vector<Subtable> subtables_;  ///< Indexed by Var.
+  std::vector<std::uint32_t> var2level_;
+  std::vector<Var> level2var_;
+  std::vector<CacheEntry> cache_;
+  std::size_t gc_threshold_ = 1u << 14;
+  ManagerStats stats_;
+};
+
+/// RAII handle to a BDD function: owns one external reference.
+///
+/// All engine-level code holds functions through `Bdd`; raw `Edge` values
+/// are only used inside single recursive operations.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(Manager& mgr, Edge e) : mgr_(&mgr), e_(e) { mgr_->ref(e_); }
+  Bdd(const Bdd& o) : mgr_(o.mgr_), e_(o.e_) {
+    if (mgr_ != nullptr) mgr_->ref(e_);
+  }
+  Bdd(Bdd&& o) noexcept : mgr_(o.mgr_), e_(o.e_) { o.mgr_ = nullptr; }
+  Bdd& operator=(const Bdd& o) {
+    if (this != &o) {
+      Bdd tmp(o);
+      swap(tmp);
+    }
+    return *this;
+  }
+  Bdd& operator=(Bdd&& o) noexcept {
+    swap(o);
+    return *this;
+  }
+  ~Bdd() {
+    if (mgr_ != nullptr) mgr_->deref(e_);
+  }
+
+  void swap(Bdd& o) noexcept {
+    std::swap(mgr_, o.mgr_);
+    std::swap(e_, o.e_);
+  }
+
+  bool valid() const { return mgr_ != nullptr; }
+  Manager& manager() const { return *mgr_; }
+  Edge edge() const { return e_; }
+
+  bool is_one() const { return e_.is_one(); }
+  bool is_zero() const { return e_.is_zero(); }
+  bool is_constant() const { return e_.is_constant(); }
+
+  // Handle-level operators run maybe_gc() first: every live function is
+  // pinned by a handle here, so collection is safe, and it bounds the
+  // arena during long operation sequences (CEC, eliminate, full_simplify).
+  Bdd operator!() const { return Bdd(*mgr_, !e_); }
+  Bdd operator&(const Bdd& o) const {
+    mgr_->maybe_gc();
+    return Bdd(*mgr_, mgr_->and_(e_, o.e_));
+  }
+  Bdd operator|(const Bdd& o) const {
+    mgr_->maybe_gc();
+    return Bdd(*mgr_, mgr_->or_(e_, o.e_));
+  }
+  Bdd operator^(const Bdd& o) const {
+    mgr_->maybe_gc();
+    return Bdd(*mgr_, mgr_->xor_(e_, o.e_));
+  }
+  Bdd xnor(const Bdd& o) const {
+    mgr_->maybe_gc();
+    return Bdd(*mgr_, mgr_->xnor_(e_, o.e_));
+  }
+  Bdd ite(const Bdd& g, const Bdd& h) const {
+    mgr_->maybe_gc();
+    return Bdd(*mgr_, mgr_->ite(e_, g.e_, h.e_));
+  }
+
+  bool operator==(const Bdd& o) const { return mgr_ == o.mgr_ && e_ == o.e_; }
+
+  Bdd cofactor(Var v, bool value) const {
+    mgr_->maybe_gc();
+    return Bdd(*mgr_, mgr_->cofactor(e_, v, value));
+  }
+  Bdd restrict_(const Bdd& care) const {
+    mgr_->maybe_gc();
+    return Bdd(*mgr_, mgr_->restrict_(e_, care.e_));
+  }
+  Bdd constrain(const Bdd& care) const {
+    mgr_->maybe_gc();
+    return Bdd(*mgr_, mgr_->constrain(e_, care.e_));
+  }
+  Bdd compose(Var v, const Bdd& g) const {
+    mgr_->maybe_gc();
+    return Bdd(*mgr_, mgr_->compose(e_, v, g.e_));
+  }
+  Bdd exists(Var v) const {
+    mgr_->maybe_gc();
+    return Bdd(*mgr_, mgr_->exists(e_, v));
+  }
+
+  Var top_var() const { return mgr_->top_var(e_); }
+  std::size_t size() const { return mgr_->size(e_); }
+  std::vector<Var> support() const { return mgr_->support(e_); }
+  double sat_count(std::uint32_t nvars) const {
+    return mgr_->sat_count(e_, nvars);
+  }
+  bool eval(const std::vector<bool>& assignment) const {
+    return mgr_->eval(e_, assignment);
+  }
+
+ private:
+  Manager* mgr_ = nullptr;
+  Edge e_ = Edge::one();
+};
+
+}  // namespace bds::bdd
+
+template <>
+struct std::hash<bds::bdd::Edge> {
+  std::size_t operator()(const bds::bdd::Edge& e) const noexcept {
+    return std::hash<std::uint32_t>()(e.bits());
+  }
+};

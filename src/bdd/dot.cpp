@@ -1,0 +1,57 @@
+// Graphviz export, in the style of the paper's figures: solid 1-edges,
+// dashed 0-edges, dotted edges with a dot marker for complement edges.
+#include <ostream>
+#include <unordered_set>
+
+#include "bdd/bdd.hpp"
+
+namespace bds::bdd {
+
+void Manager::write_dot(std::ostream& os, const std::vector<Edge>& roots,
+                        const std::vector<std::string>& root_names,
+                        const std::vector<std::string>& var_names) const {
+  os << "digraph bdd {\n  rankdir=TB;\n"
+     << "  node [shape=circle];\n"
+     << "  terminal [shape=box,label=\"1\"];\n";
+
+  const auto var_label = [&](Var v) -> std::string {
+    if (v < var_names.size() && !var_names[v].empty()) return var_names[v];
+    return "x" + std::to_string(v);
+  };
+  const auto edge_attr = [](Edge e, bool is_hi) -> std::string {
+    std::string attr = is_hi ? "[style=solid" : "[style=dashed";
+    if (e.complemented()) attr += ",arrowhead=odot";
+    return attr + "]";
+  };
+
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack;
+  const auto target = [](Edge e) -> std::string {
+    return e.is_constant() ? "terminal" : "n" + std::to_string(e.node());
+  };
+
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    const std::string name =
+        r < root_names.size() ? root_names[r] : "F" + std::to_string(r);
+    os << "  root" << r << " [shape=plaintext,label=\"" << name << "\"];\n";
+    os << "  root" << r << " -> " << target(roots[r]) << ' '
+       << edge_attr(roots[r], true) << ";\n";
+    if (!roots[r].is_constant()) stack.push_back(roots[r].node());
+  }
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    stack.pop_back();
+    if (idx == 0 || !seen.insert(idx).second) continue;
+    const Node& n = nodes_[idx];
+    os << "  n" << idx << " [label=\"" << var_label(n.var) << "\"];\n";
+    os << "  n" << idx << " -> " << target(n.hi) << ' ' << edge_attr(n.hi, true)
+       << ";\n";
+    os << "  n" << idx << " -> " << target(n.lo) << ' '
+       << edge_attr(n.lo, false) << ";\n";
+    stack.push_back(n.hi.node());
+    stack.push_back(n.lo.node());
+  }
+  os << "}\n";
+}
+
+}  // namespace bds::bdd

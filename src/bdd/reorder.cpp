@@ -1,0 +1,190 @@
+// Dynamic variable reordering: Rudell sifting built on in-place adjacent
+// level swaps. BDS reorders each supernode BDD before decomposition
+// (Section IV-C, citing [30]).
+//
+// The swap rewrites the nodes of the upper variable in place, so node
+// identities -- and therefore all outstanding `Bdd` handles and cached
+// results -- remain valid: a node keeps denoting the same Boolean function
+// throughout reordering.
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "bdd/bdd.hpp"
+
+namespace bds::bdd {
+
+std::uint32_t Manager::subtable_live(Var v) const {
+  std::uint32_t live = 0;
+  const Subtable& st = subtables_[v];
+  for (std::uint32_t head : st.buckets) {
+    for (std::uint32_t i = head; i != kNil; i = nodes_[i].next) {
+      if (nodes_[i].ref > 0) ++live;
+    }
+  }
+  return live;
+}
+
+void Manager::swap_levels(std::uint32_t level) {
+  assert(level + 1 < num_vars());
+  const Var x = level2var_[level];      // upper variable, moves down
+  const Var y = level2var_[level + 1];  // lower variable, moves up
+
+  // Collect all nodes currently labelled x and empty its subtable; the
+  // rewrite below re-creates x-nodes through mk(), which must not collide
+  // with stale chains.
+  std::vector<std::uint32_t> xs;
+  {
+    Subtable& st = subtables_[x];
+    for (std::uint32_t& head : st.buckets) {
+      for (std::uint32_t i = head; i != kNil;) {
+        const std::uint32_t next = nodes_[i].next;
+        nodes_[i].next = kNil;
+        xs.push_back(i);
+        i = next;
+      }
+      head = kNil;
+    }
+    st.count = 0;
+  }
+
+  // Pass 1: nodes independent of y keep their structure; they simply end up
+  // below y. Reinsert them first so mk() can find them during pass 2.
+  std::vector<std::uint32_t> moving;
+  for (const std::uint32_t i : xs) {
+    const Node& n = nodes_[i];
+    if (top_var(n.hi) == y || top_var(n.lo) == y) {
+      moving.push_back(i);
+    } else {
+      unique_insert(i);
+    }
+  }
+
+  // Pass 2: rewrite each dependent node (x, F1, F0) into
+  // (y, mk(x, F11, F01), mk(x, F10, F00)) in place.
+  for (const std::uint32_t i : moving) {
+    const Edge hi = nodes_[i].hi;  // regular by canonical form
+    const Edge lo = nodes_[i].lo;
+    Edge f11, f10, f01, f00;
+    if (top_var(hi) == y) {
+      f11 = hi_of(hi);
+      f10 = lo_of(hi);
+    } else {
+      f11 = f10 = hi;
+    }
+    if (top_var(lo) == y) {
+      f01 = hi_of(lo);
+      f00 = lo_of(lo);
+    } else {
+      f01 = f00 = lo;
+    }
+    // f11 is regular (hi edge of a regular edge), so new_hi is regular and
+    // the rewritten node stays canonical without flipping its polarity --
+    // which is what keeps outside references valid.
+    const Edge new_hi = mk(x, f11, f01);
+    const Edge new_lo = mk(x, f10, f00);
+    assert(!new_hi.complemented());
+    assert(!(new_hi == new_lo) && "swap produced a redundant node");
+    ref(new_hi);
+    ref(new_lo);
+    Node& n = nodes_[i];
+    deref(n.hi);
+    deref(n.lo);
+    n.var = y;
+    n.hi = new_hi;
+    n.lo = new_lo;
+    unique_insert(i);
+  }
+
+  level2var_[level] = y;
+  level2var_[level + 1] = x;
+  var2level_[x] = level + 1;
+  var2level_[y] = level;
+}
+
+void Manager::sift_var(Var v, double max_growth) {
+  const std::size_t start_size = stats_.live_nodes;
+  const std::size_t limit =
+      static_cast<std::size_t>(static_cast<double>(start_size) * max_growth) + 4;
+  const std::uint32_t n = num_vars();
+  const std::uint32_t start_level = var2level_[v];
+
+  std::uint32_t best_level = start_level;
+  std::size_t best_size = start_size;
+
+  // Sift toward the nearer end first, then sweep to the other end.
+  const bool down_first = (n - start_level) <= start_level;
+
+  const auto move_down = [&]() {
+    while (var2level_[v] + 1 < n) {
+      swap_levels(var2level_[v]);
+      if (stats_.live_nodes < best_size) {
+        best_size = stats_.live_nodes;
+        best_level = var2level_[v];
+      }
+      if (stats_.live_nodes > limit) break;
+    }
+  };
+  const auto move_up = [&]() {
+    while (var2level_[v] > 0) {
+      swap_levels(var2level_[v] - 1);
+      if (stats_.live_nodes < best_size) {
+        best_size = stats_.live_nodes;
+        best_level = var2level_[v];
+      }
+      if (stats_.live_nodes > limit) break;
+    }
+  };
+
+  if (down_first) {
+    move_down();
+    move_up();
+  } else {
+    move_up();
+    move_down();
+  }
+  // Return to the best position seen.
+  while (var2level_[v] < best_level) swap_levels(var2level_[v]);
+  while (var2level_[v] > best_level) swap_levels(var2level_[v] - 1);
+}
+
+void Manager::reorder_sift(double max_growth) {
+  ++stats_.reorderings;
+  gc();
+  const std::uint32_t n = num_vars();
+  if (n < 2) return;
+
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::size_t before = stats_.live_nodes;
+    // Process variables from the largest subtable down, as Rudell does.
+    std::vector<Var> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::vector<std::uint32_t> weight(n);
+    for (Var v = 0; v < n; ++v) weight[v] = subtable_live(v);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](Var a, Var b) { return weight[a] > weight[b]; });
+    for (Var v : order) {
+      if (weight[v] == 0) continue;
+      sift_var(v, max_growth);
+      gc();
+    }
+    const std::size_t after = stats_.live_nodes;
+    if (after * 50 >= before * 49) break;  // < 2% improvement: stop
+  }
+  update_memory_stats();
+}
+
+void Manager::set_order(const std::vector<Var>& order) {
+  assert(order.size() == num_vars());
+  gc();
+  for (std::uint32_t target = 0; target < order.size(); ++target) {
+    std::uint32_t cur = var2level_[order[target]];
+    assert(cur >= target && "order is not a permutation");
+    while (cur > target) {
+      swap_levels(cur - 1);
+      --cur;
+    }
+  }
+}
+
+}  // namespace bds::bdd

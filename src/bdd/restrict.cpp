@@ -1,0 +1,106 @@
+// Coudert–Madre RESTRICT: heuristic minimization of a BDD with don't cares.
+//
+// restrict(f, c) returns a function r with r & c == f & c whose BDD is
+// (heuristically) smaller than f's. The BDS decomposition engine uses it to
+// compute quotients: for a divisor D with D >= F (Lemma 1), the quotient is
+// Q = restrict(F, D), which guarantees F = D & Q exactly. The paper points
+// at exact don't-care minimization being NP-complete [23], [24] and uses
+// this heuristic [25], as we do.
+#include <cassert>
+
+#include "bdd/bdd.hpp"
+
+namespace bds::bdd {
+
+Edge Manager::restrict_(Edge f, Edge care) {
+  assert(!care.is_zero() && "restrict with empty care set");
+  return restrict_rec(f, care);
+}
+
+Edge Manager::restrict_rec(Edge f, Edge c) {
+  if (c.is_one() || f.is_constant()) return f;
+  if (c == f) return Edge::one();
+  if (c == !f) return Edge::zero();
+
+  // If the care set's top variable sits above f's, f cannot branch on it:
+  // widen the care set by quantifying that variable away.
+  std::uint32_t lf = edge_level(f);
+  std::uint32_t lc = edge_level(c);
+  while (lc < lf) {
+    c = ite_rec(hi_of(c), Edge::one(), lo_of(c));
+    if (c.is_one()) return f;
+    lc = edge_level(c);
+  }
+
+  const bool out_complement = f.complemented();
+  f = f.regular();
+
+  bool hit = false;
+  const Edge cached = cache_lookup(CacheOp::kRestrict, f, c, Edge::one(), hit);
+  if (hit) return cached ^ out_complement;
+
+  const Var v = top_var(f);
+  const Edge f1 = hi_of(f);
+  const Edge f0 = lo_of(f);
+  const Edge c1 = lc == lf ? hi_of(c) : c;
+  const Edge c0 = lc == lf ? lo_of(c) : c;
+
+  Edge result;
+  if (c1.is_zero()) {
+    // The v=1 half is entirely don't care: drop the variable.
+    result = restrict_rec(f0, c0);
+  } else if (c0.is_zero()) {
+    result = restrict_rec(f1, c1);
+  } else {
+    const Edge r1 = restrict_rec(f1, c1);
+    const Edge r0 = restrict_rec(f0, c0);
+    result = mk(v, r1, r0);
+  }
+  cache_store(CacheOp::kRestrict, f, c, Edge::one(), result);
+  return result ^ out_complement;
+}
+
+Edge Manager::constrain(Edge f, Edge care) {
+  assert(!care.is_zero() && "constrain with empty care set");
+  return constrain_rec(f, care);
+}
+
+Edge Manager::constrain_rec(Edge f, Edge c) {
+  // Generalized cofactor: f|c maps each x to f at the nearest care point.
+  if (c.is_one() || f.is_constant()) return f;
+  if (c == f) return Edge::one();
+  if (c == !f) return Edge::zero();
+
+  const std::uint32_t lf = edge_level(f);
+  const std::uint32_t lc = edge_level(c);
+  const std::uint32_t top = std::min(lf, lc);
+  const Var v = level2var_[top];
+
+  const Edge f1 = lf == top ? hi_of(f) : f;
+  const Edge f0 = lf == top ? lo_of(f) : f;
+  const Edge c1 = lc == top ? hi_of(c) : c;
+  const Edge c0 = lc == top ? lo_of(c) : c;
+  // Unlike restrict, constrain substitutes the sibling cofactor when one
+  // half of the care set is empty (the defining "projection" behaviour).
+  if (c1.is_zero()) return constrain_rec(f0, c0);
+  if (c0.is_zero()) return constrain_rec(f1, c1);
+
+  // constrain commutes with complement (it is composition with a
+  // projection), so normalize the operand to its regular phase for caching.
+  const bool out_complement = f.complemented();
+  const Edge fr = f.regular();
+  bool hit = false;
+  const Edge cached = cache_lookup(CacheOp::kConstrain, fr, c, Edge::one(), hit);
+  if (hit) return cached ^ out_complement;
+
+  // Cofactors of the regular-phase operand.
+  const Edge fr1 = lf == top ? hi_of(fr) : fr;
+  const Edge fr0 = lf == top ? lo_of(fr) : fr;
+  const Edge r1 = constrain_rec(fr1, c1);
+  const Edge r0 = constrain_rec(fr0, c0);
+  const Edge result = mk(v, r1, r0);
+  cache_store(CacheOp::kConstrain, fr, c, Edge::one(), result);
+  return result ^ out_complement;
+}
+
+}  // namespace bds::bdd

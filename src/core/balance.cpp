@@ -1,0 +1,188 @@
+#include "core/balance.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+namespace bds::core {
+
+namespace {
+
+struct DepthMemo {
+  const FactoringForest& forest;
+  std::unordered_map<FactId, std::size_t> memo;
+
+  std::size_t depth(FactId id) {
+    const auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    const FactNode& n = forest.node(id);
+    std::size_t d = 0;
+    switch (n.kind) {
+      case FactKind::kConst0:
+      case FactKind::kConst1:
+      case FactKind::kVar:
+        d = 0;
+        break;
+      case FactKind::kNot:
+        d = depth(n.a);  // inverters are free in this depth model
+        break;
+      case FactKind::kMux:
+        d = 1 + std::max({depth(n.a), depth(n.b), depth(n.c)});
+        break;
+      default:
+        d = 1 + std::max(depth(n.a), depth(n.b));
+        break;
+    }
+    memo.emplace(id, d);
+    return d;
+  }
+};
+
+class Balancer {
+ public:
+  Balancer(FactoringForest& forest, BalanceStats& stats)
+      : forest_(forest), stats_(stats), depths_{forest, {}} {}
+
+  FactId rewrite(FactId id) {
+    const auto it = rewritten_.find(id);
+    if (it != rewritten_.end()) return it->second;
+    const FactNode n = forest_.node(id);  // copy; forest grows
+    FactId result = id;
+    switch (n.kind) {
+      case FactKind::kConst0:
+      case FactKind::kConst1:
+      case FactKind::kVar:
+        break;
+      case FactKind::kNot:
+        result = forest_.mk_not(rewrite(n.a));
+        break;
+      case FactKind::kMux:
+        result = forest_.mk_mux(rewrite(n.a), rewrite(n.b), rewrite(n.c));
+        break;
+      case FactKind::kAnd:
+      case FactKind::kOr:
+        result = rebuild_chain(id, n.kind);
+        break;
+      case FactKind::kXor:
+      case FactKind::kXnor:
+        result = rebuild_xor_chain(id);
+        break;
+    }
+    rewritten_.emplace(id, result);
+    return result;
+  }
+
+ private:
+  /// Collects the operands of a maximal same-operator chain, rewriting
+  /// each operand first.
+  void collect(FactId id, FactKind op, std::vector<FactId>& operands) {
+    const FactNode& n = forest_.node(id);
+    if (n.kind == op) {
+      collect(n.a, op, operands);
+      collect(n.b, op, operands);
+    } else {
+      operands.push_back(rewrite(id));
+    }
+  }
+
+  FactId rebuild_chain(FactId id, FactKind op) {
+    std::vector<FactId> operands;
+    collect(id, op, operands);
+    if (operands.size() <= 2) {
+      return op == FactKind::kAnd
+                 ? forest_.mk_and(operands[0],
+                                  operands.size() > 1 ? operands[1]
+                                                      : operands[0])
+                 : forest_.mk_or(operands[0], operands.size() > 1
+                                                  ? operands[1]
+                                                  : operands[0]);
+    }
+    ++stats_.chains_rebalanced;
+    return huffman(operands, [&](FactId a, FactId b) {
+      return op == FactKind::kAnd ? forest_.mk_and(a, b)
+                                  : forest_.mk_or(a, b);
+    });
+  }
+
+  /// XOR/XNOR chains: flatten through both operators, tracking the output
+  /// complement parity; rebuild a balanced XOR tree.
+  void collect_xor(FactId id, std::vector<FactId>& operands, bool& invert) {
+    const FactNode& n = forest_.node(id);
+    if (n.kind == FactKind::kXor || n.kind == FactKind::kXnor) {
+      if (n.kind == FactKind::kXnor) invert = !invert;
+      collect_xor(n.a, operands, invert);
+      collect_xor(n.b, operands, invert);
+    } else if (n.kind == FactKind::kNot) {
+      invert = !invert;
+      collect_xor(n.a, operands, invert);
+    } else {
+      operands.push_back(rewrite(id));
+    }
+  }
+
+  FactId rebuild_xor_chain(FactId id) {
+    std::vector<FactId> operands;
+    bool invert = false;
+    collect_xor(id, operands, invert);
+    FactId result;
+    if (operands.size() <= 2) {
+      result = operands.size() > 1 ? forest_.mk_xor(operands[0], operands[1])
+                                   : operands[0];
+    } else {
+      ++stats_.chains_rebalanced;
+      result = huffman(operands, [&](FactId a, FactId b) {
+        return forest_.mk_xor(a, b);
+      });
+    }
+    return invert ? forest_.mk_not(result) : result;
+  }
+
+  /// Combines the two shallowest operands first: depth-optimal for equal
+  /// operator delays.
+  template <typename Combine>
+  FactId huffman(const std::vector<FactId>& operands, Combine combine) {
+    using Entry = std::pair<std::size_t, FactId>;  // (depth, node)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (const FactId op : operands) heap.push({depths_.depth(op), op});
+    while (heap.size() > 1) {
+      const Entry a = heap.top();
+      heap.pop();
+      const Entry b = heap.top();
+      heap.pop();
+      const FactId combined = combine(a.second, b.second);
+      heap.push({std::max(a.first, b.first) + 1, combined});
+    }
+    return heap.top().second;
+  }
+
+  FactoringForest& forest_;
+  BalanceStats& stats_;
+  DepthMemo depths_;
+  std::unordered_map<FactId, FactId> rewritten_;
+};
+
+}  // namespace
+
+std::size_t tree_depth(const FactoringForest& forest, FactId root) {
+  DepthMemo memo{forest, {}};
+  return memo.depth(root);
+}
+
+BalanceStats balance_forest(FactoringForest& forest,
+                            std::vector<FactId>& roots) {
+  BalanceStats stats;
+  for (const FactId r : roots) {
+    stats.max_depth_before =
+        std::max(stats.max_depth_before, tree_depth(forest, r));
+  }
+  Balancer balancer(forest, stats);
+  for (FactId& r : roots) r = balancer.rewrite(r);
+  for (const FactId r : roots) {
+    stats.max_depth_after =
+        std::max(stats.max_depth_after, tree_depth(forest, r));
+  }
+  return stats;
+}
+
+}  // namespace bds::core

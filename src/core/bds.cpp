@@ -1,0 +1,273 @@
+#include "core/bds.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+
+#include "core/balance.hpp"
+#include "core/sharing.hpp"
+#include "util/timer.hpp"
+
+namespace bds::core {
+
+using bdd::Bdd;
+using bdd::Edge;
+using bdd::Var;
+using net::Network;
+using net::NodeId;
+
+namespace {
+
+/// Emits the gate network for factoring trees. Signals (kVar leaves) are
+/// global signal indices resolved through `sig_value`; NOT is represented
+/// as a complemented reference and folded into consumer SOP literals, so
+/// inverters only materialize at primary outputs.
+class GateEmitter {
+ public:
+  GateEmitter(Network& out, const FactoringForest& forest,
+              const std::vector<std::pair<NodeId, bool>>& sig_value)
+      : out_(out), forest_(forest), sig_value_(sig_value) {}
+
+  std::pair<NodeId, bool> emit(FactId id) {
+    const auto it = memo_.find(id);
+    if (it != memo_.end()) return it->second;
+    const FactNode& n = forest_.node(id);
+    std::pair<NodeId, bool> result;
+    switch (n.kind) {
+      case FactKind::kConst0:
+        result = {const_node(), false};
+        break;
+      case FactKind::kConst1:
+        result = {const_node(), true};
+        break;
+      case FactKind::kVar:
+        result = sig_value_[n.var];
+        break;
+      case FactKind::kNot: {
+        const auto a = emit(n.a);
+        result = {a.first, !a.second};
+        break;
+      }
+      case FactKind::kAnd:
+      case FactKind::kOr:
+      case FactKind::kXor:
+      case FactKind::kXnor:
+        result = {emit_binary(n), false};
+        break;
+      case FactKind::kMux:
+        result = {emit_mux(n), false};
+        break;
+    }
+    memo_.emplace(id, result);
+    return result;
+  }
+
+ private:
+  NodeId const_node() {
+    // A single constant-0 node; constant 1 is its complemented reference.
+    if (const0_ == net::kNoNode) {
+      const0_ = out_.add_node(out_.fresh_name("k"), {},
+                              sop::Sop::constant(0, false));
+    }
+    return const0_;
+  }
+
+  static char bit(bool value, bool negated) {
+    return (value != negated) ? '1' : '0';
+  }
+
+  NodeId emit_binary(const FactNode& n) {
+    const auto [na, nega] = emit(n.a);
+    const auto [nb, negb] = emit(n.b);
+    sop::Sop func(2);
+    switch (n.kind) {
+      case FactKind::kAnd:
+        func.add_cube(sop::Cube::parse({bit(true, nega), bit(true, negb)}));
+        break;
+      case FactKind::kOr:
+        func.add_cube(sop::Cube::parse({bit(true, nega), '-'}));
+        func.add_cube(sop::Cube::parse({'-', bit(true, negb)}));
+        break;
+      case FactKind::kXor:
+      case FactKind::kXnor: {
+        // xor with fold: (a^nega) ^ (b^negb) = a^b ^ (nega^negb)
+        const bool flip =
+            (nega != negb) != (n.kind == FactKind::kXnor);  // true => XNOR
+        if (flip) {
+          func.add_cube(sop::Cube::parse("11"));
+          func.add_cube(sop::Cube::parse("00"));
+        } else {
+          func.add_cube(sop::Cube::parse("10"));
+          func.add_cube(sop::Cube::parse("01"));
+        }
+        break;
+      }
+      default:
+        assert(false);
+    }
+    return out_.add_node(out_.fresh_name("g"), {na, nb}, std::move(func));
+  }
+
+  NodeId emit_mux(const FactNode& n) {
+    const auto [ns, negs] = emit(n.a);
+    const auto [nh, negh] = emit(n.b);
+    const auto [nl, negl] = emit(n.c);
+    sop::Sop func(3);
+    // sel ? hi : lo  ==  sel&hi | !sel&lo, with polarities folded.
+    {
+      std::string c = "---";
+      c[0] = bit(true, negs);
+      c[1] = bit(true, negh);
+      func.add_cube(sop::Cube::parse(c));
+    }
+    {
+      std::string c = "---";
+      c[0] = bit(false, negs);
+      c[2] = bit(true, negl);
+      func.add_cube(sop::Cube::parse(c));
+    }
+    return out_.add_node(out_.fresh_name("g"), {ns, nh, nl}, std::move(func));
+  }
+
+  Network& out_;
+  const FactoringForest& forest_;
+  const std::vector<std::pair<NodeId, bool>>& sig_value_;
+  std::unordered_map<FactId, std::pair<NodeId, bool>> memo_;
+  NodeId const0_ = net::kNoNode;
+};
+
+}  // namespace
+
+Network bds_optimize(const Network& input, const BdsOptions& options,
+                     BdsStats* stats_out) {
+  BdsStats stats;
+  Timer t_total;
+
+  Network net = input;
+  if (options.do_sweep) stats.sweep = net::sweep(net);
+
+  // ---- network partitioning by BDD-cost eliminate ---------------------------
+  Timer t_part;
+  bdd::Manager pmgr;
+  const PartitionResult part =
+      partition_network(net, pmgr, options.eliminate);
+  stats.eliminated = part.eliminated;
+  stats.supernodes = part.supernodes.size();
+  stats.seconds_partition = t_part.seconds();
+
+  // Global signal space: PIs plus supernode outputs.
+  std::vector<std::uint32_t> sig_of(net.raw_size(), 0xffffffffu);
+  std::uint32_t nsigs = 0;
+  for (const NodeId pi : net.inputs()) sig_of[pi] = nsigs++;
+  for (const Supernode& sn : part.supernodes) sig_of[sn.id] = nsigs++;
+
+  // ---- per-supernode: BDD mapping, reordering, decomposition ---------------
+  Timer t_dec;
+  FactoringForest forest;
+  std::vector<FactId> roots;
+  roots.reserve(part.supernodes.size());
+  std::size_t peak_local_nodes = 0;
+  std::size_t peak_local_bytes = 0;
+
+  for (const Supernode& sn : part.supernodes) {
+    const auto k = static_cast<std::uint32_t>(sn.inputs.size());
+    // "BDD mapping": rebuild the supernode function in a compact manager
+    // containing only the used variables (Section IV-B).
+    bdd::Manager local(k);
+    std::vector<Var> var_map(pmgr.num_vars(), 0);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      var_map[part.var_of[sn.inputs[i]]] = i;
+    }
+    const Bdd lf = local.wrap(pmgr.transfer_to(local, sn.func.edge(), var_map));
+    if (options.reorder && k > 1) local.reorder_sift();
+
+    FactoringForest local_forest;
+    Decomposer dec(local, local_forest, options.decompose);
+    const FactId local_root = dec.decompose(lf);
+    const DecomposeStats& d = dec.stats();
+    stats.decompose.one_dominator += d.one_dominator;
+    stats.decompose.zero_dominator += d.zero_dominator;
+    stats.decompose.x_dominator += d.x_dominator;
+    stats.decompose.functional_mux += d.functional_mux;
+    stats.decompose.generalized_and += d.generalized_and;
+    stats.decompose.generalized_or += d.generalized_or;
+    stats.decompose.generalized_xnor += d.generalized_xnor;
+    stats.decompose.shannon += d.shannon;
+
+    std::vector<FactId> leaf_map(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      leaf_map[i] = forest.mk_var(sig_of[sn.inputs[i]]);
+    }
+    roots.push_back(local_forest.copy_into(forest, local_root, leaf_map));
+    peak_local_nodes =
+        std::max(peak_local_nodes, local.stats().peak_live_nodes);
+    peak_local_bytes =
+        std::max(peak_local_bytes, local.stats().peak_memory_bytes);
+  }
+  stats.seconds_decompose = t_dec.seconds();
+
+  // ---- sharing extraction across factoring trees ----------------------------
+  Timer t_share;
+  std::size_t sharing_peak_nodes = 0;
+  std::size_t sharing_peak_bytes = 0;
+  if (options.sharing && !roots.empty()) {
+    bdd::Manager smgr(nsigs);
+    const SharingStats s = extract_sharing(forest, roots, smgr);
+    stats.shared_merged = s.merged + s.merged_negated;
+    sharing_peak_nodes = smgr.stats().peak_live_nodes;
+    sharing_peak_bytes = smgr.stats().peak_memory_bytes;
+  }
+  stats.seconds_sharing = t_share.seconds();
+
+  if (options.balance && !roots.empty()) {
+    const BalanceStats b = balance_forest(forest, roots);
+    stats.chains_rebalanced = b.chains_rebalanced;
+  }
+  stats.peak_bdd_nodes = pmgr.stats().peak_live_nodes + peak_local_nodes +
+                         sharing_peak_nodes;
+  stats.peak_bdd_bytes = pmgr.stats().peak_memory_bytes + peak_local_bytes +
+                         sharing_peak_bytes;
+
+  // ---- gate network construction ---------------------------------------------
+  Network out(input.name());
+  std::vector<std::pair<NodeId, bool>> sig_value(nsigs,
+                                                 {net::kNoNode, false});
+  for (const NodeId pi : net.inputs()) {
+    sig_value[sig_of[pi]] = {out.add_input(net.node(pi).name), false};
+  }
+  GateEmitter emitter(out, forest, sig_value);
+  for (std::size_t i = 0; i < part.supernodes.size(); ++i) {
+    sig_value[sig_of[part.supernodes[i].id]] = emitter.emit(roots[i]);
+  }
+
+  const auto materialize = [&](std::pair<NodeId, bool> sv) -> NodeId {
+    if (!sv.second) return sv.first;
+    sop::Sop inv(1);
+    inv.add_cube(sop::Cube::parse("0"));
+    return out.add_node(out.fresh_name("inv"), {sv.first}, std::move(inv));
+  };
+  std::unordered_map<NodeId, NodeId> inverter_of;  // share PO inverters
+  for (const auto& [name, driver] : net.outputs()) {
+    if (driver == net::kNoNode) continue;
+    const auto sv = sig_value[sig_of[driver]];
+    assert(sv.first != net::kNoNode);
+    NodeId target;
+    if (sv.second) {
+      const auto it = inverter_of.find(sv.first);
+      target = it != inverter_of.end() ? it->second : materialize(sv);
+      inverter_of.emplace(sv.first, target);
+    } else {
+      target = sv.first;
+    }
+    out.set_output(name, target);
+  }
+
+  if (options.final_sweep) net::sweep(out);
+
+  stats.seconds_total = t_total.seconds();
+  if (stats_out != nullptr) *stats_out = stats;
+  return out;
+}
+
+}  // namespace bds::core

@@ -1,0 +1,81 @@
+#include "core/cuts.hpp"
+
+#include <algorithm>
+
+namespace bds::core {
+
+using bdd::Edge;
+
+std::vector<CutInfo> enumerate_cuts(const BddStructure& s) {
+  std::vector<CutInfo> cuts;
+  if (s.root().is_constant() || s.levels().size() < 2) return cuts;
+  bdd::Manager& mgr = s.manager();
+
+  // Cut positions: just above every occupied level except the root's.
+  for (std::size_t li = 1; li < s.levels().size(); ++li) {
+    const std::uint32_t cut_level = s.levels()[li];
+    CutInfo info;
+    info.level = cut_level;
+    for (const Edge e : s.nodes()) {
+      if (mgr.edge_level(e) >= cut_level) break;  // nodes are level-sorted
+      for (const Edge child : {mgr.hi_of(e), mgr.lo_of(e)}) {
+        if (child.is_zero()) {
+          ++info.zero_leaves;
+        } else if (child.is_one()) {
+          ++info.one_leaves;
+        } else if (mgr.edge_level(child) >= cut_level) {
+          if (std::find(info.crossing_targets.begin(),
+                        info.crossing_targets.end(),
+                        child) == info.crossing_targets.end()) {
+            info.crossing_targets.push_back(child);
+          }
+        }
+      }
+    }
+    cuts.push_back(std::move(info));
+  }
+  return cuts;
+}
+
+std::vector<CutInfo> conjunctive_cuts(const std::vector<CutInfo>& all) {
+  std::vector<CutInfo> result;
+  unsigned last_sigma0 = 0;
+  for (const CutInfo& c : all) {
+    // Validity: at least one Sigma_0 leaf edge above the cut, and at least
+    // one free edge to redirect (otherwise D == F, a trivial division).
+    // Equivalence: the Sigma_0 set grows monotonically with depth, so a cut
+    // with the same count as its predecessor is 0-equivalent to it.
+    if (c.zero_leaves >= 1 && !c.crossing_targets.empty() &&
+        c.zero_leaves != last_sigma0) {
+      result.push_back(c);
+    }
+    last_sigma0 = c.zero_leaves;
+  }
+  return result;
+}
+
+std::vector<CutInfo> disjunctive_cuts(const std::vector<CutInfo>& all) {
+  std::vector<CutInfo> result;
+  unsigned last_sigma1 = 0;
+  for (const CutInfo& c : all) {
+    if (c.one_leaves >= 1 && !c.crossing_targets.empty() &&
+        c.one_leaves != last_sigma1) {
+      result.push_back(c);
+    }
+    last_sigma1 = c.one_leaves;
+  }
+  return result;
+}
+
+std::vector<CutInfo> mux_cuts(const std::vector<CutInfo>& all) {
+  std::vector<CutInfo> result;
+  for (const CutInfo& c : all) {
+    if (c.crossing_targets.size() == 2 && c.zero_leaves == 0 &&
+        c.one_leaves == 0) {
+      result.push_back(c);
+    }
+  }
+  return result;
+}
+
+}  // namespace bds::core

@@ -1,0 +1,45 @@
+// Horizontal-cut enumeration with the validity and equivalence pruning of
+// Section III-C: only cuts containing at least one leaf edge can produce a
+// nontrivial Boolean divisor, and 0-equivalent (1-equivalent) cuts produce
+// identical divisors (Theorem 4), so only one representative per class is
+// kept.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "core/dominators.hpp"
+
+namespace bds::core {
+
+/// One horizontal cut: the boundary between levels < `level` (the dominator
+/// region D of Definition 4/7) and the rest.
+struct CutInfo {
+  std::uint32_t level = 0;
+  /// Leaf edges (Sigma_0 / Sigma_1, Definition 2) leaving the region above
+  /// the cut.
+  unsigned zero_leaves = 0;
+  unsigned one_leaves = 0;
+  /// Distinct nonterminal expanded targets of edges crossing the cut
+  /// ("free edges" of the generalized dominator).
+  std::vector<bdd::Edge> crossing_targets;
+};
+
+/// All horizontal cuts of the structure, top to bottom (one per occupied
+/// level below the root's).
+std::vector<CutInfo> enumerate_cuts(const BddStructure& s);
+
+/// Representative cuts for conjunctive (AND) decomposition: valid cuts
+/// (>= 1 Sigma_0 leaf edge above) deduplicated by 0-equivalence.
+std::vector<CutInfo> conjunctive_cuts(const std::vector<CutInfo>& all);
+/// Dual: valid cuts for disjunctive (OR) decomposition, 1-equivalence
+/// deduplicated.
+std::vector<CutInfo> disjunctive_cuts(const std::vector<CutInfo>& all);
+
+/// Cuts usable for functional MUX decomposition (Theorem 7): exactly two
+/// distinct crossing targets and no terminal leaf edge above the cut, so the
+/// two targets jointly cover every path.
+std::vector<CutInfo> mux_cuts(const std::vector<CutInfo>& all);
+
+}  // namespace bds::core

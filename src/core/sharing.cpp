@@ -1,0 +1,113 @@
+#include "core/sharing.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+namespace bds::core {
+
+using bdd::Bdd;
+using bdd::Edge;
+
+SharingStats extract_sharing(FactoringForest& forest,
+                             std::vector<FactId>& roots, bdd::Manager& mgr) {
+  SharingStats stats;
+  // old id -> rewritten id
+  std::unordered_map<FactId, FactId> rewritten;
+  // canonical regular BDD edge -> (representative id, its phase vs regular)
+  std::unordered_map<std::uint32_t, std::pair<FactId, bool>> canon;
+  std::vector<Bdd> anchors;  // pin canon keys against GC
+  // new id -> its BDD (computed bottom-up, reused across subtrees)
+  std::unordered_map<FactId, Bdd> bdd_of;
+
+  const std::function<FactId(FactId)> go = [&](FactId old) -> FactId {
+    const auto it = rewritten.find(old);
+    if (it != rewritten.end()) return it->second;
+    const FactNode n = forest.node(old);  // copy: forest may grow
+    FactId fresh = kNoFact;
+    Bdd f;
+    switch (n.kind) {
+      case FactKind::kConst0:
+        fresh = forest.const0();
+        f = mgr.zero();
+        break;
+      case FactKind::kConst1:
+        fresh = forest.const1();
+        f = mgr.one();
+        break;
+      case FactKind::kVar:
+        fresh = old;
+        f = mgr.var(n.var);
+        break;
+      case FactKind::kNot: {
+        const FactId a = go(n.a);
+        fresh = forest.mk_not(a);
+        f = !bdd_of.at(a);
+        break;
+      }
+      case FactKind::kAnd: {
+        const FactId a = go(n.a);
+        const FactId b = go(n.b);
+        fresh = forest.mk_and(a, b);
+        f = bdd_of.at(a) & bdd_of.at(b);
+        break;
+      }
+      case FactKind::kOr: {
+        const FactId a = go(n.a);
+        const FactId b = go(n.b);
+        fresh = forest.mk_or(a, b);
+        f = bdd_of.at(a) | bdd_of.at(b);
+        break;
+      }
+      case FactKind::kXor: {
+        const FactId a = go(n.a);
+        const FactId b = go(n.b);
+        fresh = forest.mk_xor(a, b);
+        f = bdd_of.at(a) ^ bdd_of.at(b);
+        break;
+      }
+      case FactKind::kXnor: {
+        const FactId a = go(n.a);
+        const FactId b = go(n.b);
+        fresh = forest.mk_xnor(a, b);
+        f = bdd_of.at(a).xnor(bdd_of.at(b));
+        break;
+      }
+      case FactKind::kMux: {
+        const FactId a = go(n.a);
+        const FactId b = go(n.b);
+        const FactId c = go(n.c);
+        fresh = forest.mk_mux(a, b, c);
+        f = bdd_of.at(a).ite(bdd_of.at(b), bdd_of.at(c));
+        break;
+      }
+    }
+    // Canonical merge: any earlier subtree with the same function (or its
+    // complement) replaces this one.
+    const Edge key = f.edge().regular();
+    const bool phase = f.edge().complemented();
+    const auto canon_it = canon.find(key.bits());
+    if (canon_it != canon.end()) {
+      const auto [rep, rep_phase] = canon_it->second;
+      if (rep != fresh) {
+        if (rep_phase == phase) {
+          ++stats.merged;
+          fresh = rep;
+        } else {
+          ++stats.merged_negated;
+          fresh = forest.mk_not(rep);
+        }
+      }
+    } else {
+      canon.emplace(key.bits(), std::make_pair(fresh, phase));
+      anchors.push_back(f);
+    }
+    bdd_of.emplace(fresh, f);
+    rewritten.emplace(old, fresh);
+    return fresh;
+  };
+
+  for (FactId& r : roots) r = go(r);
+  return stats;
+}
+
+}  // namespace bds::core

@@ -1,0 +1,26 @@
+// Logic-sharing extraction across factoring trees (Section IV-C, Figs. 13
+// and 14). BDDs are built for every factoring subtree bottom-up in a
+// common manager; the canonicity of BDDs identifies functionally equivalent
+// (or complementary) subtrees, which are merged into shared nodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "core/factree.hpp"
+
+namespace bds::core {
+
+struct SharingStats {
+  std::size_t merged = 0;          ///< subtrees replaced by shared signals
+  std::size_t merged_negated = 0;  ///< merged through a complement edge
+};
+
+/// Rewrites `roots` (in place) so functionally identical subtrees reference
+/// one shared node. `mgr` must have one variable per kVar index used by the
+/// forest. New nodes may be appended to the forest.
+SharingStats extract_sharing(FactoringForest& forest,
+                             std::vector<FactId>& roots, bdd::Manager& mgr);
+
+}  // namespace bds::core

@@ -1,0 +1,262 @@
+// Arithmetic generators: multipliers, adders, ALU, comparator.
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "gen/gen.hpp"
+
+namespace bds::gen {
+
+using net::Network;
+using net::NodeId;
+using sop::Cube;
+using sop::Sop;
+
+namespace {
+
+Sop and2() {
+  Sop s(2);
+  s.add_cube(Cube::parse("11"));
+  return s;
+}
+Sop or2() {
+  Sop s(2);
+  s.add_cube(Cube::parse("1-"));
+  s.add_cube(Cube::parse("-1"));
+  return s;
+}
+Sop xor2() {
+  Sop s(2);
+  s.add_cube(Cube::parse("10"));
+  s.add_cube(Cube::parse("01"));
+  return s;
+}
+Sop xor3() {
+  Sop s(3);
+  s.add_cube(Cube::parse("100"));
+  s.add_cube(Cube::parse("010"));
+  s.add_cube(Cube::parse("001"));
+  s.add_cube(Cube::parse("111"));
+  return s;
+}
+/// Majority of three: the full-adder carry.
+Sop maj3() {
+  Sop s(3);
+  s.add_cube(Cube::parse("11-"));
+  s.add_cube(Cube::parse("1-1"));
+  s.add_cube(Cube::parse("-11"));
+  return s;
+}
+
+struct FullAdder {
+  NodeId sum;
+  NodeId carry;
+};
+
+FullAdder full_adder(Network& net, const std::string& prefix, NodeId a,
+                     NodeId b, NodeId cin) {
+  const NodeId s = net.add_node(prefix + "_s", {a, b, cin}, xor3());
+  const NodeId c = net.add_node(prefix + "_c", {a, b, cin}, maj3());
+  return {s, c};
+}
+
+FullAdder half_adder(Network& net, const std::string& prefix, NodeId a,
+                     NodeId b) {
+  const NodeId s = net.add_node(prefix + "_s", {a, b}, xor2());
+  const NodeId c = net.add_node(prefix + "_c", {a, b}, and2());
+  return {s, c};
+}
+
+}  // namespace
+
+Network ripple_adder(unsigned bits) {
+  Network net("rca" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = net.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = net.add_input("b" + std::to_string(i));
+  NodeId carry = net::kNoNode;
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::string p = "fa" + std::to_string(i);
+    const FullAdder fa = carry == net::kNoNode
+                             ? half_adder(net, p, a[i], b[i])
+                             : full_adder(net, p, a[i], b[i], carry);
+    net.set_output("s" + std::to_string(i), fa.sum);
+    carry = fa.carry;
+  }
+  net.set_output("cout", carry);
+  return net;
+}
+
+Network array_multiplier(unsigned n) {
+  assert(n >= 1);
+  Network net("m" + std::to_string(n) + "x" + std::to_string(n));
+  std::vector<NodeId> a(n), b(n);
+  for (unsigned i = 0; i < n; ++i) a[i] = net.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < n; ++i) b[i] = net.add_input("b" + std::to_string(i));
+
+  // Partial products pp[i][j] = a[j] & b[i], weight i + j.
+  std::vector<std::vector<NodeId>> pp(n, std::vector<NodeId>(n));
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < n; ++j) {
+      pp[i][j] = net.add_node("pp" + std::to_string(i) + "_" + std::to_string(j),
+                              {a[j], b[i]}, and2());
+    }
+  }
+
+  // Row-by-row ripple-carry accumulation (classic array multiplier).
+  // `acc[j]` holds the running sum bit of weight j.
+  std::vector<NodeId> acc(2 * n, net::kNoNode);
+  for (unsigned j = 0; j < n; ++j) acc[j] = pp[0][j];
+  for (unsigned i = 1; i < n; ++i) {
+    NodeId carry = net::kNoNode;
+    for (unsigned j = 0; j < n; ++j) {
+      const unsigned w = i + j;
+      const std::string p =
+          "r" + std::to_string(i) + "_" + std::to_string(j);
+      const NodeId addend = pp[i][j];
+      const NodeId current = acc[w];
+      FullAdder fa{};
+      if (current == net::kNoNode && carry == net::kNoNode) {
+        acc[w] = addend;
+        continue;
+      }
+      if (current == net::kNoNode) {
+        fa = half_adder(net, p, addend, carry);
+      } else if (carry == net::kNoNode) {
+        fa = half_adder(net, p, addend, current);
+      } else {
+        fa = full_adder(net, p, addend, current, carry);
+      }
+      acc[w] = fa.sum;
+      carry = fa.carry;
+    }
+    // Propagate the final carry of this row into the next weight.
+    unsigned w = i + n;
+    while (carry != net::kNoNode && w < 2 * n) {
+      if (acc[w] == net::kNoNode) {
+        acc[w] = carry;
+        carry = net::kNoNode;
+      } else {
+        const FullAdder fa = half_adder(
+            net, "cp" + std::to_string(i) + "_" + std::to_string(w), acc[w],
+            carry);
+        acc[w] = fa.sum;
+        carry = fa.carry;
+        ++w;
+      }
+    }
+  }
+  for (unsigned j = 0; j < 2 * n; ++j) {
+    if (acc[j] == net::kNoNode) {
+      acc[j] = net.add_node("zero" + std::to_string(j), {},
+                            Sop::constant(0, false));
+    }
+    net.set_output("p" + std::to_string(j), acc[j]);
+  }
+  return net;
+}
+
+Network alu(unsigned bits) {
+  Network net("alu" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = net.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = net.add_input("b" + std::to_string(i));
+  const NodeId op0 = net.add_input("op0");
+  const NodeId op1 = net.add_input("op1");
+
+  // Adder chain.
+  std::vector<NodeId> sum(bits);
+  NodeId carry = net::kNoNode;
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::string p = "add" + std::to_string(i);
+    const FullAdder fa = carry == net::kNoNode
+                             ? half_adder(net, p, a[i], b[i])
+                             : full_adder(net, p, a[i], b[i], carry);
+    sum[i] = fa.sum;
+    carry = fa.carry;
+  }
+
+  // Bitwise units and the 4:1 result mux per bit:
+  //   op = 00 -> ADD, 01 -> AND, 10 -> OR, 11 -> XOR.
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::string si = std::to_string(i);
+    const NodeId andb = net.add_node("and" + si, {a[i], b[i]}, and2());
+    const NodeId orb = net.add_node("or" + si, {a[i], b[i]}, or2());
+    const NodeId xorb = net.add_node("xor" + si, {a[i], b[i]}, xor2());
+    // mux4(op1, op0, add, and, or, xor)
+    Sop mux4(6);  // vars: op1 op0 s0 s1 s2 s3
+    mux4.add_cube(Cube::parse("001---"));
+    mux4.add_cube(Cube::parse("01-1--"));
+    mux4.add_cube(Cube::parse("10--1-"));
+    mux4.add_cube(Cube::parse("11---1"));
+    const NodeId r = net.add_node("res" + si,
+                                  {op1, op0, sum[i], andb, orb, xorb},
+                                  std::move(mux4));
+    net.set_output("r" + si, r);
+  }
+  // Carry-out only meaningful for ADD; mask it with the opcode.
+  Sop cmask(3);
+  cmask.add_cube(Cube::parse("001"));
+  const NodeId co =
+      net.add_node("co", {op1, op0, carry}, std::move(cmask));
+  net.set_output("cout", co);
+  return net;
+}
+
+Network comparator(unsigned bits) {
+  Network net("cmp" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = net.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = net.add_input("b" + std::to_string(i));
+
+  // MSB-first chain: eq_i, lt_i over bits [bits-1 .. i].
+  NodeId eq = net::kNoNode;
+  NodeId lt = net::kNoNode;
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    const std::string si = std::to_string(i);
+    Sop eq1(2);  // a == b
+    eq1.add_cube(Cube::parse("00"));
+    eq1.add_cube(Cube::parse("11"));
+    const NodeId bit_eq = net.add_node("eq" + si, {a[static_cast<unsigned>(i)], b[static_cast<unsigned>(i)]}, std::move(eq1));
+    Sop lt1(2);  // a < b
+    lt1.add_cube(Cube::parse("01"));
+    const NodeId bit_lt = net.add_node("lt" + si, {a[static_cast<unsigned>(i)], b[static_cast<unsigned>(i)]}, std::move(lt1));
+    if (eq == net::kNoNode) {
+      eq = bit_eq;
+      lt = bit_lt;
+    } else {
+      const NodeId new_lt_term =
+          net.add_node("ltt" + si, {eq, bit_lt}, and2());
+      lt = net.add_node("ltc" + si, {lt, new_lt_term}, or2());
+      eq = net.add_node("eqc" + si, {eq, bit_eq}, and2());
+    }
+  }
+  net.set_output("eq", eq);
+  net.set_output("lt", lt);
+  Sop nor2(2);
+  nor2.add_cube(Cube::parse("00"));
+  net.set_output("gt", net.add_node("gt", {eq, lt}, std::move(nor2)));
+  return net;
+}
+
+Network parity_tree(unsigned width) {
+  Network net("par" + std::to_string(width));
+  std::vector<NodeId> level;
+  for (unsigned i = 0; i < width; ++i) {
+    level.push_back(net.add_input("x" + std::to_string(i)));
+  }
+  unsigned id = 0;
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(net.add_node("t" + std::to_string(id++),
+                                  {level[i], level[i + 1]}, xor2()));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = next;
+  }
+  net.set_output("parity", level[0]);
+  return net;
+}
+
+}  // namespace bds::gen

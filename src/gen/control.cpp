@@ -1,0 +1,220 @@
+// Control-logic generators: priority/interrupt controller (C432 class) and
+// seeded random two-level control logic (vda class).
+#include <string>
+#include <vector>
+
+#include "gen/gen.hpp"
+#include "util/rng.hpp"
+
+namespace bds::gen {
+
+using net::Network;
+using net::NodeId;
+using sop::Cube;
+using sop::Sop;
+
+namespace {
+
+Sop and2() {
+  Sop s(2);
+  s.add_cube(Cube::parse("11"));
+  return s;
+}
+Sop or2() {
+  Sop s(2);
+  s.add_cube(Cube::parse("1-"));
+  s.add_cube(Cube::parse("-1"));
+  return s;
+}
+Sop andnot2() {  // a & !b
+  Sop s(2);
+  s.add_cube(Cube::parse("10"));
+  return s;
+}
+
+}  // namespace
+
+Network priority_controller(unsigned channels) {
+  Network net("prio" + std::to_string(channels));
+  std::vector<NodeId> req(channels), en(channels);
+  for (unsigned i = 0; i < channels; ++i) {
+    req[i] = net.add_input("req" + std::to_string(i));
+  }
+  for (unsigned i = 0; i < channels; ++i) {
+    en[i] = net.add_input("en" + std::to_string(i));
+  }
+
+  // active_i = req_i & en_i ; grant_i = active_i & !any_higher ;
+  // (channel 0 has the highest priority).
+  NodeId any = net::kNoNode;
+  for (unsigned i = 0; i < channels; ++i) {
+    const std::string si = std::to_string(i);
+    const NodeId active = net.add_node("act" + si, {req[i], en[i]}, and2());
+    NodeId grant;
+    if (any == net::kNoNode) {
+      grant = active;
+      any = active;
+    } else {
+      grant = net.add_node("gr" + si, {active, any}, andnot2());
+      any = net.add_node("any" + si, {any, active}, or2());
+    }
+    net.set_output("grant" + si, grant);
+  }
+  net.set_output("busy", any);
+  return net;
+}
+
+Network random_control(unsigned inputs, unsigned outputs,
+                       unsigned cubes_per_output, std::uint64_t seed) {
+  Rng rng(seed);
+  Network net("ctl_i" + std::to_string(inputs) + "_o" +
+              std::to_string(outputs) + "_s" + std::to_string(seed));
+  std::vector<NodeId> in(inputs);
+  for (unsigned i = 0; i < inputs; ++i) {
+    in[i] = net.add_input("x" + std::to_string(i));
+  }
+
+  // First level: random PLAs, each over a bounded random support cone.
+  // Real control blocks (the vda class) are built from many small cones
+  // over shared inputs, not from dense functions of every input -- fully
+  // random wide functions would be BDD-pathological and unrepresentative.
+  const unsigned cone = std::min(inputs, 8u);
+  std::vector<NodeId> first;
+  for (unsigned o = 0; o < outputs; ++o) {
+    // Pick a random support subset for this cone.
+    std::vector<NodeId> support;
+    std::vector<bool> used(inputs, false);
+    while (support.size() < cone) {
+      const unsigned v = static_cast<unsigned>(rng.below(inputs));
+      if (!used[v]) {
+        used[v] = true;
+        support.push_back(in[v]);
+      }
+    }
+    Sop s(cone);
+    for (unsigned c = 0; c < cubes_per_output; ++c) {
+      Cube cube(cone);
+      for (unsigned v = 0; v < cone; ++v) {
+        switch (rng.below(5)) {
+          case 0:
+            cube.set(v, sop::Literal::kPos);
+            break;
+          case 1:
+            cube.set(v, sop::Literal::kNeg);
+            break;
+          default:
+            break;
+        }
+      }
+      s.add_cube(cube);
+    }
+    s.minimize_scc();
+    if (s.cubes().empty()) s = Sop::literal(cone, o % cone, true);
+    first.push_back(
+        net.add_node("pla" + std::to_string(o), support, std::move(s)));
+  }
+
+  // Second level: pairwise combining logic (reconvergence, as in real
+  // control blocks), producing the primary outputs.
+  for (unsigned o = 0; o < outputs; ++o) {
+    const NodeId a = first[o];
+    const NodeId b = first[(o + 1) % outputs];
+    const NodeId x = in[rng.below(inputs)];
+    Sop comb(3);
+    // (a & x) | (b & !x): a little mux-flavored recombination.
+    comb.add_cube(Cube::parse("1-1"));
+    comb.add_cube(Cube::parse("-10"));
+    const NodeId out = net.add_node("comb" + std::to_string(o), {a, b, x},
+                                    std::move(comb));
+    net.set_output("f" + std::to_string(o), out);
+  }
+  return net;
+}
+
+Network random_multilevel(unsigned inputs, unsigned levels, unsigned width,
+                          unsigned outputs, std::uint64_t seed) {
+  Rng rng(seed);
+  Network net("rnd_l" + std::to_string(levels) + "_w" +
+              std::to_string(width) + "_s" + std::to_string(seed));
+  std::vector<NodeId> pool;
+  for (unsigned i = 0; i < inputs; ++i) {
+    pool.push_back(net.add_input("x" + std::to_string(i)));
+  }
+
+  unsigned gate_id = 0;
+  for (unsigned l = 0; l < levels; ++l) {
+    std::vector<NodeId> level_nodes;
+    for (unsigned w = 0; w < width; ++w) {
+      // Operands drawn from the whole pool: reconvergent, multilevel.
+      const NodeId a = pool[rng.below(pool.size())];
+      const NodeId b = pool[rng.below(pool.size())];
+      if (a == b) continue;
+      Sop func(2);
+      switch (rng.below(6)) {
+        case 0:  // AND with random input polarities
+        case 1: {
+          Cube c(2);
+          c.set(0, rng.coin() ? sop::Literal::kPos : sop::Literal::kNeg);
+          c.set(1, rng.coin() ? sop::Literal::kPos : sop::Literal::kNeg);
+          func.add_cube(c);
+          break;
+        }
+        case 2:  // OR with random polarities
+        case 3: {
+          Cube c1(2), c2(2);
+          c1.set(0, rng.coin() ? sop::Literal::kPos : sop::Literal::kNeg);
+          c2.set(1, rng.coin() ? sop::Literal::kPos : sop::Literal::kNeg);
+          func.add_cube(c1);
+          func.add_cube(c2);
+          break;
+        }
+        case 4: {  // 3-input AOI-ish: ab + c'
+          const NodeId c3 = pool[rng.below(pool.size())];
+          if (c3 == a || c3 == b) {
+            Cube c(2);
+            c.set(0, sop::Literal::kPos);
+            c.set(1, sop::Literal::kPos);
+            func.add_cube(c);
+            break;
+          }
+          Sop f3(3);
+          f3.add_cube(Cube::parse("11-"));
+          f3.add_cube(Cube::parse("--0"));
+          level_nodes.push_back(net.add_node("g" + std::to_string(gate_id++),
+                                             {a, b, c3}, std::move(f3)));
+          continue;
+        }
+        default: {  // 2:1 mux with a random select from the pool
+          const NodeId s = pool[rng.below(pool.size())];
+          if (s == a || s == b) {
+            Cube c1(2), c2(2);
+            c1.set(0, sop::Literal::kPos);
+            c2.set(1, sop::Literal::kNeg);
+            func.add_cube(c1);
+            func.add_cube(c2);
+            break;
+          }
+          Sop f3(3);
+          f3.add_cube(Cube::parse("11-"));
+          f3.add_cube(Cube::parse("0-1"));
+          level_nodes.push_back(net.add_node("g" + std::to_string(gate_id++),
+                                             {s, a, b}, std::move(f3)));
+          continue;
+        }
+      }
+      level_nodes.push_back(net.add_node("g" + std::to_string(gate_id++),
+                                         {a, b}, std::move(func)));
+    }
+    pool.insert(pool.end(), level_nodes.begin(), level_nodes.end());
+  }
+
+  // Outputs from the deepest gates (ensures the whole DAG stays live).
+  const unsigned n = static_cast<unsigned>(pool.size());
+  for (unsigned o = 0; o < outputs; ++o) {
+    const NodeId driver = pool[n - 1 - (o % std::min(n, width * levels))];
+    net.set_output("f" + std::to_string(o), driver);
+  }
+  return net;
+}
+
+}  // namespace bds::gen

@@ -1,0 +1,88 @@
+// Error-correcting-circuit generator (the C499/C1355 class): Hamming
+// syndrome computation (XOR trees) followed by a position decoder that
+// flips the offending data bit.
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "gen/gen.hpp"
+
+namespace bds::gen {
+
+using net::Network;
+using net::NodeId;
+using sop::Cube;
+using sop::Sop;
+
+namespace {
+
+Sop xor2() {
+  Sop s(2);
+  s.add_cube(Cube::parse("10"));
+  s.add_cube(Cube::parse("01"));
+  return s;
+}
+
+NodeId xor_tree(Network& net, const std::string& prefix,
+                std::vector<NodeId> level) {
+  assert(!level.empty());
+  unsigned id = 0;
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(net.add_node(prefix + "_x" + std::to_string(id++),
+                                  {level[i], level[i + 1]}, xor2()));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = next;
+  }
+  return level[0];
+}
+
+}  // namespace
+
+Network hamming_corrector(unsigned parity_bits) {
+  // Standard Hamming(2^r - 1, 2^r - r - 1): positions 1..2^r - 1; powers
+  // of two are check bits, the rest carry data.
+  const unsigned r = parity_bits;
+  const unsigned total = (1u << r) - 1;
+  Network net("ecc" + std::to_string(total));
+
+  std::vector<NodeId> position(total + 1, net::kNoNode);  // 1-indexed
+  std::vector<unsigned> data_positions;
+  for (unsigned p = 1; p <= total; ++p) {
+    const bool is_check = (p & (p - 1)) == 0;
+    position[p] = net.add_input((is_check ? "c" : "d") + std::to_string(p));
+    if (!is_check) data_positions.push_back(p);
+  }
+
+  // Syndrome bit k = XOR of all positions with bit k set (check included).
+  std::vector<NodeId> syndrome(r);
+  for (unsigned k = 0; k < r; ++k) {
+    std::vector<NodeId> members;
+    for (unsigned p = 1; p <= total; ++p) {
+      if ((p >> k) & 1u) members.push_back(position[p]);
+    }
+    syndrome[k] = xor_tree(net, "syn" + std::to_string(k), members);
+  }
+
+  // Corrected data bit = d_p XOR (syndrome == p).
+  for (const unsigned p : data_positions) {
+    // Decoder: AND of syndrome bits in the polarity of p.
+    Sop decode(r);
+    Cube c(r);
+    for (unsigned k = 0; k < r; ++k) {
+      c.set(k, ((p >> k) & 1u) != 0 ? sop::Literal::kPos
+                                    : sop::Literal::kNeg);
+    }
+    decode.add_cube(c);
+    const NodeId hit =
+        net.add_node("hit" + std::to_string(p), syndrome, std::move(decode));
+    const NodeId fixed = net.add_node("fix" + std::to_string(p),
+                                      {position[p], hit}, xor2());
+    net.set_output("q" + std::to_string(p), fixed);
+  }
+  return net;
+}
+
+}  // namespace bds::gen

@@ -1,0 +1,60 @@
+// Benchmark circuit generators: deterministic substitutes for the paper's
+// MCNC / LGSynth91 / ISCAS85 test cases and for its proprietary
+// HDL-to-blif arithmetic circuits (see DESIGN.md §4). Each generator emits
+// a plain Boolean network; functional correctness is enforced by
+// tests/test_gen.cpp against arithmetic oracles.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+
+namespace bds::gen {
+
+/// bshiftN of Table II: barrel rotator, `width` data bits (power of two),
+/// log2(width) shift-amount bits; output is data rotated left.
+net::Network barrel_shifter(unsigned width);
+
+/// mNxN of Table II: array multiplier, two n-bit operands, 2n outputs
+/// (ripple-carry rows of full adders; XOR-intensive, C6288 class).
+net::Network array_multiplier(unsigned n);
+
+/// Ripple-carry adder: n-bit operands, n sum bits and carry-out.
+net::Network ripple_adder(unsigned bits);
+
+/// Small ALU (C3540/dalu class): two n-bit operands, 2 opcode bits
+/// selecting ADD / AND / OR / XOR; n result bits plus carry-out.
+net::Network alu(unsigned bits);
+
+/// Magnitude comparator: eq/lt/gt outputs over two n-bit operands.
+net::Network comparator(unsigned bits);
+
+/// Parity tree over `width` inputs (pure XOR benchmark).
+net::Network parity_tree(unsigned width);
+
+/// Single-error-correcting circuit over 2^k - k - 1 data bits (C499/C1355
+/// class): inputs are data plus Hamming check bits; outputs are the
+/// corrected data bits. XOR trees (syndrome) feeding a decoder.
+net::Network hamming_corrector(unsigned parity_bits);
+
+/// Priority/interrupt controller (C432 class): `channels` request lines
+/// with per-channel enables; grant outputs plus an "any" flag.
+net::Network priority_controller(unsigned channels);
+
+/// Random two-level control logic (vda class): seeded PLA with a second
+/// level of combining logic.
+net::Network random_control(unsigned inputs, unsigned outputs,
+                            unsigned cubes_per_output, std::uint64_t seed);
+
+/// Rotator with direction control (rot class): width data bits,
+/// log2(width) amount bits, 1 direction bit.
+net::Network rotator(unsigned width);
+
+/// Random multilevel structured logic (C880/C432-style "random logic"):
+/// a seeded DAG of small AND/OR/NAND/NOR/AOI gates with reconvergent
+/// fanout, `levels` deep and roughly `width` gates per level.
+net::Network random_multilevel(unsigned inputs, unsigned levels,
+                               unsigned width, unsigned outputs,
+                               std::uint64_t seed);
+
+}  // namespace bds::gen

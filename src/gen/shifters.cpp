@@ -1,0 +1,102 @@
+// Barrel shifter / rotator generators (the bshiftN and rot classes).
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "gen/gen.hpp"
+
+namespace bds::gen {
+
+using net::Network;
+using net::NodeId;
+using sop::Cube;
+using sop::Sop;
+
+namespace {
+
+/// mux(s, hi, lo) as an SOP over fanins (s, hi, lo).
+Sop mux3() {
+  Sop s(3);
+  s.add_cube(Cube::parse("11-"));
+  s.add_cube(Cube::parse("0-1"));
+  return s;
+}
+
+unsigned log2_exact(unsigned width) {
+  unsigned bits = 0;
+  while ((1u << bits) < width) ++bits;
+  assert((1u << bits) == width && "width must be a power of two");
+  return bits;
+}
+
+}  // namespace
+
+Network barrel_shifter(unsigned width) {
+  const unsigned stages = log2_exact(width);
+  Network net("bshift" + std::to_string(width));
+  std::vector<NodeId> data(width);
+  for (unsigned i = 0; i < width; ++i) {
+    data[i] = net.add_input("d" + std::to_string(i));
+  }
+  std::vector<NodeId> amount(stages);
+  for (unsigned k = 0; k < stages; ++k) {
+    amount[k] = net.add_input("s" + std::to_string(k));
+  }
+
+  // Stage k rotates left by 2^k when s_k is set: out[i] = s_k ?
+  // in[(i - 2^k) mod width] : in[i].
+  std::vector<NodeId> cur = data;
+  for (unsigned k = 0; k < stages; ++k) {
+    const unsigned shift = 1u << k;
+    std::vector<NodeId> next(width);
+    for (unsigned i = 0; i < width; ++i) {
+      const unsigned src = (i + width - shift) % width;
+      next[i] = net.add_node(
+          "st" + std::to_string(k) + "_" + std::to_string(i),
+          {amount[k], cur[src], cur[i]}, mux3());
+    }
+    cur = std::move(next);
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    net.set_output("o" + std::to_string(i), cur[i]);
+  }
+  return net;
+}
+
+Network rotator(unsigned width) {
+  const unsigned stages = log2_exact(width);
+  Network net("rot" + std::to_string(width));
+  std::vector<NodeId> data(width);
+  for (unsigned i = 0; i < width; ++i) {
+    data[i] = net.add_input("d" + std::to_string(i));
+  }
+  std::vector<NodeId> amount(stages);
+  for (unsigned k = 0; k < stages; ++k) {
+    amount[k] = net.add_input("s" + std::to_string(k));
+  }
+  const NodeId dir = net.add_input("dir");  // 0 = left, 1 = right
+
+  std::vector<NodeId> cur = data;
+  for (unsigned k = 0; k < stages; ++k) {
+    const unsigned shift = 1u << k;
+    std::vector<NodeId> next(width);
+    for (unsigned i = 0; i < width; ++i) {
+      const unsigned left_src = (i + width - shift) % width;
+      const unsigned right_src = (i + shift) % width;
+      // src = dir ? right : left, taken when s_k; else passthrough.
+      const NodeId picked = net.add_node(
+          "pk" + std::to_string(k) + "_" + std::to_string(i),
+          {dir, cur[right_src], cur[left_src]}, mux3());
+      next[i] = net.add_node(
+          "st" + std::to_string(k) + "_" + std::to_string(i),
+          {amount[k], picked, cur[i]}, mux3());
+    }
+    cur = std::move(next);
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    net.set_output("o" + std::to_string(i), cur[i]);
+  }
+  return net;
+}
+
+}  // namespace bds::gen

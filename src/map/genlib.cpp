@@ -1,0 +1,299 @@
+#include "map/genlib.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace bds::map {
+
+namespace {
+
+/// Recursive-descent parser for genlib gate expressions:
+///   expr := term ('+' term)* ; term := factor ('*'? factor)* ;
+///   factor := '!' factor | '(' expr ')' | ident | CONST0 | CONST1
+/// Juxtaposition denotes AND, as genlib allows.
+class ExprParser {
+ public:
+  ExprParser(const std::string& text, Gate& gate)
+      : text_(text), gate_(gate) {}
+
+  std::int32_t parse() {
+    const std::int32_t root = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("genlib: trailing junk in expression '" +
+                               text_ + "'");
+    }
+    return root;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool peek_factor_start() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    return c == '!' || c == '(' || std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+           c == '_' || c == '[' || c == ']';
+  }
+
+  std::int32_t push(Expr e) {
+    gate_.expr.push_back(std::move(e));
+    return static_cast<std::int32_t>(gate_.expr.size() - 1);
+  }
+
+  std::int32_t parse_or() {
+    std::int32_t left = parse_and();
+    for (;;) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '+') {
+        ++pos_;
+        const std::int32_t right = parse_and();
+        left = push({Expr::Kind::kOr, left, right, ""});
+      } else {
+        return left;
+      }
+    }
+  }
+
+  std::int32_t parse_and() {
+    std::int32_t left = parse_factor();
+    for (;;) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '*') {
+        ++pos_;
+        const std::int32_t right = parse_factor();
+        left = push({Expr::Kind::kAnd, left, right, ""});
+      } else if (peek_factor_start()) {
+        const std::int32_t right = parse_factor();
+        left = push({Expr::Kind::kAnd, left, right, ""});
+      } else {
+        return left;
+      }
+    }
+  }
+
+  std::int32_t parse_factor() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("genlib: unexpected end of expression");
+    }
+    const char c = text_[pos_];
+    if (c == '!') {
+      ++pos_;
+      const std::int32_t a = parse_factor();
+      return push({Expr::Kind::kNot, a, -1, ""});
+    }
+    if (c == '(') {
+      ++pos_;
+      const std::int32_t e = parse_or();
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        throw std::runtime_error("genlib: missing ')'");
+      }
+      ++pos_;
+      // Postfix ' (complement), another genlib convention.
+      if (pos_ < text_.size() && text_[pos_] == '\'') {
+        ++pos_;
+        return push({Expr::Kind::kNot, e, -1, ""});
+      }
+      return e;
+    }
+    std::string name;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_' || text_[pos_] == '[' || text_[pos_] == ']')) {
+      name += text_[pos_++];
+    }
+    if (name.empty()) {
+      throw std::runtime_error(std::string("genlib: bad character '") + c +
+                               "' in expression");
+    }
+    if (name == "CONST0") return push({Expr::Kind::kConst0, -1, -1, ""});
+    if (name == "CONST1") return push({Expr::Kind::kConst1, -1, -1, ""});
+    if (pos_ < text_.size() && text_[pos_] == '\'') {
+      ++pos_;
+      const std::int32_t v = var(name);
+      return push({Expr::Kind::kNot, v, -1, ""});
+    }
+    return var(name);
+  }
+
+  std::int32_t var(const std::string& name) {
+    if (std::find(gate_.pins.begin(), gate_.pins.end(), name) ==
+        gate_.pins.end()) {
+      gate_.pins.push_back(name);
+    }
+    return push({Expr::Kind::kVar, -1, -1, name});
+  }
+
+  const std::string& text_;
+  Gate& gate_;
+  std::size_t pos_ = 0;
+};
+
+sop::Sop expr_to_sop(const Gate& g, std::int32_t idx) {
+  const Expr& e = g.expr[static_cast<std::size_t>(idx)];
+  const unsigned nv = static_cast<unsigned>(g.pins.size());
+  switch (e.kind) {
+    case Expr::Kind::kConst0:
+      return sop::Sop::constant(nv, false);
+    case Expr::Kind::kConst1:
+      return sop::Sop::constant(nv, true);
+    case Expr::Kind::kVar: {
+      const auto it = std::find(g.pins.begin(), g.pins.end(), e.pin);
+      return sop::Sop::literal(
+          nv, static_cast<unsigned>(it - g.pins.begin()), true);
+    }
+    case Expr::Kind::kNot:
+      return expr_to_sop(g, e.a).complement();
+    case Expr::Kind::kAnd:
+      return expr_to_sop(g, e.a).times(expr_to_sop(g, e.b));
+    case Expr::Kind::kOr:
+      return expr_to_sop(g, e.a).plus(expr_to_sop(g, e.b));
+  }
+  return sop::Sop(nv);
+}
+
+}  // namespace
+
+sop::Sop Gate::function() const {
+  sop::Sop f = expr_to_sop(*this, expr_root);
+  f.minimize_scc();
+  return f;
+}
+
+const Gate* Library::find(const std::string& gate_name) const {
+  for (const Gate& g : gates) {
+    if (g.name == gate_name) return &g;
+  }
+  return nullptr;
+}
+
+const Gate* Library::inverter() const {
+  const Gate* best = nullptr;
+  for (const Gate& g : gates) {
+    if (g.pins.size() != 1) continue;
+    const sop::Sop f = g.function();
+    if (f.cube_count() == 1 && f.cubes()[0].get(0) == sop::Literal::kNeg) {
+      if (best == nullptr || g.area < best->area) best = &g;
+    }
+  }
+  return best;
+}
+
+const Gate* Library::nand2() const {
+  const Gate* best = nullptr;
+  for (const Gate& g : gates) {
+    if (g.pins.size() != 2) continue;
+    // Semantic check: covers of the same function can differ structurally.
+    const sop::Sop f = g.function();
+    const bool is_nand = f.eval({false, false}) && f.eval({false, true}) &&
+                         f.eval({true, false}) && !f.eval({true, true});
+    if (is_nand && (best == nullptr || g.area < best->area)) best = &g;
+  }
+  return best;
+}
+
+Library parse_genlib(const std::string& text) {
+  Library lib;
+  std::istringstream is(text);
+  std::string line;
+  std::string pending;
+  std::vector<std::string> statements;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    pending += ' ';
+    pending += line;
+  }
+  // Split on "GATE" keywords.
+  std::size_t pos = 0;
+  while ((pos = pending.find("GATE", pos)) != std::string::npos) {
+    const std::size_t next = pending.find("GATE", pos + 4);
+    statements.push_back(pending.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos));
+    pos = next;
+    if (pos == std::string::npos) break;
+  }
+
+  for (const std::string& stmt : statements) {
+    std::istringstream ss(stmt);
+    std::string kw;
+    Gate g;
+    ss >> kw >> g.name >> g.area;
+    if (!ss) throw std::runtime_error("genlib: bad GATE header: " + stmt);
+    // Function up to ';'.
+    std::string func;
+    std::getline(ss, func, ';');
+    const std::size_t eq = func.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("genlib: missing '=' in " + stmt);
+    }
+    g.output = func.substr(0, eq);
+    g.output.erase(std::remove_if(g.output.begin(), g.output.end(),
+                                  [](char c) {
+                                    return std::isspace(
+                                               static_cast<unsigned char>(
+                                                   c)) != 0;
+                                  }),
+                   g.output.end());
+    const std::string body = func.substr(eq + 1);
+    ExprParser parser(body, g);
+    g.expr_root = parser.parse();
+
+    // PIN lines: take the worst block delay over pins.
+    std::string tok;
+    while (ss >> tok) {
+      if (tok != "PIN") continue;
+      std::string pin_name, phase;
+      double in_load = 0, max_load = 0, rb = 0, rf = 0, fb = 0, ff = 0;
+      ss >> pin_name >> phase >> in_load >> max_load >> rb >> rf >> fb >> ff;
+      g.delay = std::max({g.delay, rb, fb});
+      (void)rf;
+      (void)ff;
+    }
+    if (g.delay == 0.0) g.delay = 1.0;
+    lib.gates.push_back(std::move(g));
+  }
+  if (lib.gates.empty()) throw std::runtime_error("genlib: no gates found");
+  return lib;
+}
+
+const Library& mcnc_like_library() {
+  static const Library lib = [] {
+    Library l = parse_genlib(R"(
+# MCNC-like library: same gate families as mcnc.genlib, lambda^2-scale
+# areas and ns-scale block delays.
+GATE inv1   8  O=!a;              PIN * INV 1 999 0.20 0.02 0.20 0.02
+GATE nand2  16 O=!(a*b);          PIN * INV 1 999 0.35 0.04 0.35 0.04
+GATE nand3  24 O=!(a*b*c);        PIN * INV 1 999 0.45 0.05 0.45 0.05
+GATE nand4  32 O=!(a*b*c*d);      PIN * INV 1 999 0.55 0.06 0.55 0.06
+GATE nor2   16 O=!(a+b);          PIN * INV 1 999 0.40 0.05 0.40 0.05
+GATE nor3   24 O=!(a+b+c);        PIN * INV 1 999 0.55 0.06 0.55 0.06
+GATE nor4   32 O=!(a+b+c+d);      PIN * INV 1 999 0.70 0.07 0.70 0.07
+GATE and2   24 O=a*b;             PIN * NONINV 1 999 0.50 0.04 0.50 0.04
+GATE or2    24 O=a+b;             PIN * NONINV 1 999 0.55 0.05 0.55 0.05
+GATE aoi21  24 O=!(a*b+c);        PIN * INV 1 999 0.50 0.05 0.50 0.05
+GATE aoi22  32 O=!(a*b+c*d);      PIN * INV 1 999 0.60 0.06 0.60 0.06
+GATE oai21  24 O=!((a+b)*c);      PIN * INV 1 999 0.50 0.05 0.50 0.05
+GATE oai22  32 O=!((a+b)*(c+d));  PIN * INV 1 999 0.60 0.06 0.60 0.06
+GATE xor2   40 O=a*!b+!a*b;       PIN * UNKNOWN 1 999 0.70 0.07 0.70 0.07
+GATE xnor2  40 O=a*b+!a*!b;       PIN * UNKNOWN 1 999 0.70 0.07 0.70 0.07
+GATE mux21  40 O=s*a+!s*b;        PIN * UNKNOWN 1 999 0.65 0.07 0.65 0.07
+GATE zero   0  O=CONST0;
+GATE one    0  O=CONST1;
+)");
+    l.name = "mcnc_like";
+    return l;
+  }();
+  return lib;
+}
+
+}  // namespace bds::map

@@ -1,0 +1,57 @@
+// Gate library support: a genlib-subset parser and the embedded MCNC-like
+// library both flows are mapped onto. The original experiments used
+// mcnc.genlib; we ship a library with the same gate families (inverter,
+// NAND/NOR in several widths, AND/OR, AOI/OAI, XOR/XNOR, MUX) and
+// lambda^2-scale areas / ns-scale pin delays (see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sop/sop.hpp"
+
+namespace bds::map {
+
+/// Boolean expression AST for gate functions (as written in genlib).
+struct Expr {
+  enum class Kind : std::uint8_t { kConst0, kConst1, kVar, kNot, kAnd, kOr };
+  Kind kind = Kind::kConst0;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::string pin;  ///< for kVar
+};
+
+struct Gate {
+  std::string name;
+  double area = 0.0;
+  std::string output;
+  std::vector<Expr> expr;       ///< AST arena; root is expr_root
+  std::int32_t expr_root = -1;
+  std::vector<std::string> pins;  ///< formal input pins, in first-use order
+  double delay = 0.0;             ///< block delay (worst pin, rise/fall max)
+
+  /// Gate function as an SOP over pin indices.
+  sop::Sop function() const;
+};
+
+struct Library {
+  std::string name;
+  std::vector<Gate> gates;
+
+  const Gate* find(const std::string& gate_name) const;
+  /// Smallest inverter and smallest 2-input NAND (used as mapper anchors).
+  const Gate* inverter() const;
+  const Gate* nand2() const;
+};
+
+/// Parses a genlib-subset description:
+///   GATE <name> <area> <out>=<expr>;  [PIN <name|*> <phase> <in_load>
+///     <max_load> <rise_block> <rise_fanout> <fall_block> <fall_fanout>]*
+/// Throws std::runtime_error on malformed input.
+Library parse_genlib(const std::string& text);
+
+/// The embedded MCNC-like library (see header comment).
+const Library& mcnc_like_library();
+
+}  // namespace bds::map

@@ -1,0 +1,214 @@
+#include "map/lutmap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "map/subject.hpp"
+
+namespace bds::map {
+
+using net::Network;
+using net::NodeId;
+
+namespace {
+
+/// Skips inverter chains: inverters are absorbed into cones, never leaves.
+std::int32_t strip_inv(const SubjectGraph& g, std::int32_t s) {
+  while (g.nodes[static_cast<std::size_t>(s)].kind == SubjectGraph::Kind::kInv) {
+    s = g.nodes[static_cast<std::size_t>(s)].a;
+  }
+  return s;
+}
+
+/// Evaluates the cone rooted at `s` under an assignment of its leaves.
+bool eval_cone(const SubjectGraph& g, std::int32_t s,
+               const std::unordered_map<std::int32_t, bool>& leaf_value) {
+  const auto it = leaf_value.find(s);
+  if (it != leaf_value.end()) return it->second;
+  const SubjectGraph::Node& n = g.nodes[static_cast<std::size_t>(s)];
+  switch (n.kind) {
+    case SubjectGraph::Kind::kConst0:
+      return false;
+    case SubjectGraph::Kind::kConst1:
+      return true;
+    case SubjectGraph::Kind::kInput:
+      throw std::logic_error("unbound input inside LUT cone");
+    case SubjectGraph::Kind::kInv:
+      return !eval_cone(g, n.a, leaf_value);
+    case SubjectGraph::Kind::kNand:
+      return !(eval_cone(g, n.a, leaf_value) && eval_cone(g, n.b, leaf_value));
+  }
+  return false;
+}
+
+}  // namespace
+
+LutMapResult map_luts(const Network& net, unsigned k) {
+  if (k < 2 || k > 6) {
+    throw std::invalid_argument("map_luts: k must be in [2, 6]");
+  }
+  const SubjectGraph g = build_subject_graph(net);
+  const std::size_t n = g.nodes.size();
+
+  // Greedy cone growth: cut[s] = leaf set (inverter-stripped subject ids).
+  std::vector<std::vector<std::int32_t>> cut(n);
+  std::vector<unsigned> level(n, 0);
+  const auto merge_within_k = [&](const std::vector<std::int32_t>& a,
+                                  const std::vector<std::int32_t>& b,
+                                  std::vector<std::int32_t>& out) {
+    out = a;
+    for (const std::int32_t x : b) {
+      if (std::find(out.begin(), out.end(), x) == out.end()) {
+        out.push_back(x);
+        if (out.size() > k) return false;
+      }
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const SubjectGraph::Node& node = g.nodes[i];
+    const auto s = static_cast<std::int32_t>(i);
+    switch (node.kind) {
+      case SubjectGraph::Kind::kInput:
+      case SubjectGraph::Kind::kConst0:
+      case SubjectGraph::Kind::kConst1:
+        cut[i] = {s};
+        level[i] = 0;
+        break;
+      case SubjectGraph::Kind::kInv:
+        cut[i] = cut[static_cast<std::size_t>(node.a)];
+        level[i] = level[static_cast<std::size_t>(node.a)];
+        break;
+      case SubjectGraph::Kind::kNand: {
+        std::vector<std::int32_t> merged;
+        if (merge_within_k(cut[static_cast<std::size_t>(node.a)],
+                           cut[static_cast<std::size_t>(node.b)], merged)) {
+          cut[i] = std::move(merged);
+          level[i] = std::max(level[static_cast<std::size_t>(node.a)],
+                              level[static_cast<std::size_t>(node.b)]);
+        } else {
+          // Fanins become LUT roots; this node starts a fresh cone.
+          const std::int32_t la = strip_inv(g, node.a);
+          const std::int32_t lb = strip_inv(g, node.b);
+          cut[i] = {la};
+          if (lb != la) cut[i].push_back(lb);
+          level[i] = 1 + std::max(level[static_cast<std::size_t>(node.a)],
+                                  level[static_cast<std::size_t>(node.b)]);
+        }
+        break;
+      }
+    }
+  }
+
+  // LUT roots: PO cones plus every cut leaf reachable from them.
+  std::vector<bool> is_root(n, false);
+  std::vector<std::int32_t> stack;
+  for (const std::int32_t po : g.po_nodes) {
+    if (po >= 0) stack.push_back(strip_inv(g, po));
+  }
+  while (!stack.empty()) {
+    const std::int32_t s = stack.back();
+    stack.pop_back();
+    const SubjectGraph::Node& node = g.nodes[static_cast<std::size_t>(s)];
+    if (node.kind == SubjectGraph::Kind::kInput ||
+        node.kind == SubjectGraph::Kind::kConst0 ||
+        node.kind == SubjectGraph::Kind::kConst1) {
+      continue;
+    }
+    if (is_root[static_cast<std::size_t>(s)]) continue;
+    is_root[static_cast<std::size_t>(s)] = true;
+    for (const std::int32_t leaf : cut[static_cast<std::size_t>(s)]) {
+      stack.push_back(leaf);
+    }
+  }
+
+  // Emit the LUT netlist.
+  LutMapResult result;
+  result.netlist.set_name(net.name() + "_luts");
+  std::vector<NodeId> emitted(n, net::kNoNode);
+  for (const NodeId pi : net.inputs()) {
+    const std::int32_t s = g.of_network[pi];
+    emitted[static_cast<std::size_t>(s)] =
+        result.netlist.add_input(net.node(pi).name);
+  }
+
+  const std::function<NodeId(std::int32_t)> build =
+      [&](std::int32_t s) -> NodeId {
+    NodeId& memo = emitted[static_cast<std::size_t>(s)];
+    if (memo != net::kNoNode) return memo;
+    const SubjectGraph::Node& node = g.nodes[static_cast<std::size_t>(s)];
+    if (node.kind == SubjectGraph::Kind::kConst0 ||
+        node.kind == SubjectGraph::Kind::kConst1) {
+      memo = result.netlist.add_node(
+          result.netlist.fresh_name("k"), {},
+          sop::Sop::constant(0, node.kind == SubjectGraph::Kind::kConst1));
+      return memo;
+    }
+    const std::vector<std::int32_t>& leaves =
+        cut[static_cast<std::size_t>(s)];
+    std::vector<NodeId> fanins;
+    fanins.reserve(leaves.size());
+    for (const std::int32_t leaf : leaves) fanins.push_back(build(leaf));
+    // Extract the cone's truth table over its leaves.
+    const unsigned width = static_cast<unsigned>(leaves.size());
+    sop::Sop func(width);
+    std::unordered_map<std::int32_t, bool> leaf_value;
+    for (unsigned row = 0; row < (1u << width); ++row) {
+      for (unsigned j = 0; j < width; ++j) {
+        leaf_value[leaves[j]] = ((row >> j) & 1) != 0;
+      }
+      if (!eval_cone(g, s, leaf_value)) continue;
+      sop::Cube c(width);
+      for (unsigned j = 0; j < width; ++j) {
+        c.set(j, ((row >> j) & 1) != 0 ? sop::Literal::kPos
+                                       : sop::Literal::kNeg);
+      }
+      func.add_cube(c);
+    }
+    func.merge_adjacent();
+    memo = result.netlist.add_node(result.netlist.fresh_name("lut"),
+                                   std::move(fanins), std::move(func));
+    ++result.num_luts;
+    return memo;
+  };
+
+  for (std::size_t o = 0; o < net.outputs().size(); ++o) {
+    const std::int32_t po = g.po_nodes[o];
+    if (po < 0) continue;
+    // The PO cone includes any trailing inverters, so root at the PO node
+    // itself (inverters were stripped only for *shared* roots).
+    const std::int32_t root = strip_inv(g, po);
+    NodeId driver = build(root);
+    if (root != po) {
+      // Odd number of stripped inverters flips the output: add a 1-LUT.
+      bool flipped = false;
+      for (std::int32_t walk = po;
+           g.nodes[static_cast<std::size_t>(walk)].kind ==
+           SubjectGraph::Kind::kInv;
+           walk = g.nodes[static_cast<std::size_t>(walk)].a) {
+        flipped = !flipped;
+      }
+      if (flipped) {
+        sop::Sop inv(1);
+        inv.add_cube(sop::Cube::parse("0"));
+        driver = result.netlist.add_node(result.netlist.fresh_name("lut"),
+                                         {driver}, std::move(inv));
+        ++result.num_luts;
+      }
+    }
+    result.netlist.set_output(net.outputs()[o].first, driver);
+    result.depth = std::max(
+        result.depth, level[static_cast<std::size_t>(root)] +
+                          (g.nodes[static_cast<std::size_t>(root)].kind ==
+                                   SubjectGraph::Kind::kNand
+                               ? 1u
+                               : 0u));
+  }
+  return result;
+}
+
+}  // namespace bds::map

@@ -1,0 +1,27 @@
+// K-LUT technology mapping for FPGAs -- the paper's future-work item 4
+// ("Recently, we found that BDS is also amenable to FPGA synthesis...
+// over 30% improvement in the LUT count" [35]).
+//
+// Greedy k-feasible cone covering over the NAND2/INV subject graph: each
+// node absorbs its fanins' cones while the leaf set stays within k;
+// otherwise the fanins become LUT roots. Each root's cone function is
+// extracted by exhaustive cone evaluation (k <= 6) into an SOP node of the
+// emitted LUT netlist, so results remain formally verifiable.
+#pragma once
+
+#include <cstddef>
+
+#include "net/network.hpp"
+
+namespace bds::map {
+
+struct LutMapResult {
+  net::Network netlist;  ///< one node per LUT (SOP over <= k fanins)
+  std::size_t num_luts = 0;
+  unsigned depth = 0;  ///< LUT levels on the longest PI-to-PO path
+};
+
+/// Maps `net` onto k-input LUTs (2 <= k <= 6).
+LutMapResult map_luts(const net::Network& net, unsigned k = 4);
+
+}  // namespace bds::map

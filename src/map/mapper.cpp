@@ -1,0 +1,303 @@
+#include "map/mapper.hpp"
+
+#include <cassert>
+#include <ostream>
+#include <functional>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bds::map {
+
+using net::Network;
+using net::NodeId;
+
+namespace {
+
+/// A library gate as a NAND2/INV pattern tree (leaves are formal pins).
+struct Pattern {
+  enum class Kind : std::uint8_t { kLeaf, kInv, kNand };
+  struct Node {
+    Kind kind = Kind::kLeaf;
+    std::int32_t a = -1;
+    std::int32_t b = -1;
+    std::uint32_t pin = 0;  ///< for kLeaf
+  };
+  const Gate* gate = nullptr;
+  std::vector<Node> nodes;
+  std::int32_t root = -1;
+  std::uint32_t num_pins = 0;
+};
+
+/// Converts a gate's expression into its NAND2/INV pattern (one canonical
+/// decomposition per gate, as classic tree mappers do).
+Pattern gate_pattern(const Gate& g) {
+  Pattern p;
+  p.gate = &g;
+  p.num_pins = static_cast<std::uint32_t>(g.pins.size());
+  const auto push = [&](Pattern::Node n) {
+    p.nodes.push_back(n);
+    return static_cast<std::int32_t>(p.nodes.size() - 1);
+  };
+  const auto mk_inv = [&](std::int32_t a) {
+    if (p.nodes[static_cast<std::size_t>(a)].kind == Pattern::Kind::kInv) {
+      return p.nodes[static_cast<std::size_t>(a)].a;
+    }
+    return push({Pattern::Kind::kInv, a, -1, 0});
+  };
+  const std::function<std::int32_t(std::int32_t)> go =
+      [&](std::int32_t ei) -> std::int32_t {
+    const Expr& e = g.expr[static_cast<std::size_t>(ei)];
+    switch (e.kind) {
+      case Expr::Kind::kConst0:
+      case Expr::Kind::kConst1:
+        return -1;  // constant gates are not used as patterns
+      case Expr::Kind::kVar: {
+        std::uint32_t pin = 0;
+        for (; pin < g.pins.size(); ++pin) {
+          if (g.pins[pin] == e.pin) break;
+        }
+        return push({Pattern::Kind::kLeaf, -1, -1, pin});
+      }
+      case Expr::Kind::kNot: {
+        const std::int32_t a = go(e.a);
+        return a < 0 ? -1 : mk_inv(a);
+      }
+      case Expr::Kind::kAnd: {
+        const std::int32_t a = go(e.a);
+        const std::int32_t b = go(e.b);
+        if (a < 0 || b < 0) return -1;
+        return mk_inv(push({Pattern::Kind::kNand, a, b, 0}));
+      }
+      case Expr::Kind::kOr: {
+        const std::int32_t a = go(e.a);
+        const std::int32_t b = go(e.b);
+        if (a < 0 || b < 0) return -1;
+        return push({Pattern::Kind::kNand, mk_inv(a), mk_inv(b), 0});
+      }
+    }
+    return -1;
+  };
+  p.root = go(g.expr_root);
+  return p;
+}
+
+class Mapper {
+ public:
+  Mapper(const Network& net, const Library& lib, MapObjective objective)
+      : net_(net), lib_(lib), objective_(objective) {
+    for (const Gate& g : lib.gates) {
+      Pattern p = gate_pattern(g);
+      if (p.root >= 0) patterns_.push_back(std::move(p));
+    }
+    if (lib.inverter() == nullptr || lib.nand2() == nullptr) {
+      throw std::runtime_error(
+          "library must contain an inverter and a 2-input NAND");
+    }
+  }
+
+  MapResult run() {
+    graph_ = build_subject_graph(net_);
+    const std::size_t n = graph_.nodes.size();
+    best_gate_.assign(n, nullptr);
+    best_leaves_.assign(n, {});
+    cost_.assign(n, 0.0);
+    arrival_.assign(n, 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) cover(static_cast<std::int32_t>(i));
+    return emit();
+  }
+
+ private:
+  bool is_tree_leaf(std::int32_t s) const {
+    const auto& sn = graph_.nodes[static_cast<std::size_t>(s)];
+    return sn.kind == SubjectGraph::Kind::kInput ||
+           sn.kind == SubjectGraph::Kind::kConst0 ||
+           sn.kind == SubjectGraph::Kind::kConst1 || sn.fanout > 1;
+  }
+
+  /// Matches pattern node `p` at subject node `s`; pattern-internal nodes
+  /// must be fanout-free in the subject (classic tree covering).
+  bool match(std::int32_t s, const Pattern& pat, std::int32_t p,
+             std::vector<std::int32_t>& bind, bool is_root) const {
+    const Pattern::Node& pn = pat.nodes[static_cast<std::size_t>(p)];
+    if (pn.kind == Pattern::Kind::kLeaf) {
+      std::int32_t& slot = bind[pn.pin];
+      if (slot == -1) {
+        slot = s;
+        return true;
+      }
+      return slot == s;
+    }
+    const auto& sn = graph_.nodes[static_cast<std::size_t>(s)];
+    if (!is_root && is_tree_leaf(s)) return false;
+    if (pn.kind == Pattern::Kind::kInv) {
+      if (sn.kind != SubjectGraph::Kind::kInv) return false;
+      return match(sn.a, pat, pn.a, bind, false);
+    }
+    if (sn.kind != SubjectGraph::Kind::kNand) return false;
+    // Try both operand orders with backtracking.
+    std::vector<std::int32_t> saved = bind;
+    if (match(sn.a, pat, pn.a, bind, false) &&
+        match(sn.b, pat, pn.b, bind, false)) {
+      return true;
+    }
+    bind = saved;
+    if (match(sn.b, pat, pn.a, bind, false) &&
+        match(sn.a, pat, pn.b, bind, false)) {
+      return true;
+    }
+    bind = saved;
+    return false;
+  }
+
+  void cover(std::int32_t s) {
+    const auto& sn = graph_.nodes[static_cast<std::size_t>(s)];
+    if (sn.kind == SubjectGraph::Kind::kInput ||
+        sn.kind == SubjectGraph::Kind::kConst0 ||
+        sn.kind == SubjectGraph::Kind::kConst1) {
+      cost_[static_cast<std::size_t>(s)] = 0.0;
+      arrival_[static_cast<std::size_t>(s)] = 0.0;
+      return;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    double best_arrival = 0.0;
+    for (const Pattern& pat : patterns_) {
+      std::vector<std::int32_t> bind(pat.num_pins, -1);
+      if (!match(s, pat, pat.root, bind, true)) continue;
+      double c = pat.gate->area;
+      double arr = 0.0;
+      bool ok = true;
+      for (const std::int32_t leaf : bind) {
+        if (leaf == -1) {  // unused pin: cannot instantiate
+          ok = false;
+          break;
+        }
+        if (!is_tree_leaf(leaf)) c += cost_[static_cast<std::size_t>(leaf)];
+        arr = std::max(arr, arrival_[static_cast<std::size_t>(leaf)]);
+      }
+      if (!ok) continue;
+      arr += pat.gate->delay;
+      const bool better =
+          objective_ == MapObjective::kArea
+              ? (c < best || (c == best && arr < best_arrival))
+              : (best_gate_[static_cast<std::size_t>(s)] == nullptr ||
+                 arr < best_arrival || (arr == best_arrival && c < best));
+      if (better) {
+        best = c;
+        best_arrival = arr;
+        best_gate_[static_cast<std::size_t>(s)] = &pat;
+        best_leaves_[static_cast<std::size_t>(s)] = bind;
+      }
+    }
+    if (!std::isfinite(best)) {
+      throw std::runtime_error("unmappable subject node (library too small)");
+    }
+    cost_[static_cast<std::size_t>(s)] = best;
+    arrival_[static_cast<std::size_t>(s)] = best_arrival;
+  }
+
+  MapResult emit() {
+    MapResult result;
+    result.netlist.set_name(net_.name() + "_mapped");
+    std::vector<NodeId> emitted(graph_.nodes.size(), net::kNoNode);
+
+    for (const NodeId pi : net_.inputs()) {
+      const std::int32_t s = graph_.of_network[pi];
+      emitted[static_cast<std::size_t>(s)] =
+          result.netlist.add_input(net_.node(pi).name);
+    }
+
+    const std::function<NodeId(std::int32_t)> build =
+        [&](std::int32_t s) -> NodeId {
+      NodeId& memo = emitted[static_cast<std::size_t>(s)];
+      if (memo != net::kNoNode) return memo;
+      const auto& sn = graph_.nodes[static_cast<std::size_t>(s)];
+      if (sn.kind == SubjectGraph::Kind::kConst0 ||
+          sn.kind == SubjectGraph::Kind::kConst1) {
+        memo = result.netlist.add_node(
+            result.netlist.fresh_name("k"), {},
+            sop::Sop::constant(0, sn.kind == SubjectGraph::Kind::kConst1));
+        result.area += 0.0;
+        return memo;
+      }
+      const Pattern* pat = best_gate_[static_cast<std::size_t>(s)];
+      assert(pat != nullptr);
+      std::vector<NodeId> fanins;
+      for (const std::int32_t leaf : best_leaves_[static_cast<std::size_t>(s)]) {
+        fanins.push_back(build(leaf));
+      }
+      memo = result.netlist.add_node(
+          result.netlist.fresh_name(pat->gate->name + "_"), std::move(fanins),
+          pat->gate->function());
+      result.area += pat->gate->area;
+      ++result.num_gates;
+      ++result.gate_histogram[pat->gate->name];
+      result.instance_gate.emplace(memo, pat->gate);
+      return memo;
+    };
+
+    for (std::size_t o = 0; o < net_.outputs().size(); ++o) {
+      const std::int32_t s = graph_.po_nodes[o];
+      if (s < 0) continue;
+      const NodeId driver = build(s);
+      result.netlist.set_output(net_.outputs()[o].first, driver);
+      result.delay = std::max(result.delay,
+                              arrival_[static_cast<std::size_t>(s)]);
+    }
+    return result;
+  }
+
+  const Network& net_;
+  const Library& lib_;
+  MapObjective objective_;
+  std::vector<Pattern> patterns_;
+  SubjectGraph graph_;
+  std::vector<const Pattern*> best_gate_;
+  std::vector<std::vector<std::int32_t>> best_leaves_;
+  std::vector<double> cost_;
+  std::vector<double> arrival_;
+};
+
+}  // namespace
+
+MapResult map_network(const Network& net, const Library& lib,
+                      MapObjective objective) {
+  Mapper m(net, lib, objective);
+  return m.run();
+}
+
+void write_gate_blif(std::ostream& os, const MapResult& result) {
+  const Network& net = result.netlist;
+  os << ".model " << net.name() << '\n';
+  os << ".inputs";
+  for (const NodeId id : net.inputs()) os << ' ' << net.node(id).name;
+  os << '\n';
+  os << ".outputs";
+  for (const auto& [name, driver] : net.outputs()) os << ' ' << name;
+  os << '\n';
+  for (const NodeId id : net.topo_order()) {
+    const net::Node& n = net.node(id);
+    const auto it = result.instance_gate.find(id);
+    if (it == result.instance_gate.end()) {
+      // Constant node: plain .names form.
+      os << ".names " << n.name << '\n';
+      if (!n.func.is_constant_zero()) os << "1\n";
+      continue;
+    }
+    const Gate& g = *it->second;
+    os << ".gate " << g.name;
+    for (std::size_t i = 0; i < g.pins.size(); ++i) {
+      os << ' ' << g.pins[i] << '=' << net.node(n.fanins[i]).name;
+    }
+    os << ' ' << g.output << '=' << n.name << '\n';
+  }
+  for (const auto& [name, driver] : net.outputs()) {
+    if (driver != net::kNoNode && net.node(driver).name != name) {
+      os << ".names " << net.node(driver).name << ' ' << name << "\n1 1\n";
+    }
+  }
+  os << ".end\n";
+}
+
+}  // namespace bds::map

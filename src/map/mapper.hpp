@@ -1,0 +1,44 @@
+// Area-oriented tree covering onto a gate library (the SIS tree mapper of
+// the experiments). Library gates are pre-decomposed into NAND2/INV
+// pattern trees; dynamic programming over the subject graph picks the
+// cheapest cover per tree, with multi-fanout nodes as tree boundaries.
+// Delay is reported from per-gate block delays over the chosen cover.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "map/genlib.hpp"
+#include "map/subject.hpp"
+#include "net/network.hpp"
+
+namespace bds::map {
+
+/// Cover-selection objective: minimal area (the paper's experiments) or
+/// minimal arrival time with area as the tie-breaker.
+enum class MapObjective : std::uint8_t { kArea, kDelay };
+
+struct MapResult {
+  net::Network netlist;  ///< gate-level network (one node per instance)
+  double area = 0.0;
+  double delay = 0.0;  ///< critical path through gate block delays
+  std::size_t num_gates = 0;
+  std::map<std::string, std::size_t> gate_histogram;
+  /// Library gate of each instance node (keyed by netlist NodeId); nodes
+  /// absent here are constants.
+  std::map<net::NodeId, const Gate*> instance_gate;
+};
+
+/// Writes the mapped netlist in BLIF ".gate" form (as SIS write_blif does
+/// for mapped networks): one `.gate <name> <pin>=<signal> ... <out>=<sig>`
+/// line per instance.
+void write_gate_blif(std::ostream& os, const MapResult& result);
+
+/// Maps `net` onto `lib`. The returned netlist is functionally equivalent
+/// to the input (each instance node carries the gate's SOP), so the result
+/// can be verified with the usual equivalence checks.
+MapResult map_network(const net::Network& net,
+                      const Library& lib = mcnc_like_library(),
+                      MapObjective objective = MapObjective::kArea);
+
+}  // namespace bds::map

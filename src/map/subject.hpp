@@ -1,0 +1,55 @@
+// Subject graphs: the canonical NAND2/INV form of a Boolean network that
+// tree covering operates on. Node SOPs are algebraically factored first
+// (leaf-DAG form, so XOR/XNOR/MUX shapes remain matchable as library
+// patterns); structurally identical subject nodes are hash-consed, and
+// multi-fanout points become tree boundaries.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace bds::map {
+
+struct SubjectGraph {
+  enum class Kind : std::uint8_t { kInput, kInv, kNand, kConst0, kConst1 };
+
+  struct Node {
+    Kind kind = Kind::kInput;
+    std::int32_t a = -1;
+    std::int32_t b = -1;
+    net::NodeId source = net::kNoNode;  ///< for kInput: the network PI/node
+    std::uint32_t fanout = 0;
+  };
+
+  std::vector<Node> nodes;  ///< indices are topological (children first)
+  /// Subject node computing each network signal (PIs and logic nodes).
+  std::vector<std::int32_t> of_network;
+  /// Subject node per primary output, in network output order.
+  std::vector<std::int32_t> po_nodes;
+
+  std::int32_t mk_input(net::NodeId source);
+  std::int32_t mk_const(bool value);
+  std::int32_t mk_inv(std::int32_t a);
+  std::int32_t mk_nand(std::int32_t a, std::int32_t b);
+  std::int32_t mk_and(std::int32_t a, std::int32_t b) {
+    return mk_inv(mk_nand(a, b));
+  }
+  std::int32_t mk_or(std::int32_t a, std::int32_t b) {
+    return mk_nand(mk_inv(a), mk_inv(b));
+  }
+
+  /// Recomputes fanout counts from PO-reachable references.
+  void count_fanouts();
+
+ private:
+  std::unordered_map<std::uint64_t, std::int32_t> cons_;
+};
+
+/// Builds the subject graph of a network: every node's local SOP is
+/// factored and expanded into NAND2/INV form.
+SubjectGraph build_subject_graph(const net::Network& net);
+
+}  // namespace bds::map

@@ -1,0 +1,123 @@
+#include "sis/espresso.hpp"
+
+#include <algorithm>
+
+namespace bds::sis {
+
+using sop::Cube;
+using sop::Literal;
+using sop::Sop;
+
+bool is_tautology(const Sop& f) {
+  if (f.has_full_cube()) return true;
+  if (f.cubes().empty()) return false;
+  // Unate shortcut: a cover unate in every variable is a tautology iff it
+  // has the full cube (already checked).
+  // Pick the most binate variable to branch on.
+  const auto support = f.support();
+  unsigned best_var = 0;
+  unsigned best_binate = 0;
+  bool found_binate = false;
+  for (const unsigned v : support) {
+    const unsigned pos = f.literal_occurrences(v, true);
+    const unsigned neg = f.literal_occurrences(v, false);
+    if (pos > 0 && neg > 0) {
+      const unsigned score = pos + neg;
+      if (!found_binate || score > best_binate) {
+        best_binate = score;
+        best_var = v;
+        found_binate = true;
+      }
+    }
+  }
+  if (!found_binate) {
+    // Unate cover without the full cube cannot be a tautology.
+    return false;
+  }
+  return is_tautology(f.cofactor(best_var, true)) &&
+         is_tautology(f.cofactor(best_var, false));
+}
+
+bool cube_covered(const Cube& c, const Sop& g) {
+  // Cofactor g by the cube c, then test tautology.
+  Sop cof(g.num_vars());
+  for (const Cube& gc : g.cubes()) {
+    if (gc.meet(c).is_empty()) continue;
+    Cube reduced = gc;
+    for (unsigned v = 0; v < c.num_vars(); ++v) {
+      if (c.get(v) != Literal::kAbsent) reduced.set(v, Literal::kAbsent);
+    }
+    cof.add_cube(reduced);
+  }
+  return is_tautology(cof);
+}
+
+Sop espresso_lite(const Sop& on, const Sop& dc, const EspressoOptions& opts) {
+  if (on.cubes().empty() || on.has_full_cube()) return on;
+  if (on.support().size() > opts.max_support) return on;
+  if (on.cube_count() > opts.max_cubes) return on;
+
+  // Off-set R = !(on + dc).
+  const Sop off = on.plus(dc).complement();
+  if (off.cube_count() > opts.max_cubes) return on;
+  if (off.cubes().empty()) return Sop::constant(on.num_vars(), true);
+
+  Sop f = on;
+  f.minimize_scc();
+  for (unsigned iter = 0; iter < opts.iterations; ++iter) {
+    // ---- EXPAND: raise each literal that keeps the cube off-set-free ----
+    bool changed = false;
+    std::vector<Cube> expanded;
+    for (Cube c : f.cubes()) {
+      for (unsigned v = 0; v < c.num_vars(); ++v) {
+        if (c.get(v) == Literal::kAbsent) continue;
+        Cube trial = c;
+        trial.set(v, Literal::kAbsent);
+        bool hits_off = false;
+        for (const Cube& r : off.cubes()) {
+          if (!trial.meet(r).is_empty()) {
+            hits_off = true;
+            break;
+          }
+        }
+        if (!hits_off) {
+          changed = changed || !(trial == c);
+          c = trial;
+        }
+      }
+      expanded.push_back(std::move(c));
+    }
+    f = Sop(on.num_vars(), std::move(expanded));
+    f.minimize_scc();
+
+    // ---- IRREDUNDANT: drop cubes covered by the rest plus don't cares ----
+    // Largest cubes are kept preferentially (process smallest first).
+    std::vector<Cube> cubes = f.cubes();
+    std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
+      return a.literal_count() > b.literal_count();
+    });
+    std::vector<bool> keep(cubes.size(), true);
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      Sop rest(on.num_vars());
+      for (std::size_t j = 0; j < cubes.size(); ++j) {
+        if (j != i && keep[j]) rest.add_cube(cubes[j]);
+      }
+      for (const Cube& d : dc.cubes()) rest.add_cube(d);
+      if (cube_covered(cubes[i], rest)) {
+        keep[i] = false;
+        changed = true;
+      }
+    }
+    Sop pruned(on.num_vars());
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      if (keep[i]) pruned.add_cube(cubes[i]);
+    }
+    f = std::move(pruned);
+    if (!changed) break;
+  }
+  // Never return a worse cover.
+  if (f.literal_count() > on.literal_count()) return on;
+  return f;
+}
+
+}  // namespace bds::sis

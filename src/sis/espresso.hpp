@@ -1,0 +1,32 @@
+// Two-level minimization (espresso-lite): the EXPAND / IRREDUNDANT loop of
+// espresso against an explicitly computed off-set, with optional don't
+// cares. This is the workhorse of the baseline's `simplify` and
+// `full_simplify` steps -- and, as in the original SIS, a major share of
+// its runtime.
+#pragma once
+
+#include "sop/sop.hpp"
+
+namespace bds::sis {
+
+struct EspressoOptions {
+  /// Skip functions with more variables than this (complement blowup guard).
+  unsigned max_support = 14;
+  /// Skip if the on-set or computed off-set exceeds this many cubes.
+  std::size_t max_cubes = 512;
+  /// EXPAND/IRREDUNDANT iterations.
+  unsigned iterations = 2;
+};
+
+/// Recursive unate-paradigm tautology check.
+bool is_tautology(const sop::Sop& f);
+
+/// True if cube `c` is covered by cover `g` (tautology of the cofactor).
+bool cube_covered(const sop::Cube& c, const sop::Sop& g);
+
+/// Minimizes `on` using `dc` as don't care. Returns a cover G with
+/// on <= G <= on + dc; falls back to `on` unchanged when limits trip.
+sop::Sop espresso_lite(const sop::Sop& on, const sop::Sop& dc,
+                       const EspressoOptions& opts = {});
+
+}  // namespace bds::sis

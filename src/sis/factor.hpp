@@ -1,0 +1,44 @@
+// Algebraic factoring of SOP covers into AND/OR trees (SIS `factor`).
+// Used by the baseline for literal-count costing and by the technology
+// mapper to decompose node functions into two-input subject graphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sis/algebra.hpp"
+
+namespace bds::sis {
+
+enum class FactorKind : std::uint8_t {
+  kConst0,
+  kConst1,
+  kLit,  ///< one literal (signal + phase)
+  kAnd,
+  kOr,
+};
+
+struct FactorNode {
+  FactorKind kind = FactorKind::kConst0;
+  Lit literal = 0;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+};
+
+/// A factored form: binary AND/OR tree over literals.
+struct FactoredForm {
+  std::vector<FactorNode> nodes;
+  std::int32_t root = -1;
+
+  std::size_t literal_count() const;
+  bool eval(const std::vector<bool>& signal_values) const;
+  std::string to_string(
+      const std::vector<std::string>& signal_names = {}) const;
+};
+
+/// Quick-factor: recursive weak division by the most promising divisor
+/// (kernel-guided). Input is a sparse cover over signal ids.
+FactoredForm factor(const SparseSop& f);
+
+}  // namespace bds::sis

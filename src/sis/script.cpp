@@ -1,0 +1,50 @@
+#include "sis/script.hpp"
+
+#include "util/timer.hpp"
+
+namespace bds::sis {
+
+SisStats script_rugged(net::Network& net, const SisOptions& opts) {
+  SisStats stats;
+  Timer t;
+
+  // sweep; eliminate -1
+  stats.sweep = net::sweep(net);
+  {
+    SisOptions strict = opts;
+    strict.eliminate_threshold = -1;
+    stats.eliminated += eliminate_literals(net, strict);
+  }
+  // simplify
+  simplify_nodes(net);
+  net::sweep(net);
+  // eliminate 5 (merge mild reconvergence before extraction)
+  {
+    SisOptions loose = opts;
+    loose.eliminate_threshold = 5;
+    stats.eliminated += eliminate_literals(net, loose);
+  }
+  // gkx/gcx-style extraction and resubstitution
+  stats.divisors_extracted += extract_divisors(net, opts);
+  stats.resubstitutions += resubstitute(net, opts);
+  stats.divisors_extracted += extract_divisors(net, opts);
+  // cleanup: sweep; eliminate -1; simplify
+  net::sweep(net);
+  {
+    SisOptions strict = opts;
+    strict.eliminate_threshold = -1;
+    stats.eliminated += eliminate_literals(net, strict);
+  }
+  simplify_nodes(net);
+  net::sweep(net);
+  // full_simplify: satisfiability-don't-care minimization (the closing
+  // step of script.rugged; skipped automatically on BDD-infeasible
+  // circuits).
+  stats.full_simplified = full_simplify(net, {}, &stats.peak_bdd_nodes);
+  net::sweep(net);
+
+  stats.seconds_total = t.seconds();
+  return stats;
+}
+
+}  // namespace bds::sis

@@ -1,0 +1,25 @@
+// The baseline's `script.rugged` analog: the standard SIS recipe of sweep,
+// eliminate, simplify, extraction, and resubstitution that the paper
+// compares BDS against (Section V).
+#pragma once
+
+#include "net/network.hpp"
+#include "sis/optimize.hpp"
+
+namespace bds::sis {
+
+struct SisStats {
+  net::SweepStats sweep;
+  std::size_t eliminated = 0;
+  std::size_t divisors_extracted = 0;
+  std::size_t resubstitutions = 0;
+  std::size_t full_simplified = 0;
+  std::size_t peak_bdd_nodes = 0;  ///< global-BDD peak of full_simplify
+  double seconds_total = 0.0;
+};
+
+/// Runs the full algebraic flow in place and returns statistics. The result
+/// is a multilevel network of SOP nodes ready for technology mapping.
+SisStats script_rugged(net::Network& net, const SisOptions& opts = {});
+
+}  // namespace bds::sis

@@ -1,0 +1,191 @@
+#include "sop/cube.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace bds::sop {
+
+Cube::Cube(unsigned num_vars)
+    : num_vars_(num_vars),
+      words_((num_vars + kVarsPerWord - 1) / kVarsPerWord, ~0ULL) {
+  // Clear the bits past num_vars so comparisons are canonical.
+  const unsigned tail = num_vars % kVarsPerWord;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << (2 * tail)) - 1;
+  }
+}
+
+Literal Cube::get(unsigned v) const {
+  assert(v < num_vars_);
+  const std::uint64_t word = words_[v / kVarsPerWord];
+  return static_cast<Literal>((word >> (2 * (v % kVarsPerWord))) & 0b11);
+}
+
+void Cube::set(unsigned v, Literal lit) {
+  assert(v < num_vars_);
+  std::uint64_t& word = words_[v / kVarsPerWord];
+  const unsigned shift = 2 * (v % kVarsPerWord);
+  word = (word & ~(0b11ULL << shift)) |
+         (static_cast<std::uint64_t>(lit) << shift);
+}
+
+bool Cube::is_empty() const {
+  // A position is 00 iff both its bits are 0: detect via (w | w>>1) missing
+  // an odd-position bit.
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (get(v) == Literal::kEmpty) return true;
+  }
+  return false;
+}
+
+bool Cube::is_full() const { return literal_count() == 0; }
+
+unsigned Cube::literal_count() const {
+  unsigned count = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    // Positions where the pair is not 11.
+    const std::uint64_t pairs = words_[w];
+    const std::uint64_t both = (pairs & (pairs >> 1)) & 0x5555555555555555ULL;
+    const unsigned vars_here =
+        w + 1 < words_.size() ? kVarsPerWord : num_vars_ - w * kVarsPerWord;
+    count += vars_here - static_cast<unsigned>(std::popcount(both));
+  }
+  return count;
+}
+
+std::vector<unsigned> Cube::literal_vars() const {
+  std::vector<unsigned> vars;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (get(v) != Literal::kAbsent) vars.push_back(v);
+  }
+  return vars;
+}
+
+bool Cube::contains(const Cube& c) const {
+  assert(num_vars_ == c.num_vars_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] | c.words_[w]) != words_[w]) return false;
+  }
+  return true;
+}
+
+Cube Cube::meet(const Cube& c) const {
+  assert(num_vars_ == c.num_vars_);
+  Cube result(num_vars_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    result.words_[w] = words_[w] & c.words_[w];
+  }
+  return result;
+}
+
+Cube Cube::join(const Cube& c) const {
+  assert(num_vars_ == c.num_vars_);
+  Cube result(num_vars_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    result.words_[w] = words_[w] | c.words_[w];
+  }
+  return result;
+}
+
+unsigned Cube::distance(const Cube& c) const {
+  assert(num_vars_ == c.num_vars_);
+  unsigned d = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t m = words_[w] & c.words_[w];
+    // Pairs that became 00 in the meet.
+    const std::uint64_t neither = ~(m | (m >> 1)) & 0x5555555555555555ULL;
+    const unsigned vars_here =
+        w + 1 < words_.size() ? kVarsPerWord : num_vars_ - w * kVarsPerWord;
+    const std::uint64_t mask =
+        vars_here == kVarsPerWord ? ~0ULL : (1ULL << (2 * vars_here)) - 1;
+    d += static_cast<unsigned>(std::popcount(neither & mask));
+  }
+  return d;
+}
+
+bool Cube::divisible_by(const Cube& d) const {
+  assert(num_vars_ == d.num_vars_);
+  // Every literal of d must appear identically in this cube.
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    const Literal ld = d.get(v);
+    if (ld != Literal::kAbsent && get(v) != ld) return false;
+  }
+  return true;
+}
+
+Cube Cube::divide(const Cube& d) const {
+  assert(divisible_by(d));
+  Cube result = *this;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (d.get(v) != Literal::kAbsent) result.set(v, Literal::kAbsent);
+  }
+  return result;
+}
+
+Cube Cube::times(const Cube& c) const {
+  return meet(c);
+}
+
+bool Cube::eval(const std::vector<bool>& assignment) const {
+  assert(assignment.size() >= num_vars_);
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    switch (get(v)) {
+      case Literal::kPos:
+        if (!assignment[v]) return false;
+        break;
+      case Literal::kNeg:
+        if (assignment[v]) return false;
+        break;
+      case Literal::kEmpty:
+        return false;
+      case Literal::kAbsent:
+        break;
+    }
+  }
+  return true;
+}
+
+std::string Cube::to_string() const {
+  std::string s;
+  s.reserve(num_vars_);
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    switch (get(v)) {
+      case Literal::kPos:
+        s += '1';
+        break;
+      case Literal::kNeg:
+        s += '0';
+        break;
+      case Literal::kAbsent:
+        s += '-';
+        break;
+      case Literal::kEmpty:
+        s += '!';
+        break;
+    }
+  }
+  return s;
+}
+
+Cube Cube::parse(const std::string& text) {
+  Cube c(static_cast<unsigned>(text.size()));
+  for (unsigned v = 0; v < text.size(); ++v) {
+    switch (text[v]) {
+      case '1':
+        c.set(v, Literal::kPos);
+        break;
+      case '0':
+        c.set(v, Literal::kNeg);
+        break;
+      case '-':
+      case '2':  // some BLIF writers use '2' for don't care
+        break;
+      default:
+        throw std::invalid_argument("bad cube character in \"" + text + "\"");
+    }
+  }
+  return c;
+}
+
+}  // namespace bds::sop

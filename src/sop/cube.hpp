@@ -1,0 +1,81 @@
+// Cubes: conjunctions of literals over a fixed variable count, stored as a
+// 2-bit positional notation per variable (espresso convention):
+//
+//   01 -> the cube contains the negative literal (var must be 0)
+//   10 -> the cube contains the positive literal (var must be 1)
+//   11 -> the variable is absent (don't care within the cube)
+//   00 -> the cube is empty (contains no minterm)
+//
+// This is the representation SIS-style algebraic optimization operates on
+// and the local-function format of BLIF network nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bds::sop {
+
+enum class Literal : std::uint8_t {
+  kEmpty = 0b00,
+  kNeg = 0b01,
+  kPos = 0b10,
+  kAbsent = 0b11,
+};
+
+class Cube {
+ public:
+  /// The universal cube (all variables absent) over n variables.
+  explicit Cube(unsigned num_vars = 0);
+
+  unsigned num_vars() const { return num_vars_; }
+
+  Literal get(unsigned v) const;
+  void set(unsigned v, Literal lit);
+
+  /// True if any variable position is 00 (no minterms).
+  bool is_empty() const;
+  /// True if every position is 11 (the tautology cube).
+  bool is_full() const;
+  /// Number of literal positions (not 11); the cube's literal count.
+  unsigned literal_count() const;
+  /// Variables with a literal in this cube.
+  std::vector<unsigned> literal_vars() const;
+
+  /// Set-containment: true if this cube's minterms include all of c's.
+  bool contains(const Cube& c) const;
+  /// Intersection of minterm sets (bitwise AND); may be empty.
+  Cube meet(const Cube& c) const;
+  /// Number of variables where the two cubes have opposite literals.
+  unsigned distance(const Cube& c) const;
+  /// The largest cube containing both (bitwise OR of positions).
+  Cube join(const Cube& c) const;
+
+  /// Algebraic-divisibility: true if this cube's literal set is a superset
+  /// of d's literal set with matching polarities.
+  bool divisible_by(const Cube& d) const;
+  /// Removes d's literals from this cube (requires divisible_by(d)).
+  Cube divide(const Cube& d) const;
+  /// Adds c's literals to this cube (algebraic product; both must be
+  /// disjoint-support for a true algebraic product, but overlapping equal
+  /// literals are tolerated).
+  Cube times(const Cube& c) const;
+
+  bool eval(const std::vector<bool>& assignment) const;
+
+  bool operator==(const Cube&) const = default;
+  /// Lexicographic order on the raw representation, for canonical sorting.
+  bool operator<(const Cube& c) const { return words_ < c.words_; }
+
+  /// Espresso/BLIF-style text, e.g. "1-0" (v0=1, v1 absent, v2=0).
+  std::string to_string() const;
+  /// Parses BLIF cube text ("10-1..."); throws std::invalid_argument.
+  static Cube parse(const std::string& text);
+
+ private:
+  static constexpr unsigned kVarsPerWord = 32;
+  unsigned num_vars_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bds::sop

@@ -1,0 +1,254 @@
+#include "sop/sop.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bds::sop {
+
+Sop Sop::constant(unsigned num_vars, bool value) {
+  Sop s(num_vars);
+  if (value) s.cubes_.push_back(Cube(num_vars));
+  return s;
+}
+
+Sop Sop::literal(unsigned num_vars, unsigned v, bool positive) {
+  Cube c(num_vars);
+  c.set(v, positive ? Literal::kPos : Literal::kNeg);
+  Sop s(num_vars);
+  s.cubes_.push_back(c);
+  return s;
+}
+
+bool Sop::has_full_cube() const {
+  return std::any_of(cubes_.begin(), cubes_.end(),
+                     [](const Cube& c) { return c.is_full(); });
+}
+
+void Sop::add_cube(Cube c) {
+  assert(c.num_vars() == num_vars_);
+  if (!c.is_empty()) cubes_.push_back(std::move(c));
+}
+
+bool Sop::eval(const std::vector<bool>& assignment) const {
+  return std::any_of(cubes_.begin(), cubes_.end(),
+                     [&](const Cube& c) { return c.eval(assignment); });
+}
+
+unsigned Sop::literal_count() const {
+  unsigned n = 0;
+  for (const Cube& c : cubes_) n += c.literal_count();
+  return n;
+}
+
+unsigned Sop::literal_occurrences(unsigned v, bool positive) const {
+  const Literal want = positive ? Literal::kPos : Literal::kNeg;
+  unsigned n = 0;
+  for (const Cube& c : cubes_) {
+    if (c.get(v) == want) ++n;
+  }
+  return n;
+}
+
+void Sop::minimize_scc() {
+  std::erase_if(cubes_, [](const Cube& c) { return c.is_empty(); });
+  std::sort(cubes_.begin(), cubes_.end());
+  cubes_.erase(std::unique(cubes_.begin(), cubes_.end()), cubes_.end());
+  std::vector<Cube> kept;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool covered = false;
+    for (std::size_t j = 0; j < cubes_.size() && !covered; ++j) {
+      if (i != j && cubes_[j].contains(cubes_[i]) &&
+          !(cubes_[i] == cubes_[j])) {
+        covered = true;
+      }
+    }
+    if (!covered) kept.push_back(cubes_[i]);
+  }
+  cubes_ = std::move(kept);
+}
+
+void Sop::merge_adjacent() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    minimize_scc();
+    for (std::size_t i = 0; i < cubes_.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < cubes_.size() && !changed; ++j) {
+        // Two cubes that differ only in the polarity of one variable and
+        // agree elsewhere merge into their join.
+        if (cubes_[i].distance(cubes_[j]) == 1) {
+          const Cube joined = cubes_[i].join(cubes_[j]);
+          // Safe only when the join covers exactly the union: that happens
+          // iff the cubes agree on every variable but the clashing one.
+          unsigned diffs = 0;
+          for (unsigned v = 0; v < num_vars_; ++v) {
+            if (cubes_[i].get(v) != cubes_[j].get(v)) ++diffs;
+          }
+          if (diffs == 1) {
+            cubes_[i] = joined;
+            cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(j));
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+Cube Sop::common_cube() const {
+  if (cubes_.empty()) return Cube(num_vars_);
+  Cube common = cubes_.front();
+  for (std::size_t i = 1; i < cubes_.size(); ++i) {
+    common = common.join(cubes_[i]);  // join keeps only shared literals
+  }
+  return common;
+}
+
+bool Sop::is_cube_free() const { return common_cube().is_full(); }
+
+Cube Sop::make_cube_free() {
+  const Cube common = common_cube();
+  if (!common.is_full()) {
+    for (Cube& c : cubes_) c = c.divide(common);
+  }
+  return common;
+}
+
+Sop Sop::divide_by_cube(const Cube& d) const {
+  Sop q(num_vars_);
+  for (const Cube& c : cubes_) {
+    if (c.divisible_by(d)) q.cubes_.push_back(c.divide(d));
+  }
+  return q;
+}
+
+std::pair<Sop, Sop> Sop::divide(const Sop& divisor) const {
+  assert(divisor.num_vars_ == num_vars_);
+  if (divisor.cubes_.empty()) return {Sop(num_vars_), *this};
+  // Weak division: quotient = intersection over divisor cubes d of
+  // { c / d : c divisible by d }.
+  Sop quotient = divide_by_cube(divisor.cubes_.front());
+  quotient.minimize_scc();
+  for (std::size_t i = 1; i < divisor.cubes_.size() && !quotient.cubes_.empty();
+       ++i) {
+    Sop qi = divide_by_cube(divisor.cubes_[i]);
+    qi.minimize_scc();
+    std::vector<Cube> inter;
+    for (const Cube& c : quotient.cubes_) {
+      if (std::find(qi.cubes_.begin(), qi.cubes_.end(), c) != qi.cubes_.end()) {
+        inter.push_back(c);
+      }
+    }
+    quotient.cubes_ = std::move(inter);
+  }
+  // Remainder: cubes of *this not covered by divisor * quotient.
+  const Sop product = divisor.times(quotient);
+  Sop remainder(num_vars_);
+  for (const Cube& c : cubes_) {
+    if (std::find(product.cubes_.begin(), product.cubes_.end(), c) ==
+        product.cubes_.end()) {
+      remainder.cubes_.push_back(c);
+    }
+  }
+  return {std::move(quotient), std::move(remainder)};
+}
+
+Sop Sop::times(const Sop& o) const {
+  assert(o.num_vars_ == num_vars_);
+  Sop result(num_vars_);
+  for (const Cube& a : cubes_) {
+    for (const Cube& b : o.cubes_) {
+      Cube p = a.times(b);
+      if (!p.is_empty()) result.cubes_.push_back(std::move(p));
+    }
+  }
+  result.minimize_scc();
+  return result;
+}
+
+Sop Sop::plus(const Sop& o) const {
+  assert(o.num_vars_ == num_vars_);
+  Sop result = *this;
+  result.cubes_.insert(result.cubes_.end(), o.cubes_.begin(), o.cubes_.end());
+  result.minimize_scc();
+  return result;
+}
+
+Sop Sop::cofactor(unsigned v, bool value) const {
+  const Literal blocking = value ? Literal::kNeg : Literal::kPos;
+  Sop r(num_vars_);
+  for (const Cube& c : cubes_) {
+    if (c.get(v) == blocking) continue;
+    Cube copy = c;
+    copy.set(v, Literal::kAbsent);
+    r.add_cube(copy);
+  }
+  return r;
+}
+
+Sop Sop::complement() const {
+  if (is_constant_zero()) return constant(num_vars_, true);
+  if (has_full_cube()) return constant(num_vars_, false);
+  // Branch on the most frequent variable (unate recursive paradigm).
+  unsigned best_var = support().front();
+  unsigned best_occ = 0;
+  for (const unsigned v : support()) {
+    const unsigned occ =
+        literal_occurrences(v, true) + literal_occurrences(v, false);
+    if (occ > best_occ) {
+      best_occ = occ;
+      best_var = v;
+    }
+  }
+  const Sop not1 = cofactor(best_var, true).complement();
+  const Sop not0 = cofactor(best_var, false).complement();
+  Sop result(num_vars_);
+  for (Cube c : not1.cubes_) {
+    if (c.get(best_var) == Literal::kAbsent) c.set(best_var, Literal::kPos);
+    result.add_cube(c);
+  }
+  for (Cube c : not0.cubes_) {
+    if (c.get(best_var) == Literal::kAbsent) c.set(best_var, Literal::kNeg);
+    result.add_cube(c);
+  }
+  result.minimize_scc();
+  return result;
+}
+
+std::vector<unsigned> Sop::support() const {
+  std::vector<bool> used(num_vars_, false);
+  for (const Cube& c : cubes_) {
+    for (unsigned v : c.literal_vars()) used[v] = true;
+  }
+  std::vector<unsigned> result;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (used[v]) result.push_back(v);
+  }
+  return result;
+}
+
+std::string Sop::to_string(const std::vector<std::string>& var_names) const {
+  if (cubes_.empty()) return "0";
+  const auto name = [&](unsigned v) {
+    return v < var_names.size() ? var_names[v] : "x" + std::to_string(v);
+  };
+  std::string s;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    if (i > 0) s += " + ";
+    const Cube& c = cubes_[i];
+    if (c.is_full()) {
+      s += "1";
+      continue;
+    }
+    bool first = true;
+    for (unsigned v : c.literal_vars()) {
+      if (!first) s += "*";
+      first = false;
+      if (c.get(v) == Literal::kNeg) s += "!";
+      s += name(v);
+    }
+  }
+  return s;
+}
+
+}  // namespace bds::sop

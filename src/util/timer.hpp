@@ -1,0 +1,27 @@
+// Wall-clock timer used by the benchmark harnesses to report "CPU [s]"
+// columns in the style of the paper's Tables I and II.
+#pragma once
+
+#include <chrono>
+
+namespace bds {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bds

@@ -1,0 +1,143 @@
+#include "verify/cec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+
+namespace bds::verify {
+
+using bdd::Bdd;
+using bdd::Manager;
+using net::Network;
+using net::NodeId;
+
+namespace {
+
+class BudgetExceeded : public std::runtime_error {
+ public:
+  BudgetExceeded() : std::runtime_error("global BDD budget exceeded") {}
+};
+
+/// Builds global BDDs for all outputs of a network, with PI variables
+/// assigned through `pi_var` (keyed by PI name).
+std::unordered_map<std::string, Bdd> global_bdds(
+    const Network& net, Manager& mgr,
+    const std::unordered_map<std::string, bdd::Var>& pi_var,
+    std::size_t max_live_nodes, std::size_t& reorder_at) {
+  std::vector<Bdd> value(net.raw_size());
+  for (const NodeId pi : net.inputs()) {
+    value[pi] = mgr.var(pi_var.at(net.node(pi).name));
+  }
+  for (const NodeId id : net.topo_order()) {
+    const net::Node& n = net.node(id);
+    Bdd f = mgr.zero();
+    for (const sop::Cube& c : n.func.cubes()) {
+      Bdd term = mgr.one();
+      for (unsigned i = 0; i < c.num_vars(); ++i) {
+        const sop::Literal l = c.get(i);
+        if (l == sop::Literal::kAbsent) continue;
+        const Bdd& in = value[n.fanins[i]];
+        term = term & (l == sop::Literal::kPos ? in : !in);
+      }
+      f = f | term;
+    }
+    value[id] = f;
+    // Dynamic reordering under pressure keeps datapath circuits
+    // (rotators, selectors) verifiable. Re-sift whenever the table grows
+    // well past the previous post-sift size; sifting while small is cheap.
+    if (mgr.live_nodes() > reorder_at) {
+      mgr.reorder_sift();
+      reorder_at = std::max(reorder_at, mgr.live_nodes() * 4);
+    }
+    if (mgr.live_nodes() > max_live_nodes) throw BudgetExceeded();
+  }
+  std::unordered_map<std::string, Bdd> outputs;
+  for (const auto& [name, driver] : net.outputs()) {
+    outputs.emplace(name, driver == net::kNoNode ? mgr.zero() : value[driver]);
+  }
+  return outputs;
+}
+
+/// Extracts one satisfying assignment of a nonzero function.
+std::vector<bool> witness(const Manager& mgr, bdd::Edge e,
+                          std::uint32_t nvars) {
+  std::vector<bool> a(nvars, false);
+  bool phase = e.complemented();
+  std::uint32_t idx = e.node();
+  while (idx != 0) {
+    // Follow a branch that can still reach 1 (in the current phase).
+    const bdd::Edge hi = mgr.node_hi(idx) ^ phase;
+    const bdd::Edge lo = mgr.node_lo(idx) ^ phase;
+    const bdd::Var v = mgr.node_var(idx);
+    // Prefer the hi branch unless it is constant 0.
+    const bdd::Edge next = hi.is_zero() ? lo : hi;
+    a[v] = !hi.is_zero();
+    phase = next.complemented();
+    idx = next.node();
+  }
+  return a;
+}
+
+}  // namespace
+
+CecResult check_equivalence(const Network& a, const Network& b,
+                            std::size_t max_live_nodes) {
+  CecResult result;
+  // Input/output name sets must match.
+  if (a.num_inputs() != b.num_inputs() ||
+      a.num_outputs() != b.num_outputs()) {
+    result.status = CecStatus::kInequivalent;
+    result.failing_output = "<interface mismatch>";
+    return result;
+  }
+
+  Manager mgr;
+  std::unordered_map<std::string, bdd::Var> pi_var;
+  for (const NodeId pi : a.inputs()) {
+    pi_var.emplace(a.node(pi).name, mgr.new_var());
+  }
+  for (const NodeId pi : b.inputs()) {
+    if (!pi_var.contains(b.node(pi).name)) {
+      result.status = CecStatus::kInequivalent;
+      result.failing_output = "<input name mismatch: " + b.node(pi).name + ">";
+      return result;
+    }
+  }
+
+  try {
+    std::size_t reorder_at =
+        std::min<std::size_t>(20'000, max_live_nodes / 8);
+    const auto fa = global_bdds(a, mgr, pi_var, max_live_nodes, reorder_at);
+    const auto fb = global_bdds(b, mgr, pi_var, max_live_nodes, reorder_at);
+    for (const auto& [name, func_a] : fa) {
+      const auto it = fb.find(name);
+      if (it == fb.end()) {
+        result.status = CecStatus::kInequivalent;
+        result.failing_output = "<output name mismatch: " + name + ">";
+        return result;
+      }
+      if (!(func_a == it->second)) {
+        result.status = CecStatus::kInequivalent;
+        result.failing_output = name;
+        const Bdd diff = func_a ^ it->second;
+        const std::vector<bool> w =
+            witness(mgr, diff.edge(), mgr.num_vars());
+        // Reorder the witness into a's input order.
+        result.counterexample.reserve(a.num_inputs());
+        for (const NodeId pi : a.inputs()) {
+          result.counterexample.push_back(w[pi_var.at(a.node(pi).name)]);
+        }
+        return result;
+      }
+    }
+  } catch (const BudgetExceeded&) {
+    result.status = CecStatus::kAborted;
+    return result;
+  }
+  result.status = CecStatus::kEquivalent;
+  return result;
+}
+
+}  // namespace bds::verify

@@ -1,0 +1,49 @@
+// Combinational equivalence checking (the paper's internal verifier,
+// "BDS with option -verify"): global BDDs are built for both networks over
+// a shared variable space (inputs matched by name) and compared per output
+// through BDD canonicity. Like the paper's verifier, the check aborts
+// gracefully when global BDDs blow up (C6288-class circuits); random
+// simulation (verify/simulate.cpp) covers that case.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace bds::verify {
+
+enum class CecStatus {
+  kEquivalent,
+  kInequivalent,
+  kAborted,  ///< global BDD exceeded the node budget
+};
+
+struct CecResult {
+  CecStatus status = CecStatus::kAborted;
+  /// On inequivalence: name of the first differing output and one input
+  /// assignment (by a's input order) that distinguishes the networks.
+  std::string failing_output;
+  std::vector<bool> counterexample;
+
+  explicit operator bool() const { return status == CecStatus::kEquivalent; }
+};
+
+/// Checks a == b. Inputs and outputs are matched by name; both networks
+/// must expose identical input/output name sets.
+CecResult check_equivalence(const net::Network& a, const net::Network& b,
+                            std::size_t max_live_nodes = 2'000'000);
+
+/// 64-way parallel random simulation; returns false iff a mismatch was
+/// observed (a sound inequivalence witness, not a proof of equivalence).
+bool random_simulation_equal(const net::Network& a, const net::Network& b,
+                             std::size_t num_vectors = 4096,
+                             std::uint64_t seed = 1);
+
+/// Word-parallel simulation of one network: returns per-output words where
+/// bit i is the output value under input pattern bit i.
+std::vector<std::uint64_t> simulate64(
+    const net::Network& net, const std::vector<std::uint64_t>& pi_words);
+
+}  // namespace bds::verify

@@ -1,0 +1,333 @@
+// Unit and property tests for the ROBDD package: canonicity, the full
+// operator set checked against a truth-table oracle, reference counting,
+// garbage collection, restrict semantics, and inter-manager transfer.
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "oracle.hpp"
+#include "util/rng.hpp"
+
+namespace bds::bdd {
+namespace {
+
+using test::TruthTable;
+
+Bdd from_table(Manager& mgr, const TruthTable& t) {
+  // Build a BDD as an OR of minterms; exercises mk/ite heavily.
+  Bdd f = mgr.zero();
+  for (std::size_t row = 0; row < t.rows(); ++row) {
+    if (!t.at(row)) continue;
+    Bdd minterm = mgr.one();
+    for (unsigned v = 0; v < t.num_vars(); ++v) {
+      minterm = minterm & (((row >> v) & 1) != 0 ? mgr.var(v) : mgr.nvar(v));
+    }
+    f = f | minterm;
+  }
+  return f;
+}
+
+bool matches(const Bdd& f, const TruthTable& t) {
+  for (std::size_t row = 0; row < t.rows(); ++row) {
+    if (f.eval(t.assignment(row)) != t.at(row)) return false;
+  }
+  return true;
+}
+
+TEST(Bdd, ConstantsAreCanonical) {
+  Manager mgr(2);
+  EXPECT_TRUE(mgr.one().is_one());
+  EXPECT_TRUE(mgr.zero().is_zero());
+  EXPECT_EQ((!mgr.one()).edge(), mgr.zero().edge());
+  EXPECT_EQ(mgr.one().edge().node(), mgr.zero().edge().node());
+}
+
+TEST(Bdd, VariableSemantics) {
+  Manager mgr(3);
+  const Bdd x = mgr.var(0);
+  EXPECT_TRUE(x.eval({true, false, false}));
+  EXPECT_FALSE(x.eval({false, true, true}));
+  const Bdd nx = mgr.nvar(0);
+  EXPECT_EQ(nx.edge(), (!x).edge());
+}
+
+TEST(Bdd, CanonicityIdenticalFunctionsShareEdges) {
+  Manager mgr(3);
+  const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+  const Bdd f1 = (a & b) | c;
+  const Bdd f2 = !((!c) & (!(b & a)));  // same function via De Morgan
+  EXPECT_EQ(f1.edge(), f2.edge());
+}
+
+TEST(Bdd, HiEdgeAlwaysRegular) {
+  Manager mgr(4);
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const TruthTable t = TruthTable::random(4, rng);
+    const Bdd f = from_table(mgr, t);
+    (void)f;
+  }
+  EXPECT_TRUE(mgr.check_consistency());
+}
+
+TEST(Bdd, XorChainHasLinearSize) {
+  // Parity is the showcase for complement edges: n+1 nodes instead of 2^n.
+  Manager mgr(16);
+  Bdd f = mgr.zero();
+  for (Var v = 0; v < 16; ++v) f = f ^ mgr.var(v);
+  EXPECT_EQ(f.size(), 17u);  // 16 variable nodes + terminal
+}
+
+TEST(Bdd, SizeCountsSharedNodesOnce) {
+  Manager mgr(3);
+  const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+  const Bdd f = (a & b) | ((!a) & b) | c;  // collapses to b | c
+  EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(Bdd, SupportListsExactlyDependentVars) {
+  Manager mgr(5);
+  const Bdd f = (mgr.var(0) & mgr.var(3)) | mgr.var(4);
+  EXPECT_EQ(f.support(), (std::vector<Var>{0, 3, 4}));
+  const Bdd g = mgr.var(1) ^ mgr.var(1);  // constant
+  EXPECT_TRUE(g.support().empty());
+}
+
+TEST(Bdd, SatCountMatchesOracle) {
+  Manager mgr(6);
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const TruthTable t = TruthTable::random(6, rng);
+    const Bdd f = from_table(mgr, t);
+    EXPECT_DOUBLE_EQ(f.sat_count(6), static_cast<double>(t.count_ones()));
+  }
+}
+
+// ---- randomized operator properties -----------------------------------------
+
+struct OpCase {
+  unsigned vars;
+  std::uint64_t seed;
+};
+
+class BddOps : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(BddOps, BinaryOpsMatchOracle) {
+  const auto [nv, seed] = GetParam();
+  Manager mgr(nv);
+  Rng rng(seed);
+  const TruthTable ta = TruthTable::random(nv, rng);
+  const TruthTable tb = TruthTable::random(nv, rng);
+  const TruthTable tc = TruthTable::random(nv, rng);
+  const Bdd a = from_table(mgr, ta);
+  const Bdd b = from_table(mgr, tb);
+  const Bdd c = from_table(mgr, tc);
+
+  EXPECT_TRUE(matches(a & b, ta & tb));
+  EXPECT_TRUE(matches(a | b, ta | tb));
+  EXPECT_TRUE(matches(a ^ b, ta ^ tb));
+  EXPECT_TRUE(matches(a.xnor(b), ~(ta ^ tb)));
+  EXPECT_TRUE(matches(!a, ~ta));
+  EXPECT_TRUE(matches(a.ite(b, c), (ta & tb) | (~ta & tc)));
+}
+
+TEST_P(BddOps, CofactorComposeExistsMatchOracle) {
+  const auto [nv, seed] = GetParam();
+  Manager mgr(nv);
+  Rng rng(seed ^ 0xabcdef);
+  const TruthTable ta = TruthTable::random(nv, rng);
+  const TruthTable tg = TruthTable::random(nv, rng);
+  const Bdd a = from_table(mgr, ta);
+  const Bdd g = from_table(mgr, tg);
+  for (unsigned v = 0; v < nv; ++v) {
+    EXPECT_TRUE(matches(a.cofactor(v, true), ta.cofactor(v, true)));
+    EXPECT_TRUE(matches(a.cofactor(v, false), ta.cofactor(v, false)));
+    EXPECT_TRUE(matches(a.exists(v), ta.exists(v)));
+    EXPECT_TRUE(matches(a.compose(v, g), ta.compose(v, tg)));
+  }
+}
+
+TEST_P(BddOps, RestrictAgreesOnCareSet) {
+  const auto [nv, seed] = GetParam();
+  Manager mgr(nv);
+  Rng rng(seed ^ 0x5a5a5a);
+  for (int i = 0; i < 8; ++i) {
+    const TruthTable tf = TruthTable::random(nv, rng);
+    TruthTable tc = TruthTable::random(nv, rng);
+    if (tc.count_ones() == 0) tc.set(0, true);
+    const Bdd f = from_table(mgr, tf);
+    const Bdd c = from_table(mgr, tc);
+    const Bdd r = f.restrict_(c);
+    // Defining property: r and f agree wherever the care set holds.
+    EXPECT_EQ(((r ^ f) & c).edge(), mgr.zero().edge());
+  }
+}
+
+TEST_P(BddOps, ConstrainAgreesOnCareSetAndProjects) {
+  const auto [nv, seed] = GetParam();
+  Manager mgr(nv);
+  Rng rng(seed ^ 0xc0c0);
+  for (int i = 0; i < 8; ++i) {
+    const TruthTable tf = TruthTable::random(nv, rng);
+    TruthTable tc = TruthTable::random(nv, rng);
+    if (tc.count_ones() == 0) tc.set(0, true);
+    const Bdd f = from_table(mgr, tf);
+    const Bdd c = from_table(mgr, tc);
+    const Bdd r = f.constrain(c);
+    // Defining property: agrees with f wherever the care set holds.
+    EXPECT_EQ(((r ^ f) & c).edge(), mgr.zero().edge());
+    // Classic identity: f & c == constrain(f, c) & c, and the image
+    // identity (f & c) == constrain(f, c) restricted to the care set.
+    EXPECT_EQ((r & c).edge(), (f & c).edge());
+  }
+  // constrain(f, f) == 1 and constrain(f, !f) == 0.
+  const Bdd f = from_table(mgr, TruthTable::random(nv, rng));
+  if (!f.is_constant()) {
+    EXPECT_TRUE(f.constrain(f).is_one());
+    EXPECT_TRUE(f.constrain(!f).is_zero());
+  }
+}
+
+TEST_P(BddOps, RestrictWithFullCareIsIdentity) {
+  const auto [nv, seed] = GetParam();
+  Manager mgr(nv);
+  Rng rng(seed ^ 0x777);
+  const Bdd f = from_table(mgr, TruthTable::random(nv, rng));
+  EXPECT_EQ(f.restrict_(mgr.one()).edge(), f.edge());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BddOps,
+                         ::testing::Values(OpCase{2, 1}, OpCase{3, 2},
+                                           OpCase{4, 3}, OpCase{5, 4},
+                                           OpCase{6, 5}, OpCase{7, 6},
+                                           OpCase{8, 7}, OpCase{6, 42},
+                                           OpCase{7, 43}, OpCase{8, 44}));
+
+// ---- reference counting and GC ----------------------------------------------
+
+TEST(BddGc, GarbageIsReclaimed) {
+  Manager mgr(8);
+  Rng rng(3);
+  {
+    std::vector<Bdd> hold;
+    for (int i = 0; i < 32; ++i) {
+      hold.push_back(from_table(mgr, TruthTable::random(8, rng)));
+    }
+    EXPECT_GT(mgr.live_nodes(), 1u);
+  }
+  mgr.gc();
+  EXPECT_EQ(mgr.live_nodes(), 1u);  // only the terminal remains
+  EXPECT_TRUE(mgr.check_consistency());
+}
+
+TEST(BddGc, LiveFunctionsSurviveGc) {
+  Manager mgr(6);
+  Rng rng(9);
+  const TruthTable t = TruthTable::random(6, rng);
+  const Bdd f = from_table(mgr, t);
+  for (int i = 0; i < 10; ++i) {
+    (void)from_table(mgr, TruthTable::random(6, rng));  // garbage
+  }
+  mgr.gc();
+  EXPECT_TRUE(matches(f, t));
+  EXPECT_TRUE(mgr.check_consistency());
+}
+
+TEST(BddGc, HandleCopiesShareOneReferenceEach) {
+  Manager mgr(2);
+  const Bdd x = mgr.var(0);
+  const std::uint32_t before = mgr.ref_count(x.edge());
+  {
+    const Bdd y = x;
+    EXPECT_EQ(mgr.ref_count(x.edge()), before + 1);
+  }
+  EXPECT_EQ(mgr.ref_count(x.edge()), before);
+}
+
+TEST(BddGc, PeakStatsAreMonotone) {
+  Manager mgr(8);
+  Rng rng(17);
+  (void)from_table(mgr, TruthTable::random(8, rng));
+  const auto s1 = mgr.stats();
+  mgr.gc();
+  const auto s2 = mgr.stats();
+  EXPECT_GE(s2.peak_live_nodes, s1.live_nodes);
+  EXPECT_LE(s2.live_nodes, s1.live_nodes);
+}
+
+// ---- transfer ("BDD mapping", Section IV-B) ----------------------------------
+
+TEST(BddTransfer, TransfersWithVariableRemap) {
+  Manager src(6);
+  Rng rng(23);
+  const TruthTable t = TruthTable::random(6, rng);
+  const Bdd f = from_table(src, t);
+
+  Manager dst(6);
+  // Reverse variable identity: src var v becomes dst var 5 - v.
+  const std::vector<Var> map{5, 4, 3, 2, 1, 0};
+  const Bdd g = dst.wrap(src.transfer_to(dst, f.edge(), map));
+  for (std::size_t row = 0; row < t.rows(); ++row) {
+    const auto a = t.assignment(row);
+    std::vector<bool> permuted(6);
+    for (unsigned v = 0; v < 6; ++v) permuted[map[v]] = a[v];
+    EXPECT_EQ(g.eval(permuted), t.at(row));
+  }
+  EXPECT_TRUE(dst.check_consistency());
+}
+
+TEST(BddTransfer, CompactsUnusedVariables) {
+  // The paper's bddPool: a function of vars {10, 20} moves into a manager
+  // with just 2 variables.
+  Manager src(32);
+  const Bdd f = src.var(10) ^ src.var(20);
+  Manager dst(2);
+  std::vector<Var> map(32, 0);
+  map[10] = 0;
+  map[20] = 1;
+  const Bdd g = dst.wrap(src.transfer_to(dst, f.edge(), map));
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_TRUE(g.eval({true, false}));
+  EXPECT_FALSE(g.eval({true, true}));
+}
+
+// ---- misc --------------------------------------------------------------------
+
+TEST(Bdd, EvalWalksComplementEdges) {
+  Manager mgr(3);
+  const Bdd f = !(mgr.var(0) & !mgr.var(1));
+  EXPECT_TRUE(f.eval({false, false, false}));
+  EXPECT_FALSE(f.eval({true, false, false}));
+  EXPECT_TRUE(f.eval({true, true, false}));
+}
+
+TEST(Bdd, DotExportMentionsAllRoots) {
+  Manager mgr(3);
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  const Bdd g = mgr.var(1) ^ mgr.var(2);
+  std::ostringstream os;
+  mgr.write_dot(os, {f.edge(), g.edge()}, {"f", "g"}, {"a", "b", "c"});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("digraph"), std::string::npos);
+  EXPECT_NE(s.find("\"f\""), std::string::npos);
+  EXPECT_NE(s.find("\"g\""), std::string::npos);
+  EXPECT_NE(s.find("\"a\""), std::string::npos);
+}
+
+TEST(Bdd, ManagerGrowsVariablesOnDemand) {
+  Manager mgr;
+  EXPECT_EQ(mgr.num_vars(), 0u);
+  const Var v0 = mgr.new_var();
+  const Var v1 = mgr.new_var();
+  EXPECT_EQ(v0, 0u);
+  EXPECT_EQ(v1, 1u);
+  mgr.ensure_vars(10);
+  EXPECT_EQ(mgr.num_vars(), 10u);
+  const Bdd f = mgr.var(9) | mgr.var(0);
+  EXPECT_EQ(f.support(), (std::vector<Var>{0, 9}));
+}
+
+}  // namespace
+}  // namespace bds::bdd

@@ -1,0 +1,204 @@
+// Tests for structural analysis: path counting, simple dominators (Fig. 2),
+// x-dominators (Figs. 7-8), edge redirection, cut enumeration and pruning
+// (Section III-C, Fig. 6).
+#include "core/dominators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cuts.hpp"
+
+namespace bds::core {
+namespace {
+
+using bdd::Bdd;
+using bdd::Edge;
+using bdd::Manager;
+
+TEST(Structure, PathCountsOnSmallAnd) {
+  Manager mgr(2);
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  const BddStructure s(mgr, f.edge());
+  EXPECT_EQ(s.total_one_paths(), 1u);
+  EXPECT_EQ(s.total_zero_paths(), 2u);
+  EXPECT_EQ(s.nodes().size(), 2u);
+}
+
+TEST(Structure, XorCountsBothPhases) {
+  Manager mgr(2);
+  const Bdd f = mgr.var(0) ^ mgr.var(1);
+  const BddStructure s(mgr, f.edge());
+  // x0 node plus x1 reached in both phases (shared physical node).
+  EXPECT_EQ(s.total_one_paths(), 2u);
+  EXPECT_EQ(s.total_zero_paths(), 2u);
+}
+
+TEST(Structure, ConstantRootIsDegenerate) {
+  Manager mgr(2);
+  const BddStructure s(mgr, Edge::one());
+  EXPECT_TRUE(s.nodes().empty());
+  EXPECT_EQ(s.total_one_paths(), 1u);
+  EXPECT_EQ(s.total_zero_paths(), 0u);
+}
+
+TEST(Dominators, ConjunctionHasOneDominator) {
+  // Fig. 2(a): F = (a + b)(c + d) -- the (c + d) node 1-dominates.
+  Manager mgr(4);
+  const Bdd cd = mgr.var(2) | mgr.var(3);
+  const Bdd f = (mgr.var(0) | mgr.var(1)) & cd;
+  const BddStructure s(mgr, f.edge());
+  const SimpleDominators doms = find_simple_dominators(s);
+  ASSERT_TRUE(doms.one_dominator.has_value());
+  EXPECT_EQ(*doms.one_dominator, cd.edge());
+  // Verify the decomposition identity F = func(e) & redirect(F, e->1).
+  const Bdd g = mgr.wrap(
+      redirect(mgr, f.edge(), {{*doms.one_dominator, Edge::one()}}));
+  EXPECT_EQ((g & cd).edge(), f.edge());
+}
+
+TEST(Dominators, DisjunctionHasZeroDominator) {
+  // Fig. 2(b): F = ab + cd -- the cd node 0-dominates.
+  Manager mgr(4);
+  const Bdd cd = mgr.var(2) & mgr.var(3);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | cd;
+  const BddStructure s(mgr, f.edge());
+  const SimpleDominators doms = find_simple_dominators(s);
+  ASSERT_TRUE(doms.zero_dominator.has_value());
+  EXPECT_EQ(*doms.zero_dominator, cd.edge());
+  const Bdd g = mgr.wrap(
+      redirect(mgr, f.edge(), {{*doms.zero_dominator, Edge::zero()}}));
+  EXPECT_EQ((g | cd).edge(), f.edge());
+}
+
+TEST(Dominators, XorChainHasXDominator) {
+  // F = a ^ b ^ (c & d): the (c & d) node is reached in both phases and
+  // lies on every path.
+  Manager mgr(4);
+  const Bdd tail = mgr.var(2) & mgr.var(3);
+  const Bdd f = mgr.var(0) ^ mgr.var(1) ^ tail;
+  const BddStructure s(mgr, f.edge());
+  const SimpleDominators doms = find_simple_dominators(s);
+  ASSERT_TRUE(doms.x_dominator.has_value());
+  // The x-dominator chain here contains both the x1 node and the (c & d)
+  // node; the scan returns the topmost. Theorem 5 must hold for it:
+  // F = func(v) xnor redirect(F, (v,+)->1, (v,-)->0).
+  const Edge v = *doms.x_dominator;
+  const Bdd g = mgr.wrap(v);
+  const Bdd h = mgr.wrap(
+      redirect(mgr, f.edge(), {{v, Edge::one()}, {!v, Edge::zero()}}));
+  EXPECT_EQ(g.xnor(h).edge(), f.edge());
+}
+
+TEST(Dominators, PaperFig8XnorExample) {
+  // F = (u'+v'+q)(x+y) + u v q' x' y'  ==  (x+y) xnor (u'+v'+q); vars:
+  // u=0, v=1, q=2, x=3, y=4.
+  Manager mgr(5);
+  const Bdd u = mgr.var(0), v = mgr.var(1), q = mgr.var(2);
+  const Bdd x = mgr.var(3), y = mgr.var(4);
+  const Bdd f = ((((!u) | (!v)) | q) & (x | y)) | (u & v & (!q) & (!x) & (!y));
+  // Sanity: the claimed algebraic form matches.
+  EXPECT_EQ(f.edge(), (x | y).xnor(((!u) | (!v)) | q).edge());
+  const BddStructure s(mgr, f.edge());
+  const SimpleDominators doms = find_simple_dominators(s);
+  ASSERT_TRUE(doms.x_dominator.has_value());
+  const Edge xv = *doms.x_dominator;
+  EXPECT_EQ(xv, (x | y).edge().regular());
+}
+
+TEST(Dominators, RandomLogicHasNoFalseDominators) {
+  // F = majority(a, b, c) has neither 1- nor 0-dominator below the root.
+  Manager mgr(3);
+  const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+  const Bdd f = (a & b) | (b & c) | (a & c);
+  const BddStructure s(mgr, f.edge());
+  const SimpleDominators doms = find_simple_dominators(s);
+  EXPECT_FALSE(doms.one_dominator.has_value());
+  EXPECT_FALSE(doms.zero_dominator.has_value());
+  EXPECT_FALSE(doms.x_dominator.has_value());
+}
+
+TEST(Redirect, ReplacesOnlyTheRequestedPhase) {
+  Manager mgr(3);
+  const Bdd tail = mgr.var(2);
+  const Bdd f = mgr.var(0) ^ tail;  // tail reached in both phases
+  const Edge e = tail.edge().regular();
+  const Bdd g = mgr.wrap(redirect(mgr, f.edge(), {{e, Edge::one()}}));
+  // (x0=0 branch goes to tail regular; x0=1 branch to its complement.)
+  EXPECT_TRUE(g.eval({false, false, false}));  // replaced phase: now 1
+  EXPECT_TRUE(g.eval({true, false, false}));   // complement phase intact: !c2=1
+  EXPECT_FALSE(g.eval({true, false, true}));
+}
+
+TEST(CutDivisor, Fig3ConjunctiveExample) {
+  // Example 2: F = e + b'd with BDD order (e, d, b). The cut above the b
+  // level leaves nodes {e, d} in the generalized dominator; redirecting its
+  // free edge (d's 1-branch into the b node) to constant 1 gives the
+  // Boolean divisor D = e + d, and Q = restrict(F, D) minimizes to e + b'.
+  Manager mgr(3);  // e=0, d=1, b=2
+  const Bdd e = mgr.var(0), d = mgr.var(1), b = mgr.var(2);
+  const Bdd f = e | (d & (!b));
+  const Bdd div = mgr.wrap(cut_divisor(mgr, f.edge(), 2, Edge::one()));
+  EXPECT_EQ(div.edge(), (e | d).edge());
+  const Bdd q = mgr.wrap(mgr.restrict_(f.edge(), div.edge()));
+  EXPECT_EQ((div & q).edge(), f.edge());
+  EXPECT_EQ(q.edge(), (e | (!b)).edge());
+}
+
+TEST(CutDivisor, Fig5DisjunctiveExample) {
+  // Example 4: F = ab + b'c' (order a, b, c). The cut above the c level
+  // leaves {a, b-nodes} in the generalized dominator; redirecting its free
+  // edges to 0 gives the disjunctive term G = ab, and H = restrict(F, !G)
+  // satisfies F = G + H (H minimizes toward b'c').
+  Manager mgr(3);
+  const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+  const Bdd f = (a & b) | ((!b) & (!c));
+  const Bdd g = mgr.wrap(cut_divisor(mgr, f.edge(), 2, Edge::zero()));
+  EXPECT_EQ(g.edge(), (a & b).edge());
+  const Bdd h = mgr.wrap(mgr.restrict_(f.edge(), (!g).edge()));
+  EXPECT_EQ((g | h).edge(), f.edge());
+  // Theorem 3 bounds: F - G <= H <= F. (The paper's minimal H is b'c';
+  // restrict is a heuristic and may return any cover in this interval.)
+  EXPECT_TRUE((((f & (!g)) & (!h)).is_zero()));  // F & !G implies H
+  EXPECT_TRUE(((h & (!f)).is_zero()));           // H implies F
+}
+
+TEST(Cuts, EnumerationYieldsOnePerLevel) {
+  Manager mgr(4);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3));
+  const BddStructure s(mgr, f.edge());
+  const auto cuts = enumerate_cuts(s);
+  // Nodes occupy levels 0..3 -> cuts below levels 1, 2, 3.
+  EXPECT_EQ(cuts.size(), 3u);
+}
+
+TEST(Cuts, EquivalencePruningDropsRedundantCuts) {
+  // A long AND chain: every cut has the same Sigma_1 ({the single 1-leaf})
+  // but gains Sigma_0 edges level by level: all cuts are valid for AND,
+  // exactly one representative survives for OR.
+  Manager mgr(5);
+  Bdd f = mgr.one();
+  for (bdd::Var v = 0; v < 5; ++v) f = f & mgr.var(v);
+  const BddStructure s(mgr, f.edge());
+  const auto all = enumerate_cuts(s);
+  const auto conj = conjunctive_cuts(all);
+  const auto disj = disjunctive_cuts(all);
+  EXPECT_EQ(conj.size(), all.size());  // Sigma_0 grows at every level
+  EXPECT_EQ(disj.size(), 0u);          // Sigma_1 only appears at the bottom,
+                                       // where no free edge remains
+}
+
+TEST(Cuts, MuxCutsRequireExactlyTwoTargets) {
+  // F = s ? g1 : g2 where s is the top variable and g1/g2 share no nodes:
+  // the cut below s crosses to exactly two targets.
+  Manager mgr(5);
+  const Bdd s = mgr.var(0);
+  const Bdd g1 = mgr.var(1) & mgr.var(2);
+  const Bdd g2 = mgr.var(3) | mgr.var(4);
+  const Bdd f = s.ite(g1, g2);
+  const BddStructure st(mgr, f.edge());
+  const auto mc = mux_cuts(enumerate_cuts(st));
+  ASSERT_FALSE(mc.empty());
+  EXPECT_EQ(mc.front().crossing_targets.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bds::core

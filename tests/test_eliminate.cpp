@@ -1,0 +1,271 @@
+// Tests for the BDD-cost eliminate / network partitioning (Section IV-B):
+// supernode functions must exactly reproduce the network, PO drivers must
+// survive, and the threshold/cap parameters must behave as documented.
+#include "core/eliminate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/gen.hpp"
+
+namespace bds::core {
+namespace {
+
+using net::Network;
+using net::NodeId;
+using sop::Cube;
+using sop::Sop;
+
+Sop and2() {
+  Sop s(2);
+  s.add_cube(Cube::parse("11"));
+  return s;
+}
+Sop or2() {
+  Sop s(2);
+  s.add_cube(Cube::parse("1-"));
+  s.add_cube(Cube::parse("-1"));
+  return s;
+}
+Sop xor2() {
+  Sop s(2);
+  s.add_cube(Cube::parse("10"));
+  s.add_cube(Cube::parse("01"));
+  return s;
+}
+
+/// Evaluates the partition: supernodes computed in topological order from
+/// PI values must match the original network's outputs.
+void expect_partition_exact(const Network& net, bdd::Manager& mgr,
+                            const PartitionResult& part) {
+  const std::size_t n = net.num_inputs();
+  for (std::size_t row = 0; row < (std::size_t{1} << n); ++row) {
+    std::vector<bool> pi(n);
+    for (std::size_t i = 0; i < n; ++i) pi[i] = ((row >> i) & 1) != 0;
+    // Assignment over manager variables, filled as supernodes evaluate.
+    std::vector<bool> varval(mgr.num_vars(), false);
+    for (std::size_t i = 0; i < n; ++i) {
+      varval[part.var_of[net.inputs()[i]]] = pi[i];
+    }
+    std::vector<bool> value(net.raw_size(), false);
+    for (std::size_t i = 0; i < n; ++i) value[net.inputs()[i]] = pi[i];
+    for (const Supernode& sn : part.supernodes) {
+      const bool v = sn.func.eval(varval);
+      value[sn.id] = v;
+      varval[part.var_of[sn.id]] = v;
+    }
+    const auto expected = net.eval(pi);
+    for (std::size_t o = 0; o < net.outputs().size(); ++o) {
+      ASSERT_EQ(value[net.outputs()[o].second], expected[o])
+          << "row " << row << " output " << net.outputs()[o].first;
+    }
+  }
+}
+
+Network reconvergent_net() {
+  // f = (a&b) | ((a&b)^c): reconvergence through the shared AND.
+  Network net;
+  const NodeId a = net.add_input("a");
+  const NodeId b = net.add_input("b");
+  const NodeId c = net.add_input("c");
+  const NodeId g1 = net.add_node("g1", {a, b}, and2());
+  const NodeId g2 = net.add_node("g2", {g1, c}, xor2());
+  const NodeId g3 = net.add_node("g3", {g1, g2}, or2());
+  net.set_output("o", g3);
+  return net;
+}
+
+TEST(Eliminate, CollapsesReconvergenceIntoOneSupernode) {
+  const Network net = reconvergent_net();
+  bdd::Manager mgr;
+  const PartitionResult part = partition_network(net, mgr);
+  EXPECT_EQ(part.supernodes.size(), 1u);
+  EXPECT_GE(part.eliminated, 2u);
+  expect_partition_exact(net, mgr, part);
+  // The collapsed function is (a & b) | c.
+  EXPECT_EQ(part.supernodes[0].inputs.size(), 3u);
+}
+
+TEST(Eliminate, ZeroPassesKeepsEveryNode) {
+  const Network net = reconvergent_net();
+  bdd::Manager mgr;
+  EliminateOptions opts;
+  opts.max_passes = 0;
+  const PartitionResult part = partition_network(net, mgr, opts);
+  EXPECT_EQ(part.supernodes.size(), 3u);
+  EXPECT_EQ(part.eliminated, 0u);
+  expect_partition_exact(net, mgr, part);
+}
+
+TEST(Eliminate, PoDriversSurvive) {
+  Network net;
+  const NodeId a = net.add_input("a");
+  const NodeId b = net.add_input("b");
+  const NodeId g1 = net.add_node("g1", {a, b}, and2());
+  const NodeId g2 = net.add_node("g2", {g1, b}, or2());
+  net.set_output("o1", g1);  // g1 drives a PO *and* feeds g2
+  net.set_output("o2", g2);
+  bdd::Manager mgr;
+  const PartitionResult part = partition_network(net, mgr);
+  // Both g1 and g2 must remain.
+  EXPECT_EQ(part.supernodes.size(), 2u);
+  expect_partition_exact(net, mgr, part);
+}
+
+TEST(Eliminate, MaxBddCapPreventsCollapse) {
+  // A wide XOR tree would collapse into one supernode without the cap.
+  Network net;
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < 8; ++i) {
+    leaves.push_back(net.add_input("x" + std::to_string(i)));
+  }
+  std::vector<NodeId> level = leaves;
+  int id = 0;
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(net.add_node("t" + std::to_string(id++),
+                                  {level[i], level[i + 1]}, xor2()));
+    }
+    level = next;
+  }
+  net.set_output("parity", level[0]);
+
+  bdd::Manager mgr1;
+  const PartitionResult full = partition_network(net, mgr1);
+  EXPECT_EQ(full.supernodes.size(), 1u);  // parity BDD is tiny: all merge
+  expect_partition_exact(net, mgr1, full);
+
+  bdd::Manager mgr2;
+  EliminateOptions opts;
+  opts.max_bdd = 4;  // even a 2-input XOR BDD has 4 nodes
+  const PartitionResult capped = partition_network(net, mgr2, opts);
+  EXPECT_GT(capped.supernodes.size(), 1u);
+  expect_partition_exact(net, mgr2, capped);
+}
+
+TEST(Eliminate, ThresholdControlsDuplication) {
+  // g1 fans out to two consumers; eliminating it duplicates its logic.
+  // With a large negative threshold nothing merges; with a generous one,
+  // everything collapses into the two consumers.
+  Network net;
+  const NodeId a = net.add_input("a");
+  const NodeId b = net.add_input("b");
+  const NodeId c = net.add_input("c");
+  const NodeId d = net.add_input("d");
+  Sop wide(4);
+  wide.add_cube(Cube::parse("11--"));
+  wide.add_cube(Cube::parse("--11"));
+  const NodeId g1 = net.add_node("g1", {a, b, c, d}, wide);
+  const NodeId g2 = net.add_node("g2", {g1, a}, and2());
+  const NodeId g3 = net.add_node("g3", {g1, d}, or2());
+  net.set_output("o1", g2);
+  net.set_output("o2", g3);
+
+  bdd::Manager mgr1;
+  EliminateOptions strict;
+  strict.threshold = -100;
+  const PartitionResult kept = partition_network(net, mgr1, strict);
+  EXPECT_EQ(kept.supernodes.size(), 3u);
+  expect_partition_exact(net, mgr1, kept);
+
+  bdd::Manager mgr2;
+  EliminateOptions loose;
+  loose.threshold = 100;
+  const PartitionResult merged = partition_network(net, mgr2, loose);
+  EXPECT_EQ(merged.supernodes.size(), 2u);
+  expect_partition_exact(net, mgr2, merged);
+}
+
+TEST(Eliminate, ConstantNodeFoldsAway) {
+  Network net;
+  const NodeId a = net.add_input("a");
+  const NodeId one = net.add_node("one", {}, Sop::constant(0, true));
+  const NodeId g = net.add_node("g", {a, one}, and2());
+  net.set_output("o", g);
+  bdd::Manager mgr;
+  const PartitionResult part = partition_network(net, mgr);
+  EXPECT_EQ(part.supernodes.size(), 1u);
+  expect_partition_exact(net, mgr, part);
+  // The surviving supernode is just `a`.
+  EXPECT_EQ(part.supernodes[0].inputs.size(), 1u);
+}
+
+TEST(Eliminate, SupernodesComeOutTopologicallySorted) {
+  Network net;
+  const NodeId a = net.add_input("a");
+  const NodeId b = net.add_input("b");
+  NodeId prev = net.add_node("n0", {a, b}, xor2());
+  net.set_output("t0", prev);  // pin every level with a PO so nothing merges
+  for (int i = 1; i < 5; ++i) {
+    prev = net.add_node("n" + std::to_string(i), {prev, b}, xor2());
+    net.set_output("t" + std::to_string(i), prev);
+  }
+  bdd::Manager mgr;
+  const PartitionResult part = partition_network(net, mgr);
+  ASSERT_EQ(part.supernodes.size(), 5u);
+  // Each supernode's non-PI inputs must appear earlier in the list.
+  std::vector<bool> seen(net.raw_size(), false);
+  for (const Supernode& sn : part.supernodes) {
+    for (const NodeId in : sn.inputs) {
+      if (net.node(in).kind == net::NodeKind::kLogic) {
+        EXPECT_TRUE(seen[in]);
+      }
+    }
+    seen[sn.id] = true;
+  }
+  expect_partition_exact(net, mgr, part);
+}
+
+TEST(Eliminate, RandomMultilevelCircuitsPartitionExactly) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Network net = gen::random_multilevel(8, 4, 5, 4, seed);
+    bdd::Manager mgr;
+    const PartitionResult part = partition_network(net, mgr);
+    expect_partition_exact(net, mgr, part);
+    EXPECT_LE(part.supernodes.size(), net.num_logic_nodes());
+  }
+}
+
+TEST(Eliminate, ArithmeticSliceKeepsBddsBounded) {
+  const Network net = gen::ripple_adder(8);
+  bdd::Manager mgr;
+  EliminateOptions opts;
+  opts.max_bdd = 24;
+  const PartitionResult part = partition_network(net, mgr, opts);
+  for (const Supernode& sn : part.supernodes) {
+    EXPECT_LE(sn.func.size(), opts.max_bdd);
+  }
+  // Spot-check functional exactness on random rows (16 inputs is too many
+  // for exhaustive checking here).
+  std::vector<bool> pi(net.num_inputs(), false);
+  pi[0] = pi[8] = true;  // 1 + 1 = 2
+  std::vector<bool> varval(mgr.num_vars(), false);
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) {
+    varval[part.var_of[net.inputs()[i]]] = pi[i];
+  }
+  std::vector<bool> value(net.raw_size(), false);
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) {
+    value[net.inputs()[i]] = pi[i];
+  }
+  for (const Supernode& sn : part.supernodes) {
+    const bool v = sn.func.eval(varval);
+    value[sn.id] = v;
+    varval[part.var_of[sn.id]] = v;
+  }
+  const auto expected = net.eval(pi);
+  for (std::size_t o = 0; o < net.outputs().size(); ++o) {
+    EXPECT_EQ(value[net.outputs()[o].second], expected[o]);
+  }
+}
+
+TEST(Eliminate, StatsCountPassesAndEliminations) {
+  const Network net = reconvergent_net();
+  bdd::Manager mgr;
+  const PartitionResult part = partition_network(net, mgr);
+  EXPECT_GE(part.passes, 1u);
+  EXPECT_EQ(part.eliminated + part.supernodes.size(),
+            net.num_logic_nodes());
+}
+
+}  // namespace
+}  // namespace bds::core

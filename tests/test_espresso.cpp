@@ -1,0 +1,200 @@
+// Tests for two-level minimization: tautology checking, cube coverage, and
+// the espresso-lite EXPAND/IRREDUNDANT loop, with and without don't cares.
+#include "sis/espresso.hpp"
+
+#include <gtest/gtest.h>
+
+#include "oracle.hpp"
+#include "util/rng.hpp"
+
+namespace bds::sis {
+namespace {
+
+using sop::Cube;
+using sop::Sop;
+using test::TruthTable;
+
+Sop from_cubes(unsigned nv, std::initializer_list<const char*> cubes) {
+  Sop s(nv);
+  for (const char* c : cubes) s.add_cube(Cube::parse(c));
+  return s;
+}
+
+TruthTable table_of(const Sop& s, unsigned nv) {
+  TruthTable t(nv);
+  for (std::size_t row = 0; row < t.rows(); ++row) {
+    t.set(row, s.eval(t.assignment(row)));
+  }
+  return t;
+}
+
+// ---- tautology ---------------------------------------------------------------
+
+TEST(Tautology, FullCubeIsTautology) {
+  EXPECT_TRUE(is_tautology(from_cubes(3, {"---"})));
+}
+
+TEST(Tautology, ComplementaryLiteralsCoverSpace) {
+  EXPECT_TRUE(is_tautology(from_cubes(2, {"1-", "0-"})));
+  EXPECT_TRUE(is_tautology(from_cubes(3, {"1--", "01-", "00-"})));
+}
+
+TEST(Tautology, MissingMintermIsDetected) {
+  EXPECT_FALSE(is_tautology(from_cubes(2, {"1-", "01"})));  // misses 00
+  EXPECT_FALSE(is_tautology(from_cubes(3, {"1--", "-1-"})));
+  EXPECT_FALSE(is_tautology(Sop(3)));  // empty cover
+}
+
+TEST(Tautology, RandomCoversMatchOracle) {
+  Rng rng(41);
+  for (int iter = 0; iter < 50; ++iter) {
+    const unsigned nv = 3 + static_cast<unsigned>(rng.below(4));
+    Sop s(nv);
+    const unsigned ncubes = 1 + static_cast<unsigned>(rng.below(10));
+    for (unsigned i = 0; i < ncubes; ++i) {
+      Cube c(nv);
+      for (unsigned v = 0; v < nv; ++v) {
+        switch (rng.below(4)) {
+          case 0:
+            c.set(v, sop::Literal::kPos);
+            break;
+          case 1:
+            c.set(v, sop::Literal::kNeg);
+            break;
+          default:
+            break;
+        }
+      }
+      s.add_cube(c);
+    }
+    const bool expected = table_of(s, nv).count_ones() == (1u << nv);
+    ASSERT_EQ(is_tautology(s), expected) << "iter " << iter;
+  }
+}
+
+// ---- cube coverage --------------------------------------------------------------
+
+TEST(CubeCovered, BySingleContainingCube) {
+  EXPECT_TRUE(cube_covered(Cube::parse("11-"), from_cubes(3, {"1--"})));
+  EXPECT_FALSE(cube_covered(Cube::parse("1--"), from_cubes(3, {"11-"})));
+}
+
+TEST(CubeCovered, ByUnionOfCubes) {
+  // 1-- is covered by 11- and 10- jointly.
+  EXPECT_TRUE(cube_covered(Cube::parse("1--"), from_cubes(3, {"11-", "10-"})));
+  EXPECT_FALSE(cube_covered(Cube::parse("1--"), from_cubes(3, {"11-", "100"})));
+}
+
+// ---- espresso-lite ----------------------------------------------------------------
+
+TEST(Espresso, RemovesRedundantCube) {
+  // ab + a'c + bc: the consensus cube bc is redundant.
+  const Sop on = from_cubes(3, {"11-", "0-1", "-11"});
+  const Sop min = espresso_lite(on, Sop(3));
+  EXPECT_EQ(table_of(min, 3), table_of(on, 3));
+  EXPECT_EQ(min.cube_count(), 2u);
+}
+
+TEST(Espresso, ExpandsAgainstOffset) {
+  // a b + a b' can expand to the single cube a.
+  const Sop on = from_cubes(2, {"11", "10"});
+  const Sop min = espresso_lite(on, Sop(2));
+  ASSERT_EQ(min.cube_count(), 1u);
+  EXPECT_EQ(min.cubes()[0].to_string(), "1-");
+}
+
+TEST(Espresso, UsesDontCaresToMergeCubes) {
+  // on = {110}, dc = {111}: minimization may grow to cube 11-.
+  const Sop on = from_cubes(3, {"110"});
+  const Sop dc = from_cubes(3, {"111"});
+  const Sop min = espresso_lite(on, dc);
+  ASSERT_EQ(min.cube_count(), 1u);
+  EXPECT_EQ(min.cubes()[0].literal_count(), 2u);
+}
+
+TEST(Espresso, NeverWorseThanInput) {
+  Rng rng(43);
+  for (int iter = 0; iter < 40; ++iter) {
+    const unsigned nv = 4 + static_cast<unsigned>(rng.below(3));
+    Sop on(nv);
+    for (unsigned i = 0; i < 8; ++i) {
+      Cube c(nv);
+      for (unsigned v = 0; v < nv; ++v) {
+        switch (rng.below(3)) {
+          case 0:
+            c.set(v, sop::Literal::kPos);
+            break;
+          case 1:
+            c.set(v, sop::Literal::kNeg);
+            break;
+          default:
+            break;
+        }
+      }
+      on.add_cube(c);
+    }
+    const Sop min = espresso_lite(on, Sop(nv));
+    EXPECT_LE(min.literal_count(), on.literal_count());
+    EXPECT_EQ(table_of(min, nv), table_of(on, nv)) << "iter " << iter;
+  }
+}
+
+TEST(Espresso, StaysInsideDontCareInterval) {
+  // Property: on <= result <= on + dc, for random disjoint on/dc.
+  Rng rng(47);
+  for (int iter = 0; iter < 30; ++iter) {
+    const unsigned nv = 4;
+    TruthTable t_on(nv);
+    TruthTable t_dc(nv);
+    for (std::size_t row = 0; row < t_on.rows(); ++row) {
+      switch (rng.below(4)) {
+        case 0:
+          t_on.set(row, true);
+          break;
+        case 1:
+          t_dc.set(row, true);
+          break;
+        default:
+          break;
+      }
+    }
+    Sop on(nv);
+    Sop dc(nv);
+    for (std::size_t row = 0; row < t_on.rows(); ++row) {
+      Cube c(nv);
+      for (unsigned v = 0; v < nv; ++v) {
+        c.set(v, ((row >> v) & 1) != 0 ? sop::Literal::kPos
+                                       : sop::Literal::kNeg);
+      }
+      if (t_on.at(row)) on.add_cube(c);
+      if (t_dc.at(row)) dc.add_cube(c);
+    }
+    const Sop min = espresso_lite(on, dc);
+    for (std::size_t row = 0; row < t_on.rows(); ++row) {
+      const bool value = min.eval(t_on.assignment(row));
+      if (t_on.at(row)) {
+        ASSERT_TRUE(value) << "iter " << iter << " lost onset row " << row;
+      } else if (!t_dc.at(row)) {
+        ASSERT_FALSE(value) << "iter " << iter << " grew into offset row "
+                            << row;
+      }
+    }
+  }
+}
+
+TEST(Espresso, RespectsSupportLimit) {
+  EspressoOptions opts;
+  opts.max_support = 2;
+  const Sop on = from_cubes(3, {"111", "101"});  // support {a, b, c}
+  // Three support variables exceed the limit: returned unchanged.
+  EXPECT_EQ(espresso_lite(on, Sop(3), opts), on);
+}
+
+TEST(Espresso, ConstantsPassThrough) {
+  EXPECT_EQ(espresso_lite(Sop(3), Sop(3)).cube_count(), 0u);
+  const Sop one = Sop::constant(3, true);
+  EXPECT_TRUE(espresso_lite(one, Sop(3)).has_full_cube());
+}
+
+}  // namespace
+}  // namespace bds::sis

@@ -1,0 +1,162 @@
+// Tests for factoring trees: construction, structural hashing,
+// simplification rules, evaluation, counting and BDD conversion.
+#include "core/factree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "oracle.hpp"
+#include "util/rng.hpp"
+
+namespace bds::core {
+namespace {
+
+TEST(FacTree, ConstantsAreFixedIds) {
+  FactoringForest f;
+  EXPECT_EQ(f.const0(), 0u);
+  EXPECT_EQ(f.const1(), 1u);
+  EXPECT_EQ(f.mk_not(f.const0()), f.const1());
+  EXPECT_EQ(f.mk_not(f.const1()), f.const0());
+}
+
+TEST(FacTree, StructuralHashingSharesNodes) {
+  FactoringForest f;
+  const FactId a = f.mk_var(0), b = f.mk_var(1);
+  const FactId x1 = f.mk_and(a, b);
+  const FactId x2 = f.mk_and(b, a);  // commutative canonical order
+  EXPECT_EQ(x1, x2);
+  EXPECT_EQ(f.mk_var(0), a);
+}
+
+TEST(FacTree, NotIsInvolutive) {
+  FactoringForest f;
+  const FactId a = f.mk_var(0);
+  EXPECT_EQ(f.mk_not(f.mk_not(a)), a);
+}
+
+TEST(FacTree, AndOrSimplifications) {
+  FactoringForest f;
+  const FactId a = f.mk_var(0);
+  EXPECT_EQ(f.mk_and(a, f.const1()), a);
+  EXPECT_EQ(f.mk_and(a, f.const0()), f.const0());
+  EXPECT_EQ(f.mk_and(a, a), a);
+  EXPECT_EQ(f.mk_and(a, f.mk_not(a)), f.const0());
+  EXPECT_EQ(f.mk_or(a, f.const0()), a);
+  EXPECT_EQ(f.mk_or(a, f.const1()), f.const1());
+  EXPECT_EQ(f.mk_or(a, f.mk_not(a)), f.const1());
+}
+
+TEST(FacTree, XorSimplifications) {
+  FactoringForest f;
+  const FactId a = f.mk_var(0), b = f.mk_var(1);
+  EXPECT_EQ(f.mk_xor(a, f.const0()), a);
+  EXPECT_EQ(f.mk_xor(a, f.const1()), f.mk_not(a));
+  EXPECT_EQ(f.mk_xor(a, a), f.const0());
+  EXPECT_EQ(f.mk_xnor(a, a), f.const1());
+  // Complement pushing: !a ^ b == a xnor b.
+  EXPECT_EQ(f.mk_xor(f.mk_not(a), b), f.mk_xnor(a, b));
+  EXPECT_EQ(f.mk_xnor(f.mk_not(a), b), f.mk_xor(a, b));
+  EXPECT_EQ(f.mk_xor(f.mk_not(a), f.mk_not(b)), f.mk_xor(a, b));
+}
+
+TEST(FacTree, MuxSimplifications) {
+  FactoringForest f;
+  const FactId s = f.mk_var(0), a = f.mk_var(1), b = f.mk_var(2);
+  EXPECT_EQ(f.mk_mux(f.const1(), a, b), a);
+  EXPECT_EQ(f.mk_mux(f.const0(), a, b), b);
+  EXPECT_EQ(f.mk_mux(s, a, a), a);
+  EXPECT_EQ(f.mk_mux(s, f.const1(), f.const0()), s);
+  EXPECT_EQ(f.mk_mux(s, f.const0(), f.const1()), f.mk_not(s));
+  EXPECT_EQ(f.mk_mux(s, f.const1(), b), f.mk_or(s, b));
+  EXPECT_EQ(f.mk_mux(s, f.const0(), b), f.mk_and(f.mk_not(s), b));
+  EXPECT_EQ(f.mk_mux(s, a, f.const0()), f.mk_and(s, a));
+  EXPECT_EQ(f.mk_mux(s, a, f.const1()), f.mk_or(f.mk_not(s), a));
+  // mux(s, !a, a) == s xor a ; mux(s, a, !a) == s xnor a.
+  EXPECT_EQ(f.mk_mux(s, f.mk_not(a), a), f.mk_xor(s, a));
+  EXPECT_EQ(f.mk_mux(s, a, f.mk_not(a)), f.mk_xnor(s, a));
+}
+
+TEST(FacTree, EvalMatchesSemantics) {
+  FactoringForest f;
+  const FactId a = f.mk_var(0), b = f.mk_var(1), c = f.mk_var(2);
+  const FactId expr = f.mk_mux(a, f.mk_xor(b, c), f.mk_or(b, c));
+  for (unsigned row = 0; row < 8; ++row) {
+    const std::vector<bool> in{(row & 1) != 0, (row & 2) != 0, (row & 4) != 0};
+    const bool expected = in[0] ? (in[1] != in[2]) : (in[1] || in[2]);
+    EXPECT_EQ(f.eval(expr, in), expected) << "row " << row;
+  }
+}
+
+TEST(FacTree, GateAndLiteralCounts) {
+  FactoringForest f;
+  const FactId a = f.mk_var(0), b = f.mk_var(1), c = f.mk_var(2);
+  const FactId shared = f.mk_and(a, b);
+  const FactId root = f.mk_or(shared, f.mk_xor(shared, c));
+  EXPECT_EQ(f.gate_count({root}), 3u);     // and, xor, or (shared counted once)
+  EXPECT_EQ(f.literal_count({root}), 3u);  // a, b, c leaves
+}
+
+TEST(FacTree, ToStringReadable) {
+  FactoringForest f;
+  const FactId expr =
+      f.mk_xnor(f.mk_var(0), f.mk_and(f.mk_var(1), f.mk_not(f.mk_var(2))));
+  const std::string s = f.to_string(expr, {"a", "b", "c"});
+  EXPECT_NE(s.find("xnor"), std::string::npos);
+  EXPECT_NE(s.find("!c"), std::string::npos);
+}
+
+TEST(FacTree, ToBddAgreesWithEval) {
+  FactoringForest f;
+  Rng rng(99);
+  // Random expression over 5 vars.
+  std::vector<FactId> pool;
+  for (bdd::Var v = 0; v < 5; ++v) pool.push_back(f.mk_var(v));
+  for (int i = 0; i < 30; ++i) {
+    const FactId a = pool[rng.below(pool.size())];
+    const FactId b = pool[rng.below(pool.size())];
+    const FactId c = pool[rng.below(pool.size())];
+    switch (rng.below(6)) {
+      case 0:
+        pool.push_back(f.mk_and(a, b));
+        break;
+      case 1:
+        pool.push_back(f.mk_or(a, b));
+        break;
+      case 2:
+        pool.push_back(f.mk_xor(a, b));
+        break;
+      case 3:
+        pool.push_back(f.mk_xnor(a, b));
+        break;
+      case 4:
+        pool.push_back(f.mk_not(a));
+        break;
+      default:
+        pool.push_back(f.mk_mux(a, b, c));
+        break;
+    }
+  }
+  bdd::Manager mgr(5);
+  const FactId root = pool.back();
+  const bdd::Bdd g = f.to_bdd(root, mgr);
+  for (unsigned row = 0; row < 32; ++row) {
+    std::vector<bool> in(5);
+    for (unsigned v = 0; v < 5; ++v) in[v] = ((row >> v) & 1) != 0;
+    EXPECT_EQ(g.eval(in), f.eval(root, in)) << "row " << row;
+  }
+}
+
+TEST(FacTree, CopyIntoRemapsLeaves) {
+  FactoringForest src;
+  const FactId expr = src.mk_or(src.mk_and(src.mk_var(0), src.mk_var(1)),
+                                src.mk_not(src.mk_var(2)));
+  FactoringForest dst;
+  // Map leaves 0,1,2 to vars 10,11 and a constant.
+  const std::vector<FactId> leaf_map{dst.mk_var(10), dst.mk_var(11),
+                                     dst.const0()};
+  const FactId copied = src.copy_into(dst, expr, leaf_map);
+  // !0 == 1, so the OR collapses to constant 1.
+  EXPECT_EQ(copied, dst.const1());
+}
+
+}  // namespace
+}  // namespace bds::core

@@ -1,0 +1,258 @@
+// Tests for the benchmark generators: every circuit is checked against an
+// arithmetic oracle by exhaustive or randomized simulation.
+#include "gen/gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "verify/cec.hpp"
+
+namespace bds::gen {
+namespace {
+
+using net::Network;
+
+std::vector<bool> to_bits(std::uint64_t value, unsigned width) {
+  std::vector<bool> bits(width);
+  for (unsigned i = 0; i < width; ++i) bits[i] = ((value >> i) & 1) != 0;
+  return bits;
+}
+
+std::uint64_t from_bits(const std::vector<bool>& bits, unsigned offset,
+                        unsigned width) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    if (bits[offset + i]) v |= 1ULL << i;
+  }
+  return v;
+}
+
+TEST(Gen, RippleAdderAddsExhaustively) {
+  const Network net = ripple_adder(4);
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      std::vector<bool> in = to_bits(a, 4);
+      const std::vector<bool> bb = to_bits(b, 4);
+      in.insert(in.end(), bb.begin(), bb.end());
+      const auto out = net.eval(in);  // s0..s3, cout
+      EXPECT_EQ(from_bits(out, 0, 5), a + b) << a << "+" << b;
+    }
+  }
+}
+
+TEST(Gen, MultiplierMultipliesExhaustively4x4) {
+  const Network net = array_multiplier(4);
+  EXPECT_EQ(net.num_inputs(), 8u);
+  EXPECT_EQ(net.num_outputs(), 8u);
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      std::vector<bool> in = to_bits(a, 4);
+      const std::vector<bool> bb = to_bits(b, 4);
+      in.insert(in.end(), bb.begin(), bb.end());
+      const auto out = net.eval(in);
+      EXPECT_EQ(from_bits(out, 0, 8), a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(Gen, MultiplierRandomized8x8) {
+  const Network net = array_multiplier(8);
+  Rng rng(5);
+  for (int iter = 0; iter < 200; ++iter) {
+    const unsigned a = static_cast<unsigned>(rng.below(256));
+    const unsigned b = static_cast<unsigned>(rng.below(256));
+    std::vector<bool> in = to_bits(a, 8);
+    const std::vector<bool> bb = to_bits(b, 8);
+    in.insert(in.end(), bb.begin(), bb.end());
+    const auto out = net.eval(in);
+    ASSERT_EQ(from_bits(out, 0, 16), a * b) << a << "*" << b;
+  }
+}
+
+TEST(Gen, BarrelShifterRotatesLeft) {
+  const Network net = barrel_shifter(8);
+  EXPECT_EQ(net.num_inputs(), 8u + 3u);
+  Rng rng(9);
+  for (int iter = 0; iter < 100; ++iter) {
+    const unsigned data = static_cast<unsigned>(rng.below(256));
+    const unsigned amount = static_cast<unsigned>(rng.below(8));
+    std::vector<bool> in = to_bits(data, 8);
+    const std::vector<bool> ab = to_bits(amount, 3);
+    in.insert(in.end(), ab.begin(), ab.end());
+    const auto out = net.eval(in);
+    const unsigned expected =
+        ((data << amount) | (data >> (8 - amount))) & 0xff;
+    ASSERT_EQ(from_bits(out, 0, 8), amount == 0 ? data : expected);
+  }
+}
+
+TEST(Gen, RotatorHandlesBothDirections) {
+  const Network net = rotator(8);
+  Rng rng(11);
+  for (int iter = 0; iter < 100; ++iter) {
+    const unsigned data = static_cast<unsigned>(rng.below(256));
+    const unsigned amount = static_cast<unsigned>(rng.below(8));
+    const bool right = rng.coin();
+    std::vector<bool> in = to_bits(data, 8);
+    const std::vector<bool> ab = to_bits(amount, 3);
+    in.insert(in.end(), ab.begin(), ab.end());
+    in.push_back(right);
+    const auto out = net.eval(in);
+    unsigned expected = data;
+    if (amount != 0) {
+      expected = right ? ((data >> amount) | (data << (8 - amount))) & 0xff
+                       : ((data << amount) | (data >> (8 - amount))) & 0xff;
+    }
+    ASSERT_EQ(from_bits(out, 0, 8), expected)
+        << "data=" << data << " amt=" << amount << " right=" << right;
+  }
+}
+
+TEST(Gen, AluComputesAllFourOps) {
+  const Network net = alu(4);
+  Rng rng(13);
+  for (int iter = 0; iter < 200; ++iter) {
+    const unsigned a = static_cast<unsigned>(rng.below(16));
+    const unsigned b = static_cast<unsigned>(rng.below(16));
+    const unsigned op = static_cast<unsigned>(rng.below(4));
+    std::vector<bool> in = to_bits(a, 4);
+    const std::vector<bool> bb = to_bits(b, 4);
+    in.insert(in.end(), bb.begin(), bb.end());
+    in.push_back((op & 1) != 0);  // op0
+    in.push_back((op & 2) != 0);  // op1
+    const auto out = net.eval(in);
+    unsigned expected = 0;
+    switch (op) {
+      case 0: expected = (a + b) & 0xf; break;
+      case 1: expected = a & b; break;
+      case 2: expected = a | b; break;
+      default: expected = a ^ b; break;
+    }
+    ASSERT_EQ(from_bits(out, 0, 4), expected)
+        << "a=" << a << " b=" << b << " op=" << op;
+    const bool cout_expected = op == 0 && (a + b) > 15;
+    ASSERT_EQ(out[4], cout_expected);
+  }
+}
+
+TEST(Gen, ComparatorOrdersCorrectly) {
+  const Network net = comparator(4);
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      std::vector<bool> in = to_bits(a, 4);
+      const std::vector<bool> bb = to_bits(b, 4);
+      in.insert(in.end(), bb.begin(), bb.end());
+      const auto out = net.eval(in);  // eq, lt, gt
+      EXPECT_EQ(out[0], a == b);
+      EXPECT_EQ(out[1], a < b);
+      EXPECT_EQ(out[2], a > b);
+    }
+  }
+}
+
+TEST(Gen, ParityTreeComputesParity) {
+  const Network net = parity_tree(9);
+  Rng rng(17);
+  for (int iter = 0; iter < 100; ++iter) {
+    const unsigned v = static_cast<unsigned>(rng.below(512));
+    const auto out = net.eval(to_bits(v, 9));
+    ASSERT_EQ(out[0], __builtin_popcount(v) % 2 == 1);
+  }
+}
+
+TEST(Gen, HammingCorrectorFixesSingleBitErrors) {
+  const Network net = hamming_corrector(4);  // Hamming(15, 11)
+  Rng rng(23);
+  // Build codewords: positions 1..15, check bits at powers of two.
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<bool> word(16, false);  // 1-indexed
+    for (unsigned p = 1; p <= 15; ++p) {
+      if ((p & (p - 1)) != 0) word[p] = rng.coin();
+    }
+    for (unsigned k = 0; k < 4; ++k) {
+      bool parity = false;
+      for (unsigned p = 1; p <= 15; ++p) {
+        if ((p & (p - 1)) != 0 && (((p >> k) & 1) != 0)) parity ^= word[p];
+      }
+      word[1u << k] = parity;
+    }
+    // Optionally inject a single-bit error.
+    const unsigned flip = static_cast<unsigned>(rng.below(16));  // 0 = none
+    if (flip != 0) word[flip] = !word[flip];
+    // Inputs are in position order 1..15.
+    std::vector<bool> in;
+    for (unsigned p = 1; p <= 15; ++p) in.push_back(word[p]);
+    const auto out = net.eval(in);
+    // Outputs are corrected data bits in position order.
+    std::size_t o = 0;
+    for (unsigned p = 1; p <= 15; ++p) {
+      if ((p & (p - 1)) == 0) continue;
+      const bool original = word[p] != (flip == p);  // undo injected error
+      ASSERT_EQ(out[o], original) << "pos " << p << " flip " << flip;
+      ++o;
+    }
+  }
+}
+
+TEST(Gen, PriorityControllerGrantsHighestActive) {
+  const Network net = priority_controller(5);
+  Rng rng(29);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<bool> in(10);
+    for (auto&& b : in) b = rng.coin();
+    const auto out = net.eval(in);  // grant0..4, busy
+    int winner = -1;
+    for (unsigned i = 0; i < 5; ++i) {
+      if (in[i] && in[5 + i]) {
+        winner = static_cast<int>(i);
+        break;
+      }
+    }
+    for (unsigned i = 0; i < 5; ++i) {
+      ASSERT_EQ(out[i], static_cast<int>(i) == winner);
+    }
+    ASSERT_EQ(out[5], winner >= 0);
+  }
+}
+
+TEST(Gen, RandomControlIsDeterministic) {
+  const Network a = random_control(10, 6, 8, 42);
+  const Network b = random_control(10, 6, 8, 42);
+  EXPECT_TRUE(verify::random_simulation_equal(a, b, 512, 3));
+  const Network c = random_control(10, 6, 8, 43);
+  EXPECT_FALSE(verify::random_simulation_equal(a, c, 2048, 3));
+}
+
+TEST(Gen, RandomMultilevelIsStructuredAndDeterministic) {
+  const Network a = random_multilevel(16, 6, 10, 8, 7);
+  const Network b = random_multilevel(16, 6, 10, 8, 7);
+  EXPECT_TRUE(a.check());
+  EXPECT_GT(a.depth(), 3u);  // genuinely multilevel
+  EXPECT_TRUE(verify::random_simulation_equal(a, b, 512, 5));
+  // Node functions stay small (2-3 fanins): the "random logic" class.
+  for (const net::NodeId id : a.topo_order()) {
+    EXPECT_LE(a.node(id).fanins.size(), 3u);
+  }
+}
+
+TEST(Gen, RandomControlConesAreBounded) {
+  const Network net = random_control(24, 10, 12, 3);
+  EXPECT_TRUE(net.check());
+  std::size_t max_fanin = 0;
+  for (const net::NodeId id : net.topo_order()) {
+    max_fanin = std::max(max_fanin, net.node(id).fanins.size());
+  }
+  EXPECT_LE(max_fanin, 8u);  // bounded cones, not dense random functions
+}
+
+TEST(Gen, SizesScaleAsExpected) {
+  EXPECT_GT(array_multiplier(8).num_logic_nodes(),
+            2 * array_multiplier(4).num_logic_nodes());
+  EXPECT_GT(barrel_shifter(32).num_logic_nodes(),
+            barrel_shifter(16).num_logic_nodes());
+  // bshift widths of Table II: n * log2(n) muxes.
+  EXPECT_EQ(barrel_shifter(16).num_logic_nodes(), 16u * 4u);
+}
+
+}  // namespace
+}  // namespace bds::gen

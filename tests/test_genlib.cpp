@@ -1,0 +1,86 @@
+// Tests for the genlib-subset parser and the embedded MCNC-like library.
+#include "map/genlib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bds::map {
+namespace {
+
+TEST(Genlib, ParsesSimpleGate) {
+  const Library lib = parse_genlib(
+      "GATE nand2 16 O=!(a*b); PIN * INV 1 999 0.35 0.04 0.35 0.04\n");
+  ASSERT_EQ(lib.gates.size(), 1u);
+  const Gate& g = lib.gates[0];
+  EXPECT_EQ(g.name, "nand2");
+  EXPECT_DOUBLE_EQ(g.area, 16.0);
+  EXPECT_EQ(g.pins, (std::vector<std::string>{"a", "b"}));
+  EXPECT_DOUBLE_EQ(g.delay, 0.35);
+  const sop::Sop f = g.function();
+  EXPECT_FALSE(f.eval({true, true}));
+  EXPECT_TRUE(f.eval({true, false}));
+  EXPECT_TRUE(f.eval({false, false}));
+}
+
+TEST(Genlib, ParsesJuxtapositionAndPrime) {
+  // genlib allows "a b" for AND and postfix ' for complement.
+  const Library lib = parse_genlib("GATE g 10 O=a b' + c;\n");
+  const Gate& g = lib.gates[0];
+  const sop::Sop f = g.function();  // pins a, b, c
+  EXPECT_TRUE(f.eval({true, false, false}));
+  EXPECT_FALSE(f.eval({true, true, false}));
+  EXPECT_TRUE(f.eval({false, false, true}));
+}
+
+TEST(Genlib, ParsesNestedExpressions) {
+  const Library lib = parse_genlib("GATE aoi21 24 O=!(a*b+c);\n");
+  const sop::Sop f = lib.gates[0].function();
+  EXPECT_FALSE(f.eval({true, true, false}));
+  EXPECT_FALSE(f.eval({false, false, true}));
+  EXPECT_TRUE(f.eval({true, false, false}));
+}
+
+TEST(Genlib, RejectsGarbage) {
+  EXPECT_THROW(parse_genlib("GATE g 10 O=a &% b;\n"), std::runtime_error);
+  EXPECT_THROW(parse_genlib("no gates here\n"), std::runtime_error);
+  EXPECT_THROW(parse_genlib("GATE g 10 Oa*b;\n"), std::runtime_error);
+}
+
+TEST(Genlib, EmbeddedLibraryIsComplete) {
+  const Library& lib = mcnc_like_library();
+  EXPECT_GE(lib.gates.size(), 15u);
+  ASSERT_NE(lib.inverter(), nullptr);
+  ASSERT_NE(lib.nand2(), nullptr);
+  EXPECT_EQ(lib.inverter()->name, "inv1");
+  EXPECT_EQ(lib.nand2()->name, "nand2");
+  // XOR family must be present (the whole point of the BDS comparison).
+  ASSERT_NE(lib.find("xor2"), nullptr);
+  ASSERT_NE(lib.find("xnor2"), nullptr);
+  ASSERT_NE(lib.find("mux21"), nullptr);
+  const sop::Sop x = lib.find("xor2")->function();
+  EXPECT_TRUE(x.eval({true, false}));
+  EXPECT_FALSE(x.eval({true, true}));
+  const sop::Sop m = lib.find("mux21")->function();  // pins s, a, b
+  EXPECT_TRUE(m.eval({true, true, false}));
+  EXPECT_FALSE(m.eval({true, false, true}));
+  EXPECT_TRUE(m.eval({false, false, true}));
+}
+
+TEST(Genlib, PinDelaysTakeWorstCase) {
+  const Library lib = parse_genlib(
+      "GATE g 10 O=!(a*b); PIN a INV 1 999 0.3 0.1 0.2 0.1 "
+      "PIN b INV 1 999 0.5 0.1 0.4 0.1\n");
+  EXPECT_DOUBLE_EQ(lib.gates[0].delay, 0.5);
+}
+
+TEST(Genlib, GateFunctionOverThreePins) {
+  const Library& lib = mcnc_like_library();
+  const Gate* oai21 = lib.find("oai21");
+  ASSERT_NE(oai21, nullptr);
+  const sop::Sop f = oai21->function();  // !((a+b)*c)
+  EXPECT_TRUE(f.eval({false, false, true}));
+  EXPECT_TRUE(f.eval({true, true, false}));
+  EXPECT_FALSE(f.eval({true, false, true}));
+}
+
+}  // namespace
+}  // namespace bds::map

@@ -1,0 +1,174 @@
+// Tests for canonical sharing extraction across factoring trees (Section
+// IV-C, Figs. 13-14): functionally equivalent or complementary subtrees
+// must merge, and semantics must be preserved.
+#include "core/sharing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bds::core {
+namespace {
+
+void expect_same_function(const FactoringForest& f, FactId a, FactId b,
+                          unsigned nv) {
+  for (std::size_t row = 0; row < (std::size_t{1} << nv); ++row) {
+    std::vector<bool> in(nv);
+    for (unsigned v = 0; v < nv; ++v) in[v] = ((row >> v) & 1) != 0;
+    ASSERT_EQ(f.eval(a, in), f.eval(b, in)) << "row " << row;
+  }
+}
+
+TEST(Sharing, MergesStructurallyDifferentButEquivalentSubtrees) {
+  FactoringForest f;
+  const FactId a = f.mk_var(0), b = f.mk_var(1), c = f.mk_var(2);
+  // Tree 1 contains a | b; tree 2 contains !(!a & !b) -- same function,
+  // different structure, so structural hashing alone cannot merge them.
+  const FactId t1 = f.mk_and(f.mk_or(a, b), c);
+  const FactId t2 = f.mk_xor(f.mk_not(f.mk_and(f.mk_not(a), f.mk_not(b))), c);
+  std::vector<FactId> roots{t1, t2};
+  const std::vector<FactId> before = roots;
+
+  bdd::Manager mgr(3);
+  const SharingStats stats = extract_sharing(f, roots, mgr);
+  EXPECT_GE(stats.merged + stats.merged_negated, 1u);
+  expect_same_function(f, roots[0], before[0], 3);
+  expect_same_function(f, roots[1], before[1], 3);
+  // After sharing, both trees reference one OR subtree: gate count shrinks.
+  EXPECT_LT(f.gate_count(roots), f.gate_count(before));
+}
+
+TEST(Sharing, MergesComplementarySubtreesThroughInverter) {
+  FactoringForest f;
+  const FactId a = f.mk_var(0), b = f.mk_var(1);
+  const FactId c = f.mk_var(2), d = f.mk_var(3);
+  // t1 uses (a & b); t2 uses NOR-expressed complement (!a | !b) of it.
+  const FactId t1 = f.mk_or(f.mk_and(a, b), c);
+  const FactId t2 = f.mk_and(f.mk_or(f.mk_not(a), f.mk_not(b)), d);
+  std::vector<FactId> roots{t1, t2};
+  const std::vector<FactId> before = roots;
+
+  bdd::Manager mgr(4);
+  const SharingStats stats = extract_sharing(f, roots, mgr);
+  EXPECT_GE(stats.merged_negated, 1u);
+  expect_same_function(f, roots[0], before[0], 4);
+  expect_same_function(f, roots[1], before[1], 4);
+}
+
+TEST(Sharing, PaperFig14TwoOutputExample) {
+  // Two outputs over the same inputs where an internal comparator
+  // (x xnor y) is computable in both trees; sharing must discover it even
+  // when one tree spells it as a MUX.
+  FactoringForest f;
+  const FactId x = f.mk_var(0), y = f.mk_var(1);
+  const FactId z = f.mk_var(2), w = f.mk_var(3);
+  const FactId eq1 = f.mk_xnor(x, y);
+  const FactId eq2 = f.mk_mux(x, y, f.mk_not(y));  // same function
+  const FactId g = f.mk_and(eq1, z);
+  const FactId h = f.mk_or(eq2, w);
+  std::vector<FactId> roots{g, h};
+  const std::vector<FactId> before = roots;
+
+  bdd::Manager mgr(4);
+  extract_sharing(f, roots, mgr);
+  expect_same_function(f, roots[0], before[0], 4);
+  expect_same_function(f, roots[1], before[1], 4);
+  // The two trees together contain exactly one equality subtree now.
+  EXPECT_LE(f.gate_count(roots), 3u);  // xnor + and + or
+}
+
+TEST(Sharing, NoOpOnAlreadySharedForest) {
+  FactoringForest f;
+  const FactId shared = f.mk_and(f.mk_var(0), f.mk_var(1));
+  std::vector<FactId> roots{f.mk_or(shared, f.mk_var(2)),
+                            f.mk_xor(shared, f.mk_var(3))};
+  bdd::Manager mgr(4);
+  const SharingStats stats = extract_sharing(f, roots, mgr);
+  EXPECT_EQ(stats.merged, 0u);
+  EXPECT_EQ(stats.merged_negated, 0u);
+}
+
+TEST(Sharing, StatsDistinguishPolarity) {
+  FactoringForest f;
+  const FactId a = f.mk_var(0), b = f.mk_var(1);
+  // Same-polarity duplicate and a complemented duplicate.
+  const FactId t1 = f.mk_or(f.mk_and(a, b), f.mk_var(2));
+  const FactId t2 = f.mk_xor(f.mk_not(f.mk_not(f.mk_and(b, a))), f.mk_var(3));
+  const FactId t3 = f.mk_and(f.mk_or(f.mk_not(a), f.mk_not(b)), f.mk_var(4));
+  std::vector<FactId> roots{t1, t2, t3};
+  bdd::Manager mgr(5);
+  const SharingStats stats = extract_sharing(f, roots, mgr);
+  // t3's NAND-ish subtree is the complement of the shared AND.
+  EXPECT_GE(stats.merged_negated, 1u);
+}
+
+TEST(Sharing, ConstantSubtreesCollapse) {
+  FactoringForest f;
+  const FactId a = f.mk_var(0);
+  // x & !x spelled in a way the structural rules miss: via a MUX.
+  const FactId weird = f.mk_mux(a, f.mk_xor(a, a), f.const0());
+  std::vector<FactId> roots{f.mk_or(weird, f.mk_var(1))};
+  bdd::Manager mgr(2);
+  extract_sharing(f, roots, mgr);
+  // After canonical rewriting the root is just var 1.
+  EXPECT_EQ(roots[0], f.mk_var(1));
+}
+
+TEST(Sharing, ManyRootsShareOneDeepChain) {
+  // Ten outputs all embedding the same 4-level chain in different skins.
+  FactoringForest f;
+  const FactId x0 = f.mk_var(0), x1 = f.mk_var(1), x2 = f.mk_var(2),
+               x3 = f.mk_var(3);
+  const FactId chain = f.mk_xor(f.mk_and(x0, x1), f.mk_or(x2, x3));
+  std::vector<FactId> roots;
+  for (bdd::Var v = 4; v < 14; ++v) {
+    // Alternate between the shared form and a De-Morganized clone.
+    if (v % 2 == 0) {
+      roots.push_back(f.mk_and(chain, f.mk_var(v)));
+    } else {
+      const FactId clone = f.mk_xnor(
+          f.mk_not(f.mk_and(x0, x1)),
+          f.mk_not(f.mk_and(f.mk_not(x2), f.mk_not(x3))));
+      roots.push_back(f.mk_and(clone, f.mk_var(v)));
+    }
+  }
+  bdd::Manager mgr(14);
+  const SharingStats stats = extract_sharing(f, roots, mgr);
+  EXPECT_GE(stats.merged + stats.merged_negated, 1u);
+  // All ten roots reference one chain: gate count is 3 (chain) + 10 ANDs.
+  EXPECT_LE(f.gate_count(roots), 14u);
+}
+
+TEST(Sharing, RandomForestsPreserveSemantics) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 10; ++iter) {
+    FactoringForest f;
+    constexpr unsigned nv = 5;
+    std::vector<FactId> pool;
+    for (bdd::Var v = 0; v < nv; ++v) pool.push_back(f.mk_var(v));
+    for (int i = 0; i < 40; ++i) {
+      const FactId a = pool[rng.below(pool.size())];
+      const FactId b = pool[rng.below(pool.size())];
+      const FactId c = pool[rng.below(pool.size())];
+      switch (rng.below(6)) {
+        case 0: pool.push_back(f.mk_and(a, b)); break;
+        case 1: pool.push_back(f.mk_or(a, b)); break;
+        case 2: pool.push_back(f.mk_xor(a, b)); break;
+        case 3: pool.push_back(f.mk_xnor(a, b)); break;
+        case 4: pool.push_back(f.mk_not(a)); break;
+        default: pool.push_back(f.mk_mux(a, b, c)); break;
+      }
+    }
+    std::vector<FactId> roots{pool[pool.size() - 1], pool[pool.size() - 2],
+                              pool[pool.size() - 3]};
+    const std::vector<FactId> before = roots;
+    bdd::Manager mgr(nv);
+    extract_sharing(f, roots, mgr);
+    for (std::size_t r = 0; r < roots.size(); ++r) {
+      expect_same_function(f, roots[r], before[r], nv);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bds::core

@@ -1,0 +1,244 @@
+// Tests for cubes and SOP covers: representation, containment, algebraic
+// (weak) division, and the cube-free machinery the SIS baseline relies on.
+#include "sop/sop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "oracle.hpp"
+#include "util/rng.hpp"
+
+namespace bds::sop {
+namespace {
+
+using test::TruthTable;
+
+Sop random_sop(unsigned nv, unsigned ncubes, Rng& rng) {
+  Sop s(nv);
+  for (unsigned i = 0; i < ncubes; ++i) {
+    Cube c(nv);
+    for (unsigned v = 0; v < nv; ++v) {
+      switch (rng.below(3)) {
+        case 0:
+          c.set(v, Literal::kPos);
+          break;
+        case 1:
+          c.set(v, Literal::kNeg);
+          break;
+        default:
+          break;
+      }
+    }
+    s.add_cube(c);
+  }
+  return s;
+}
+
+TruthTable table_of(const Sop& s, unsigned nv) {
+  TruthTable t(nv);
+  for (std::size_t row = 0; row < t.rows(); ++row) {
+    t.set(row, s.eval(t.assignment(row)));
+  }
+  return t;
+}
+
+// ---- Cube --------------------------------------------------------------------
+
+TEST(Cube, ParseAndPrintRoundTrip) {
+  const Cube c = Cube::parse("1-0-1");
+  EXPECT_EQ(c.to_string(), "1-0-1");
+  EXPECT_EQ(c.get(0), Literal::kPos);
+  EXPECT_EQ(c.get(1), Literal::kAbsent);
+  EXPECT_EQ(c.get(2), Literal::kNeg);
+  EXPECT_EQ(c.literal_count(), 3u);
+}
+
+TEST(Cube, ParseRejectsGarbage) {
+  EXPECT_THROW(Cube::parse("1x0"), std::invalid_argument);
+}
+
+TEST(Cube, UniversalCubeHasNoLiterals) {
+  const Cube c(5);
+  EXPECT_TRUE(c.is_full());
+  EXPECT_FALSE(c.is_empty());
+  EXPECT_EQ(c.literal_count(), 0u);
+}
+
+TEST(Cube, ContainmentMatchesMintermSemantics) {
+  const Cube big = Cube::parse("1--");
+  const Cube small = Cube::parse("1-0");
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(Cube, MeetDetectsEmptyIntersection) {
+  const Cube a = Cube::parse("1-");
+  const Cube b = Cube::parse("0-");
+  EXPECT_TRUE(a.meet(b).is_empty());
+  EXPECT_EQ(a.distance(b), 1u);
+}
+
+TEST(Cube, DivisionStripsLiterals) {
+  const Cube c = Cube::parse("110");
+  const Cube d = Cube::parse("1--");
+  ASSERT_TRUE(c.divisible_by(d));
+  EXPECT_EQ(c.divide(d).to_string(), "-10");
+  EXPECT_FALSE(Cube::parse("010").divisible_by(d));
+}
+
+TEST(Cube, WorksAcrossWordBoundaries) {
+  // 40 variables spans two 64-bit words.
+  Cube c(40);
+  c.set(0, Literal::kPos);
+  c.set(35, Literal::kNeg);
+  EXPECT_EQ(c.literal_count(), 2u);
+  EXPECT_EQ(c.literal_vars(), (std::vector<unsigned>{0, 35}));
+  std::vector<bool> a(40, false);
+  a[0] = true;
+  EXPECT_TRUE(c.eval(a));
+  a[35] = true;
+  EXPECT_FALSE(c.eval(a));
+}
+
+// ---- Sop ----------------------------------------------------------------------
+
+TEST(Sop, ConstantsEvaluate) {
+  const Sop zero = Sop::constant(3, false);
+  const Sop one = Sop::constant(3, true);
+  EXPECT_TRUE(zero.is_constant_zero());
+  EXPECT_TRUE(one.has_full_cube());
+  EXPECT_FALSE(zero.eval({true, true, true}));
+  EXPECT_TRUE(one.eval({false, false, false}));
+}
+
+TEST(Sop, SccRemovesContainedCubes) {
+  Sop s(3);
+  s.add_cube(Cube::parse("1--"));
+  s.add_cube(Cube::parse("11-"));  // contained in the first
+  s.add_cube(Cube::parse("0-1"));
+  s.minimize_scc();
+  EXPECT_EQ(s.cube_count(), 2u);
+}
+
+TEST(Sop, MergeAdjacentJoinsDistanceOnePairs) {
+  Sop s(2);
+  s.add_cube(Cube::parse("10"));
+  s.add_cube(Cube::parse("11"));
+  s.merge_adjacent();
+  ASSERT_EQ(s.cube_count(), 1u);
+  EXPECT_EQ(s.cubes()[0].to_string(), "1-");
+}
+
+TEST(Sop, CommonCubeAndCubeFree) {
+  // F = a*b*c + a*b*!d : common cube a*b.
+  Sop s(4);
+  s.add_cube(Cube::parse("111-"));
+  s.add_cube(Cube::parse("11-0"));
+  EXPECT_FALSE(s.is_cube_free());
+  const Cube common = s.make_cube_free();
+  EXPECT_EQ(common.to_string(), "11--");
+  EXPECT_TRUE(s.is_cube_free());
+  EXPECT_EQ(s.cubes()[0].literal_count() + s.cubes()[1].literal_count(), 2u);
+}
+
+TEST(Sop, WeakDivisionTextbookExample) {
+  // F = a*c + a*d + b*c + b*d + e ; D = a + b  =>  Q = c + d, R = e.
+  Sop f(5);
+  f.add_cube(Cube::parse("1-1--"));
+  f.add_cube(Cube::parse("1--1-"));
+  f.add_cube(Cube::parse("-11--"));
+  f.add_cube(Cube::parse("-1-1-"));
+  f.add_cube(Cube::parse("----1"));
+  Sop d(5);
+  d.add_cube(Cube::parse("1----"));
+  d.add_cube(Cube::parse("-1---"));
+  const auto [q, r] = f.divide(d);
+  Sop expected_q(5);
+  expected_q.add_cube(Cube::parse("--1--"));
+  expected_q.add_cube(Cube::parse("---1-"));
+  expected_q.minimize_scc();
+  Sop qq = q;
+  qq.minimize_scc();
+  EXPECT_EQ(qq, expected_q);
+  ASSERT_EQ(r.cube_count(), 1u);
+  EXPECT_EQ(r.cubes()[0].to_string(), "----1");
+}
+
+TEST(Sop, DivisionByNonFactorGivesEmptyQuotient) {
+  Sop f(3);
+  f.add_cube(Cube::parse("1--"));
+  Sop d(3);
+  d.add_cube(Cube::parse("-1-"));
+  d.add_cube(Cube::parse("--1"));
+  const auto [q, r] = f.divide(d);
+  EXPECT_TRUE(q.is_constant_zero());
+  EXPECT_EQ(r, f);
+}
+
+TEST(Sop, SupportAndLiteralCounts) {
+  Sop s(5);
+  s.add_cube(Cube::parse("1--0-"));
+  s.add_cube(Cube::parse("-1--1"));
+  EXPECT_EQ(s.support(), (std::vector<unsigned>{0, 1, 3, 4}));
+  EXPECT_EQ(s.literal_count(), 4u);
+  EXPECT_EQ(s.literal_occurrences(0, true), 1u);
+  EXPECT_EQ(s.literal_occurrences(3, false), 1u);
+  EXPECT_EQ(s.literal_occurrences(3, true), 0u);
+}
+
+struct SopCase {
+  unsigned vars;
+  unsigned cubes;
+  std::uint64_t seed;
+};
+class SopProperty : public ::testing::TestWithParam<SopCase> {};
+
+TEST_P(SopProperty, DivisionReconstructsFunction) {
+  // Property: F == D*Q + R as Boolean functions, for random F and D.
+  const auto [nv, nc, seed] = GetParam();
+  Rng rng(seed);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Sop f = random_sop(nv, nc, rng);
+    const Sop d = random_sop(nv, 2, rng);
+    const auto [q, r] = f.divide(d);
+    const Sop rebuilt = d.times(q).plus(r);
+    EXPECT_EQ(table_of(rebuilt, nv), table_of(f, nv));
+  }
+}
+
+TEST_P(SopProperty, SccAndMergePreserveSemantics) {
+  const auto [nv, nc, seed] = GetParam();
+  Rng rng(seed ^ 0x1234);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Sop f = random_sop(nv, nc, rng);
+    Sop g = f;
+    g.minimize_scc();
+    EXPECT_EQ(table_of(g, nv), table_of(f, nv));
+    g.merge_adjacent();
+    EXPECT_EQ(table_of(g, nv), table_of(f, nv));
+    EXPECT_LE(g.cube_count(), f.cube_count());
+  }
+}
+
+TEST_P(SopProperty, MakeCubeFreeFactorsExactly) {
+  const auto [nv, nc, seed] = GetParam();
+  Rng rng(seed ^ 0x9999);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Sop f = random_sop(nv, nc, rng);
+    if (f.is_constant_zero()) continue;
+    Sop g = f;
+    const Cube common = g.make_cube_free();
+    Sop commons(nv);
+    commons.add_cube(common);
+    EXPECT_EQ(table_of(commons.times(g), nv), table_of(f, nv));
+    EXPECT_TRUE(g.is_cube_free());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SopProperty,
+                         ::testing::Values(SopCase{3, 3, 1}, SopCase{4, 4, 2},
+                                           SopCase{5, 5, 3}, SopCase{6, 6, 4},
+                                           SopCase{7, 8, 5}, SopCase{8, 10, 6}));
+
+}  // namespace
+}  // namespace bds::sop
