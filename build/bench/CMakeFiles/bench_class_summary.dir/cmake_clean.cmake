@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_class_summary.dir/bench_class_summary.cpp.o"
+  "CMakeFiles/bench_class_summary.dir/bench_class_summary.cpp.o.d"
+  "bench_class_summary"
+  "bench_class_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_class_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

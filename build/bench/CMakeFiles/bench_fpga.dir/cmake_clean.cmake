@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpga.dir/bench_fpga.cpp.o"
+  "CMakeFiles/bench_fpga.dir/bench_fpga.cpp.o.d"
+  "bench_fpga"
+  "bench_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arithmetic_showcase.dir/arithmetic_showcase.cpp.o"
+  "CMakeFiles/arithmetic_showcase.dir/arithmetic_showcase.cpp.o.d"
+  "arithmetic_showcase"
+  "arithmetic_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arithmetic_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

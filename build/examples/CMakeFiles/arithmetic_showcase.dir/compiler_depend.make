@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arithmetic_showcase.
+# This may be replaced when dependencies are built.

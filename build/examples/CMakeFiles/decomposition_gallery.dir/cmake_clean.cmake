@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposition_gallery.dir/decomposition_gallery.cpp.o"
+  "CMakeFiles/decomposition_gallery.dir/decomposition_gallery.cpp.o.d"
+  "decomposition_gallery"
+  "decomposition_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposition_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_blif.dir/optimize_blif.cpp.o"
+  "CMakeFiles/optimize_blif.dir/optimize_blif.cpp.o.d"
+  "optimize_blif"
+  "optimize_blif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_blif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/apply.cpp" "src/CMakeFiles/bds_bdd.dir/bdd/apply.cpp.o" "gcc" "src/CMakeFiles/bds_bdd.dir/bdd/apply.cpp.o.d"
+  "/root/repo/src/bdd/bdd.cpp" "src/CMakeFiles/bds_bdd.dir/bdd/bdd.cpp.o" "gcc" "src/CMakeFiles/bds_bdd.dir/bdd/bdd.cpp.o.d"
+  "/root/repo/src/bdd/dot.cpp" "src/CMakeFiles/bds_bdd.dir/bdd/dot.cpp.o" "gcc" "src/CMakeFiles/bds_bdd.dir/bdd/dot.cpp.o.d"
+  "/root/repo/src/bdd/reorder.cpp" "src/CMakeFiles/bds_bdd.dir/bdd/reorder.cpp.o" "gcc" "src/CMakeFiles/bds_bdd.dir/bdd/reorder.cpp.o.d"
+  "/root/repo/src/bdd/restrict.cpp" "src/CMakeFiles/bds_bdd.dir/bdd/restrict.cpp.o" "gcc" "src/CMakeFiles/bds_bdd.dir/bdd/restrict.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_bdd.dir/bdd/apply.cpp.o"
+  "CMakeFiles/bds_bdd.dir/bdd/apply.cpp.o.d"
+  "CMakeFiles/bds_bdd.dir/bdd/bdd.cpp.o"
+  "CMakeFiles/bds_bdd.dir/bdd/bdd.cpp.o.d"
+  "CMakeFiles/bds_bdd.dir/bdd/dot.cpp.o"
+  "CMakeFiles/bds_bdd.dir/bdd/dot.cpp.o.d"
+  "CMakeFiles/bds_bdd.dir/bdd/reorder.cpp.o"
+  "CMakeFiles/bds_bdd.dir/bdd/reorder.cpp.o.d"
+  "CMakeFiles/bds_bdd.dir/bdd/restrict.cpp.o"
+  "CMakeFiles/bds_bdd.dir/bdd/restrict.cpp.o.d"
+  "libbds_bdd.a"
+  "libbds_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

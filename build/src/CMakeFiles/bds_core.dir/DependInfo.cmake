@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balance.cpp" "src/CMakeFiles/bds_core.dir/core/balance.cpp.o" "gcc" "src/CMakeFiles/bds_core.dir/core/balance.cpp.o.d"
+  "/root/repo/src/core/bds.cpp" "src/CMakeFiles/bds_core.dir/core/bds.cpp.o" "gcc" "src/CMakeFiles/bds_core.dir/core/bds.cpp.o.d"
+  "/root/repo/src/core/cuts.cpp" "src/CMakeFiles/bds_core.dir/core/cuts.cpp.o" "gcc" "src/CMakeFiles/bds_core.dir/core/cuts.cpp.o.d"
+  "/root/repo/src/core/decompose.cpp" "src/CMakeFiles/bds_core.dir/core/decompose.cpp.o" "gcc" "src/CMakeFiles/bds_core.dir/core/decompose.cpp.o.d"
+  "/root/repo/src/core/dominators.cpp" "src/CMakeFiles/bds_core.dir/core/dominators.cpp.o" "gcc" "src/CMakeFiles/bds_core.dir/core/dominators.cpp.o.d"
+  "/root/repo/src/core/eliminate.cpp" "src/CMakeFiles/bds_core.dir/core/eliminate.cpp.o" "gcc" "src/CMakeFiles/bds_core.dir/core/eliminate.cpp.o.d"
+  "/root/repo/src/core/factree.cpp" "src/CMakeFiles/bds_core.dir/core/factree.cpp.o" "gcc" "src/CMakeFiles/bds_core.dir/core/factree.cpp.o.d"
+  "/root/repo/src/core/muxdecomp.cpp" "src/CMakeFiles/bds_core.dir/core/muxdecomp.cpp.o" "gcc" "src/CMakeFiles/bds_core.dir/core/muxdecomp.cpp.o.d"
+  "/root/repo/src/core/sharing.cpp" "src/CMakeFiles/bds_core.dir/core/sharing.cpp.o" "gcc" "src/CMakeFiles/bds_core.dir/core/sharing.cpp.o.d"
+  "/root/repo/src/core/xdecomp.cpp" "src/CMakeFiles/bds_core.dir/core/xdecomp.cpp.o" "gcc" "src/CMakeFiles/bds_core.dir/core/xdecomp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bds_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bds_sop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_core.dir/core/balance.cpp.o"
+  "CMakeFiles/bds_core.dir/core/balance.cpp.o.d"
+  "CMakeFiles/bds_core.dir/core/bds.cpp.o"
+  "CMakeFiles/bds_core.dir/core/bds.cpp.o.d"
+  "CMakeFiles/bds_core.dir/core/cuts.cpp.o"
+  "CMakeFiles/bds_core.dir/core/cuts.cpp.o.d"
+  "CMakeFiles/bds_core.dir/core/decompose.cpp.o"
+  "CMakeFiles/bds_core.dir/core/decompose.cpp.o.d"
+  "CMakeFiles/bds_core.dir/core/dominators.cpp.o"
+  "CMakeFiles/bds_core.dir/core/dominators.cpp.o.d"
+  "CMakeFiles/bds_core.dir/core/eliminate.cpp.o"
+  "CMakeFiles/bds_core.dir/core/eliminate.cpp.o.d"
+  "CMakeFiles/bds_core.dir/core/factree.cpp.o"
+  "CMakeFiles/bds_core.dir/core/factree.cpp.o.d"
+  "CMakeFiles/bds_core.dir/core/muxdecomp.cpp.o"
+  "CMakeFiles/bds_core.dir/core/muxdecomp.cpp.o.d"
+  "CMakeFiles/bds_core.dir/core/sharing.cpp.o"
+  "CMakeFiles/bds_core.dir/core/sharing.cpp.o.d"
+  "CMakeFiles/bds_core.dir/core/xdecomp.cpp.o"
+  "CMakeFiles/bds_core.dir/core/xdecomp.cpp.o.d"
+  "libbds_core.a"
+  "libbds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/arith.cpp" "src/CMakeFiles/bds_gen.dir/gen/arith.cpp.o" "gcc" "src/CMakeFiles/bds_gen.dir/gen/arith.cpp.o.d"
+  "/root/repo/src/gen/control.cpp" "src/CMakeFiles/bds_gen.dir/gen/control.cpp.o" "gcc" "src/CMakeFiles/bds_gen.dir/gen/control.cpp.o.d"
+  "/root/repo/src/gen/ecc.cpp" "src/CMakeFiles/bds_gen.dir/gen/ecc.cpp.o" "gcc" "src/CMakeFiles/bds_gen.dir/gen/ecc.cpp.o.d"
+  "/root/repo/src/gen/shifters.cpp" "src/CMakeFiles/bds_gen.dir/gen/shifters.cpp.o" "gcc" "src/CMakeFiles/bds_gen.dir/gen/shifters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bds_sop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

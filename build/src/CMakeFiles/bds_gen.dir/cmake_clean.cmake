@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_gen.dir/gen/arith.cpp.o"
+  "CMakeFiles/bds_gen.dir/gen/arith.cpp.o.d"
+  "CMakeFiles/bds_gen.dir/gen/control.cpp.o"
+  "CMakeFiles/bds_gen.dir/gen/control.cpp.o.d"
+  "CMakeFiles/bds_gen.dir/gen/ecc.cpp.o"
+  "CMakeFiles/bds_gen.dir/gen/ecc.cpp.o.d"
+  "CMakeFiles/bds_gen.dir/gen/shifters.cpp.o"
+  "CMakeFiles/bds_gen.dir/gen/shifters.cpp.o.d"
+  "libbds_gen.a"
+  "libbds_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/genlib.cpp" "src/CMakeFiles/bds_map.dir/map/genlib.cpp.o" "gcc" "src/CMakeFiles/bds_map.dir/map/genlib.cpp.o.d"
+  "/root/repo/src/map/lutmap.cpp" "src/CMakeFiles/bds_map.dir/map/lutmap.cpp.o" "gcc" "src/CMakeFiles/bds_map.dir/map/lutmap.cpp.o.d"
+  "/root/repo/src/map/mapper.cpp" "src/CMakeFiles/bds_map.dir/map/mapper.cpp.o" "gcc" "src/CMakeFiles/bds_map.dir/map/mapper.cpp.o.d"
+  "/root/repo/src/map/subject.cpp" "src/CMakeFiles/bds_map.dir/map/subject.cpp.o" "gcc" "src/CMakeFiles/bds_map.dir/map/subject.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bds_sis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bds_sop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bds_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

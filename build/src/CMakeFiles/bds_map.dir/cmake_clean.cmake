@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_map.dir/map/genlib.cpp.o"
+  "CMakeFiles/bds_map.dir/map/genlib.cpp.o.d"
+  "CMakeFiles/bds_map.dir/map/lutmap.cpp.o"
+  "CMakeFiles/bds_map.dir/map/lutmap.cpp.o.d"
+  "CMakeFiles/bds_map.dir/map/mapper.cpp.o"
+  "CMakeFiles/bds_map.dir/map/mapper.cpp.o.d"
+  "CMakeFiles/bds_map.dir/map/subject.cpp.o"
+  "CMakeFiles/bds_map.dir/map/subject.cpp.o.d"
+  "libbds_map.a"
+  "libbds_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/blif.cpp" "src/CMakeFiles/bds_net.dir/net/blif.cpp.o" "gcc" "src/CMakeFiles/bds_net.dir/net/blif.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/bds_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/bds_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/sweep.cpp" "src/CMakeFiles/bds_net.dir/net/sweep.cpp.o" "gcc" "src/CMakeFiles/bds_net.dir/net/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bds_sop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_net.dir/net/blif.cpp.o"
+  "CMakeFiles/bds_net.dir/net/blif.cpp.o.d"
+  "CMakeFiles/bds_net.dir/net/network.cpp.o"
+  "CMakeFiles/bds_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/bds_net.dir/net/sweep.cpp.o"
+  "CMakeFiles/bds_net.dir/net/sweep.cpp.o.d"
+  "libbds_net.a"
+  "libbds_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

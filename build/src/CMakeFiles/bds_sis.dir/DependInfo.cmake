@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sis/espresso.cpp" "src/CMakeFiles/bds_sis.dir/sis/espresso.cpp.o" "gcc" "src/CMakeFiles/bds_sis.dir/sis/espresso.cpp.o.d"
+  "/root/repo/src/sis/factor.cpp" "src/CMakeFiles/bds_sis.dir/sis/factor.cpp.o" "gcc" "src/CMakeFiles/bds_sis.dir/sis/factor.cpp.o.d"
+  "/root/repo/src/sis/fullsimplify.cpp" "src/CMakeFiles/bds_sis.dir/sis/fullsimplify.cpp.o" "gcc" "src/CMakeFiles/bds_sis.dir/sis/fullsimplify.cpp.o.d"
+  "/root/repo/src/sis/kernels.cpp" "src/CMakeFiles/bds_sis.dir/sis/kernels.cpp.o" "gcc" "src/CMakeFiles/bds_sis.dir/sis/kernels.cpp.o.d"
+  "/root/repo/src/sis/resub.cpp" "src/CMakeFiles/bds_sis.dir/sis/resub.cpp.o" "gcc" "src/CMakeFiles/bds_sis.dir/sis/resub.cpp.o.d"
+  "/root/repo/src/sis/script.cpp" "src/CMakeFiles/bds_sis.dir/sis/script.cpp.o" "gcc" "src/CMakeFiles/bds_sis.dir/sis/script.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bds_sop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bds_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_sis.dir/sis/espresso.cpp.o"
+  "CMakeFiles/bds_sis.dir/sis/espresso.cpp.o.d"
+  "CMakeFiles/bds_sis.dir/sis/factor.cpp.o"
+  "CMakeFiles/bds_sis.dir/sis/factor.cpp.o.d"
+  "CMakeFiles/bds_sis.dir/sis/fullsimplify.cpp.o"
+  "CMakeFiles/bds_sis.dir/sis/fullsimplify.cpp.o.d"
+  "CMakeFiles/bds_sis.dir/sis/kernels.cpp.o"
+  "CMakeFiles/bds_sis.dir/sis/kernels.cpp.o.d"
+  "CMakeFiles/bds_sis.dir/sis/resub.cpp.o"
+  "CMakeFiles/bds_sis.dir/sis/resub.cpp.o.d"
+  "CMakeFiles/bds_sis.dir/sis/script.cpp.o"
+  "CMakeFiles/bds_sis.dir/sis/script.cpp.o.d"
+  "libbds_sis.a"
+  "libbds_sis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_sis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_sop.dir/sop/cube.cpp.o"
+  "CMakeFiles/bds_sop.dir/sop/cube.cpp.o.d"
+  "CMakeFiles/bds_sop.dir/sop/sop.cpp.o"
+  "CMakeFiles/bds_sop.dir/sop/sop.cpp.o.d"
+  "libbds_sop.a"
+  "libbds_sop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_sop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_verify.dir/verify/cec.cpp.o"
+  "CMakeFiles/bds_verify.dir/verify/cec.cpp.o.d"
+  "CMakeFiles/bds_verify.dir/verify/simulate.cpp.o"
+  "CMakeFiles/bds_verify.dir/verify/simulate.cpp.o.d"
+  "libbds_verify.a"
+  "libbds_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

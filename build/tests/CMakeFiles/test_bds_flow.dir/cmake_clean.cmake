@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bds_flow.dir/test_bds_flow.cpp.o"
+  "CMakeFiles/test_bds_flow.dir/test_bds_flow.cpp.o.d"
+  "test_bds_flow"
+  "test_bds_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bds_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

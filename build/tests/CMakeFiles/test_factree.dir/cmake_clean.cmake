@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factree.dir/test_factree.cpp.o"
+  "CMakeFiles/test_factree.dir/test_factree.cpp.o.d"
+  "test_factree"
+  "test_factree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lutmap.dir/test_lutmap.cpp.o"
+  "CMakeFiles/test_lutmap.dir/test_lutmap.cpp.o.d"
+  "test_lutmap"
+  "test_lutmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lutmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

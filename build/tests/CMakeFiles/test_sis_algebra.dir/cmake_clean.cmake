@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sis_algebra.dir/test_sis_algebra.cpp.o"
+  "CMakeFiles/test_sis_algebra.dir/test_sis_algebra.cpp.o.d"
+  "test_sis_algebra"
+  "test_sis_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sis_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sis_flow.dir/test_sis_flow.cpp.o"
+  "CMakeFiles/test_sis_flow.dir/test_sis_flow.cpp.o.d"
+  "test_sis_flow"
+  "test_sis_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sis_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
