@@ -1,13 +1,19 @@
 // Ablation benchmarks (google-benchmark) for the design choices DESIGN.md
 // calls out: which decomposition types run, sharing extraction, variable
-// reordering, and the eliminate threshold. Each benchmark measures the
-// full BDS optimize time and reports the resulting gate count and literal
-// count as counters, so both runtime and quality effects are visible.
+// reordering, and the eliminate threshold. Since the flows are pass
+// pipelines, every ablation is expressed by editing the flow's script
+// string (src/opt/flows.hpp) rather than option booleans; each benchmark
+// measures the full pipeline time and reports the resulting gate count and
+// literal count as counters, so both runtime and quality effects are
+// visible.
 #include <benchmark/benchmark.h>
 
-#include "core/bds.hpp"
+#include <string>
+
+#include "bdd/bdd.hpp"
 #include "gen/gen.hpp"
 #include "map/mapper.hpp"
+#include "opt/manager.hpp"
 
 namespace {
 
@@ -39,20 +45,35 @@ const char* circuit_name(int id) {
   }
 }
 
+/// The default BDS pipeline with editable stage arguments; empty stage
+/// strings drop the stage entirely.
+std::string bds_script_with(const std::string& partition_args,
+                            const std::string& decompose_args,
+                            bool sharing = true, bool balance = true) {
+  std::string s = "sweep; bds_partition";
+  if (!partition_args.empty()) s += " " + partition_args;
+  s += "; bds_decompose";
+  if (!decompose_args.empty()) s += " " + decompose_args;
+  if (sharing) s += "; bds_sharing";
+  if (balance) s += "; bds_balance";
+  s += "; bds_emit; sweep";
+  return s;
+}
+
 void run_and_report(benchmark::State& state, const net::Network& input,
-                    const core::BdsOptions& opts) {
-  core::BdsStats stats;
-  net::Network out;
+                    const std::string& script) {
+  opt::PipelineStats stats;
+  net::Network out("empty");
   for (auto _ : state) {
-    out = core::bds_optimize(input, opts, &stats);
+    out = input;
+    opt::PassManager pm = opt::PassManager::from_script(script);
+    stats = pm.run(out);
     benchmark::DoNotOptimize(out);
   }
-  state.counters["gates"] =
-      static_cast<double>(out.num_logic_nodes());
+  state.counters["gates"] = static_cast<double>(out.num_logic_nodes());
   state.counters["literals"] = static_cast<double>(out.total_literals());
   state.counters["mapped_area"] = map::map_network(out).area;
-  state.counters["shannon_steps"] =
-      static_cast<double>(stats.decompose.shannon);
+  state.counters["shannon_steps"] = stats.counter("shannon");
 }
 
 // ---- decomposition-type ablation (priority list of Section IV-C) ----------
@@ -61,16 +82,17 @@ void BM_DecompositionTypes(benchmark::State& state) {
   const int circuit = static_cast<int>(state.range(0));
   const int mask = static_cast<int>(state.range(1));
   const net::Network input = circuit_for(circuit);
-  core::BdsOptions opts;
-  opts.decompose.use_simple_dominators = (mask & 1) != 0;
-  opts.decompose.use_mux = (mask & 2) != 0;
-  opts.decompose.use_generalized = (mask & 4) != 0;
-  opts.decompose.use_xdom = (mask & 8) != 0;
+  std::string dec;
+  if ((mask & 1) == 0) dec += " -nodom";
+  if ((mask & 2) == 0) dec += " -nomux";
+  if ((mask & 4) == 0) dec += " -nogen";
+  if ((mask & 8) == 0) dec += " -noxdom";
   state.SetLabel(std::string(circuit_name(circuit)) + "/" +
                  ((mask & 1) ? "dom," : "") + ((mask & 2) ? "mux," : "") +
                  ((mask & 4) ? "gen," : "") + ((mask & 8) ? "xdom" : "") +
                  (mask == 0 ? "shannon-only" : ""));
-  run_and_report(state, input, opts);
+  run_and_report(state, input,
+                 bds_script_with("", dec.empty() ? dec : dec.substr(1)));
 }
 BENCHMARK(BM_DecompositionTypes)
     ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 3, 7, 15}})
@@ -82,11 +104,9 @@ void BM_SharingExtraction(benchmark::State& state) {
   const int circuit = static_cast<int>(state.range(0));
   const bool sharing = state.range(1) != 0;
   const net::Network input = circuit_for(circuit);
-  core::BdsOptions opts;
-  opts.sharing = sharing;
   state.SetLabel(std::string(circuit_name(circuit)) +
                  (sharing ? "/sharing" : "/no-sharing"));
-  run_and_report(state, input, opts);
+  run_and_report(state, input, bds_script_with("", "", sharing));
 }
 BENCHMARK(BM_SharingExtraction)
     ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
@@ -98,11 +118,10 @@ void BM_Reordering(benchmark::State& state) {
   const int circuit = static_cast<int>(state.range(0));
   const bool reorder = state.range(1) != 0;
   const net::Network input = circuit_for(circuit);
-  core::BdsOptions opts;
-  opts.reorder = reorder;
   state.SetLabel(std::string(circuit_name(circuit)) +
                  (reorder ? "/sift" : "/no-reorder"));
-  run_and_report(state, input, opts);
+  run_and_report(state, input,
+                 bds_script_with("", reorder ? "" : "-noreorder"));
 }
 BENCHMARK(BM_Reordering)
     ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
@@ -114,11 +133,10 @@ void BM_EliminateThreshold(benchmark::State& state) {
   const int circuit = static_cast<int>(state.range(0));
   const int threshold = static_cast<int>(state.range(1));
   const net::Network input = circuit_for(circuit);
-  core::BdsOptions opts;
-  opts.eliminate.threshold = threshold;
   state.SetLabel(std::string(circuit_name(circuit)) + "/thr=" +
                  std::to_string(threshold));
-  run_and_report(state, input, opts);
+  run_and_report(state, input,
+                 bds_script_with("-t " + std::to_string(threshold), ""));
 }
 BENCHMARK(BM_EliminateThreshold)
     ->ArgsProduct({{0, 1, 2}, {-4, 0, 4, 16, 64}})
@@ -130,13 +148,10 @@ void BM_DcMinimizer(benchmark::State& state) {
   const int circuit = static_cast<int>(state.range(0));
   const bool use_constrain = state.range(1) != 0;
   const net::Network input = circuit_for(circuit);
-  core::BdsOptions opts;
-  opts.decompose.dc_minimizer = use_constrain
-                                    ? core::DcMinimizer::kConstrain
-                                    : core::DcMinimizer::kRestrict;
   state.SetLabel(std::string(circuit_name(circuit)) +
                  (use_constrain ? "/constrain" : "/restrict"));
-  run_and_report(state, input, opts);
+  run_and_report(state, input,
+                 bds_script_with("", use_constrain ? "-constrain" : ""));
 }
 BENCHMARK(BM_DcMinimizer)
     ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
@@ -148,14 +163,14 @@ void BM_Balancing(benchmark::State& state) {
   const int circuit = static_cast<int>(state.range(0));
   const bool balance = state.range(1) != 0;
   const net::Network input = circuit_for(circuit);
-  core::BdsOptions opts;
-  opts.balance = balance;
   state.SetLabel(std::string(circuit_name(circuit)) +
                  (balance ? "/balanced" : "/chains"));
-  core::BdsStats stats;
-  net::Network out;
+  net::Network out("empty");
   for (auto _ : state) {
-    out = core::bds_optimize(input, opts, &stats);
+    out = input;
+    opt::PassManager pm = opt::PassManager::from_script(
+        bds_script_with("", "", /*sharing=*/true, balance));
+    pm.run(out);
     benchmark::DoNotOptimize(out);
   }
   state.counters["gates"] = static_cast<double>(out.num_logic_nodes());

@@ -1,10 +1,18 @@
 // bds-style command line driver: optimize a BLIF file with the BDD-based
-// flow (or the SIS-style algebraic baseline), map it, verify it, and write
-// the result.
+// flow, the SIS-style algebraic baseline, or any custom pass script; map
+// it, verify it, and write the result.
 //
 // Usage:
 //   optimize_blif <input.blif> [-o out.blif] [-gates out_mapped.blif]
-//                 [-flow bds|sis] [-nomap] [-noverify] [-stats]
+//                 [-flow bds|sis] [-script "<passes>"] [-nomap] [-noverify]
+//                 [-stats] [-trace] [-check] [-list-passes]
+//
+// The optimization flow is a pass pipeline (src/opt/): `-flow` selects one
+// of the two registered scripts ("bds", "rugged"), `-script` runs an
+// arbitrary script such as "sweep; eliminate -1; simplify; gkx; resub",
+// `-trace` prints each pass as it completes, `-check` proves every
+// network-modifying pass equivalent to its input, and `-stats` prints the
+// shared per-pass time/size breakdown table.
 //
 // With no input file, a built-in demo circuit is used.
 #include <fstream>
@@ -12,10 +20,10 @@
 #include <sstream>
 #include <string>
 
-#include "core/bds.hpp"
 #include "map/mapper.hpp"
 #include "net/network.hpp"
-#include "sis/script.hpp"
+#include "opt/manager.hpp"
+#include "opt/registry.hpp"
 #include "util/timer.hpp"
 #include "verify/cec.hpp"
 
@@ -40,9 +48,23 @@ constexpr const char* kDemo = R"(
 
 int usage() {
   std::cerr << "usage: optimize_blif [input.blif] [-o out.blif] "
-               "[-gates out_mapped.blif] [-flow bds|sis] [-nomap] "
-               "[-noverify] [-stats]\n";
+               "[-gates out_mapped.blif] [-flow bds|sis] "
+               "[-script \"<passes>\"] [-nomap] [-noverify] [-stats] "
+               "[-trace] [-check] [-list-passes]\n";
   return 2;
+}
+
+int list_passes() {
+  const auto& registry = bds::opt::PassRegistry::instance();
+  std::cout << "passes:\n";
+  for (const auto& [name, help] : registry.list()) {
+    std::cout << "  " << name << "\n      " << help << "\n";
+  }
+  std::cout << "scripts:\n";
+  for (const auto& [name, text] : registry.list_scripts()) {
+    std::cout << "  " << name << "\n      " << text << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -54,9 +76,12 @@ int main(int argc, char** argv) {
   std::string output_path;
   std::string gate_path;
   std::string flow = "bds";
+  std::string script;
   bool do_map = true;
   bool do_verify = true;
   bool show_stats = false;
+  bool trace = false;
+  bool check = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,19 +91,32 @@ int main(int argc, char** argv) {
       gate_path = argv[++i];
     } else if (arg == "-flow" && i + 1 < argc) {
       flow = argv[++i];
+    } else if (arg == "-script" && i + 1 < argc) {
+      script = argv[++i];
     } else if (arg == "-nomap") {
       do_map = false;
     } else if (arg == "-noverify") {
       do_verify = false;
     } else if (arg == "-stats") {
       show_stats = true;
+    } else if (arg == "-trace") {
+      trace = true;
+    } else if (arg == "-check") {
+      check = true;
+    } else if (arg == "-list-passes") {
+      return list_passes();
     } else if (arg[0] == '-') {
       return usage();
-    } else {
+    } else if (input_path.empty()) {
       input_path = arg;
+    } else {
+      std::cerr << "unexpected extra argument '" << arg << "' (input is '"
+                << input_path << "')\n";
+      return usage();
     }
   }
   if (flow != "bds" && flow != "sis") return usage();
+  if (script.empty()) script = (flow == "bds") ? "bds" : "rugged";
 
   net::Network input;
   try {
@@ -102,41 +140,49 @@ int main(int argc, char** argv) {
             << input.num_outputs() << " outputs, " << input.num_logic_nodes()
             << " nodes, " << input.total_literals() << " literals\n";
 
+  opt::PassManager pipeline;
+  try {
+    pipeline = opt::PassManager::from_script(script);
+  } catch (const opt::ScriptError& e) {
+    std::cerr << "script error: " << e.what() << "\n";
+    return 2;
+  }
+
+  opt::PipelineOptions popts;
+  popts.check = check;
+  if (trace) {
+    popts.trace = [](const opt::PassStats& p) {
+      std::cout << "  [pass] " << p.name;
+      if (!p.args.empty()) std::cout << ' ' << p.args;
+      std::cout << ": nodes " << p.nodes_before << "->" << p.nodes_after
+                << ", literals " << p.lits_before << "->" << p.lits_after
+                << " (" << p.seconds << " s)";
+      if (p.check == opt::PassStats::Check::kFailed) std::cout << "  CHECK FAILED";
+      std::cout << "\n";
+    };
+  }
+
   Timer timer;
-  net::Network optimized;
-  if (flow == "bds") {
-    core::BdsStats stats;
-    optimized = core::bds_optimize(input, {}, &stats);
-    std::cout << "bds: " << optimized.num_logic_nodes() << " gates, "
-              << optimized.total_literals() << " literals in "
-              << stats.seconds_total << " s\n";
-    if (show_stats) {
-      std::cout << "  eliminated " << stats.eliminated << " nodes into "
-                << stats.supernodes << " supernodes\n"
-                << "  decompositions: " << stats.decompose.one_dominator
-                << " 1-dom, " << stats.decompose.zero_dominator << " 0-dom, "
-                << stats.decompose.x_dominator << " x-dom, "
-                << stats.decompose.functional_mux << " fmux, "
-                << stats.decompose.generalized_and << " gAND, "
-                << stats.decompose.generalized_or << " gOR, "
-                << stats.decompose.generalized_xnor << " gXNOR, "
-                << stats.decompose.shannon << " shannon\n"
-                << "  sharing merged " << stats.shared_merged
-                << " subtrees; peak BDD nodes " << stats.peak_bdd_nodes
-                << " (" << stats.peak_bdd_bytes / 1024 << " KiB)\n";
+  net::Network optimized = input;
+  opt::PipelineStats pstats;
+  try {
+    pstats = pipeline.run(optimized, popts);
+  } catch (const opt::ScriptError& e) {
+    std::cerr << "script error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << script << ": " << optimized.num_logic_nodes() << " nodes, "
+            << optimized.total_literals() << " literals in "
+            << pstats.seconds_total << " s\n";
+  if (show_stats) std::cout << format_pass_table(pstats);
+  if (check) {
+    if (pstats.check_failures > 0) {
+      std::cerr << "per-pass check: " << pstats.check_failures
+                << " pass(es) FAILED\n";
+      return 1;
     }
-  } else {
-    optimized = input;
-    const sis::SisStats stats = sis::script_rugged(optimized);
-    std::cout << "sis: " << optimized.num_logic_nodes() << " nodes, "
-              << optimized.total_literals() << " literals in "
-              << stats.seconds_total << " s\n";
-    if (show_stats) {
-      std::cout << "  eliminated " << stats.eliminated << ", extracted "
-                << stats.divisors_extracted << " divisors, resubstituted "
-                << stats.resubstitutions << ", full-simplified "
-                << stats.full_simplified << " nodes\n";
-    }
+    std::cout << "per-pass check: all passes equivalent\n";
   }
 
   net::Network final_net = optimized;

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/decompose.hpp"
 #include "core/eliminate.hpp"
 #include "net/network.hpp"
+#include "opt/pass.hpp"
 
 namespace bds::core {
 
@@ -42,9 +44,15 @@ struct BdsStats {
   double seconds_partition = 0.0;
   double seconds_decompose = 0.0;
   double seconds_sharing = 0.0;
+  /// Per-pass breakdown of the pipeline that ran (opt/manager.hpp).
+  std::vector<opt::PassStats> passes;
 };
 
 /// Runs the full BDS flow and returns the optimized gate-level network.
+///
+/// Implemented (src/opt/bds_flow.cpp) as a thin wrapper: the options are
+/// rendered into the pipeline script `opt::default_bds_script(options)`
+/// and run through `opt::PassManager`.
 net::Network bds_optimize(const net::Network& input,
                           const BdsOptions& options = {},
                           BdsStats* stats = nullptr);

@@ -1,0 +1,178 @@
+#include "core/emit.hpp"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace bds::core {
+
+using net::Network;
+using net::NodeId;
+
+namespace {
+
+/// Emits the gate network for factoring trees. Signals (kVar leaves) are
+/// global signal indices resolved through `sig_value`; NOT is represented
+/// as a complemented reference and folded into consumer SOP literals, so
+/// inverters only materialize at primary outputs.
+class GateEmitter {
+ public:
+  GateEmitter(Network& out, const FactoringForest& forest,
+              const std::vector<std::pair<NodeId, bool>>& sig_value)
+      : out_(out), forest_(forest), sig_value_(sig_value) {}
+
+  std::pair<NodeId, bool> emit(FactId id) {
+    const auto it = memo_.find(id);
+    if (it != memo_.end()) return it->second;
+    const FactNode& n = forest_.node(id);
+    std::pair<NodeId, bool> result;
+    switch (n.kind) {
+      case FactKind::kConst0:
+        result = {const_node(), false};
+        break;
+      case FactKind::kConst1:
+        result = {const_node(), true};
+        break;
+      case FactKind::kVar:
+        result = sig_value_[n.var];
+        break;
+      case FactKind::kNot: {
+        const auto a = emit(n.a);
+        result = {a.first, !a.second};
+        break;
+      }
+      case FactKind::kAnd:
+      case FactKind::kOr:
+      case FactKind::kXor:
+      case FactKind::kXnor:
+        result = {emit_binary(n), false};
+        break;
+      case FactKind::kMux:
+        result = {emit_mux(n), false};
+        break;
+    }
+    memo_.emplace(id, result);
+    return result;
+  }
+
+ private:
+  NodeId const_node() {
+    // A single constant-0 node; constant 1 is its complemented reference.
+    if (const0_ == net::kNoNode) {
+      const0_ = out_.add_node(out_.fresh_name("k"), {},
+                              sop::Sop::constant(0, false));
+    }
+    return const0_;
+  }
+
+  static char bit(bool value, bool negated) {
+    return (value != negated) ? '1' : '0';
+  }
+
+  NodeId emit_binary(const FactNode& n) {
+    const auto [na, nega] = emit(n.a);
+    const auto [nb, negb] = emit(n.b);
+    sop::Sop func(2);
+    switch (n.kind) {
+      case FactKind::kAnd:
+        func.add_cube(sop::Cube::parse({bit(true, nega), bit(true, negb)}));
+        break;
+      case FactKind::kOr:
+        func.add_cube(sop::Cube::parse({bit(true, nega), '-'}));
+        func.add_cube(sop::Cube::parse({'-', bit(true, negb)}));
+        break;
+      case FactKind::kXor:
+      case FactKind::kXnor: {
+        // xor with fold: (a^nega) ^ (b^negb) = a^b ^ (nega^negb)
+        const bool flip =
+            (nega != negb) != (n.kind == FactKind::kXnor);  // true => XNOR
+        if (flip) {
+          func.add_cube(sop::Cube::parse("11"));
+          func.add_cube(sop::Cube::parse("00"));
+        } else {
+          func.add_cube(sop::Cube::parse("10"));
+          func.add_cube(sop::Cube::parse("01"));
+        }
+        break;
+      }
+      default:
+        assert(false);
+    }
+    return out_.add_node(out_.fresh_name("g"), {na, nb}, std::move(func));
+  }
+
+  NodeId emit_mux(const FactNode& n) {
+    const auto [ns, negs] = emit(n.a);
+    const auto [nh, negh] = emit(n.b);
+    const auto [nl, negl] = emit(n.c);
+    sop::Sop func(3);
+    // sel ? hi : lo  ==  sel&hi | !sel&lo, with polarities folded.
+    {
+      std::string c = "---";
+      c[0] = bit(true, negs);
+      c[1] = bit(true, negh);
+      func.add_cube(sop::Cube::parse(c));
+    }
+    {
+      std::string c = "---";
+      c[0] = bit(false, negs);
+      c[2] = bit(true, negl);
+      func.add_cube(sop::Cube::parse(c));
+    }
+    return out_.add_node(out_.fresh_name("g"), {ns, nh, nl}, std::move(func));
+  }
+
+  Network& out_;
+  const FactoringForest& forest_;
+  const std::vector<std::pair<NodeId, bool>>& sig_value_;
+  std::unordered_map<FactId, std::pair<NodeId, bool>> memo_;
+  NodeId const0_ = net::kNoNode;
+};
+
+}  // namespace
+
+Network emit_gate_network(const Network& src, const FactoringForest& forest,
+                          const std::vector<FactId>& roots,
+                          const PartitionResult& part,
+                          const std::vector<std::uint32_t>& sig_of,
+                          std::uint32_t nsigs, EmitStats* stats_out) {
+  EmitStats stats;
+  Network out(src.name());
+  std::vector<std::pair<NodeId, bool>> sig_value(nsigs,
+                                                 {net::kNoNode, false});
+  for (const NodeId pi : src.inputs()) {
+    sig_value[sig_of[pi]] = {out.add_input(src.node(pi).name), false};
+  }
+  GateEmitter emitter(out, forest, sig_value);
+  for (std::size_t i = 0; i < part.supernodes.size(); ++i) {
+    sig_value[sig_of[part.supernodes[i].id]] = emitter.emit(roots[i]);
+  }
+
+  std::unordered_map<NodeId, NodeId> inverter_of;  // share PO inverters
+  for (const auto& [name, driver] : src.outputs()) {
+    if (driver == net::kNoNode) continue;
+    const auto sv = sig_value[sig_of[driver]];
+    assert(sv.first != net::kNoNode);
+    NodeId target;
+    if (sv.second) {
+      const auto [it, inserted] = inverter_of.try_emplace(sv.first, net::kNoNode);
+      if (inserted) {
+        sop::Sop inv(1);
+        inv.add_cube(sop::Cube::parse("0"));
+        it->second =
+            out.add_node(out.fresh_name("inv"), {sv.first}, std::move(inv));
+        ++stats.po_inverters;
+      }
+      target = it->second;
+    } else {
+      target = sv.first;
+    }
+    out.set_output(name, target);
+  }
+
+  if (stats_out != nullptr) *stats_out = stats;
+  return out;
+}
+
+}  // namespace bds::core

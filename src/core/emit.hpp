@@ -1,0 +1,36 @@
+// Gate network construction: the final stage of the BDS flow. Translates
+// the decomposed factoring forest back into a Boolean network of simple
+// gates (AND2/OR2/XOR2/XNOR2/MUX/INV), resolving factoring-tree leaves
+// through the partition's global signal space and sharing primary-output
+// inverters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/eliminate.hpp"
+#include "core/factree.hpp"
+#include "net/network.hpp"
+
+namespace bds::core {
+
+struct EmitStats {
+  std::size_t po_inverters = 0;  ///< materialized (shared) output inverters
+};
+
+/// Builds the gate-level network for a decomposed partition of `src`.
+///
+/// `roots[i]` is the factoring tree of `part.supernodes[i]`; `sig_of` maps
+/// original node ids (PIs and supernode outputs) to the dense signal space
+/// of size `nsigs` used by the forest's kVar leaves. `src` supplies the
+/// network name, the primary inputs, and the primary-output bindings.
+net::Network emit_gate_network(const net::Network& src,
+                               const FactoringForest& forest,
+                               const std::vector<FactId>& roots,
+                               const PartitionResult& part,
+                               const std::vector<std::uint32_t>& sig_of,
+                               std::uint32_t nsigs,
+                               EmitStats* stats = nullptr);
+
+}  // namespace bds::core

@@ -1,0 +1,273 @@
+#include "opt/bds_passes.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "opt/registry.hpp"
+
+namespace bds::opt {
+
+namespace {
+
+using bdd::Bdd;
+using bdd::Var;
+using net::NodeId;
+
+class BdsPartitionPass final : public Pass {
+ public:
+  explicit BdsPartitionPass(const std::vector<std::string>& args) {
+    validate_args("bds_partition", args, 0, {"-t", "-max_bdd", "-passes"},
+                  {});
+    opts_.threshold = parse_int_arg(
+        "bds_partition", flag_value("bds_partition", args, "-t",
+                                    std::to_string(opts_.threshold)));
+    opts_.max_bdd = parse_size_arg(
+        "bds_partition", flag_value("bds_partition", args, "-max_bdd",
+                                    std::to_string(opts_.max_bdd)));
+    opts_.max_passes = static_cast<unsigned>(parse_size_arg(
+        "bds_partition", flag_value("bds_partition", args, "-passes",
+                                    std::to_string(opts_.max_passes))));
+  }
+
+  std::string_view name() const override { return "bds_partition"; }
+  std::string args() const override {
+    std::string out;
+    const core::EliminateOptions defaults;
+    if (opts_.threshold != defaults.threshold) {
+      out += "-t " + std::to_string(opts_.threshold);
+    }
+    if (opts_.max_bdd != defaults.max_bdd) {
+      if (!out.empty()) out += ' ';
+      out += "-max_bdd " + std::to_string(opts_.max_bdd);
+    }
+    if (opts_.max_passes != defaults.max_passes) {
+      if (!out.empty()) out += ' ';
+      out += "-passes " + std::to_string(opts_.max_passes);
+    }
+    return out;
+  }
+  bool modifies_network() const override { return false; }
+
+  void run(net::Network& net, PassContext& ctx) override {
+    BdsFlowState& st = ctx.state<BdsFlowState>();
+    st.pmgr = std::make_unique<bdd::Manager>();
+    st.part = core::partition_network(net, *st.pmgr, opts_);
+
+    // Global signal space: PIs plus supernode outputs.
+    st.sig_of.assign(net.raw_size(), 0xffffffffu);
+    st.nsigs = 0;
+    for (const NodeId pi : net.inputs()) st.sig_of[pi] = st.nsigs++;
+    for (const core::Supernode& sn : st.part.supernodes) {
+      st.sig_of[sn.id] = st.nsigs++;
+    }
+
+    ctx.count("eliminated", static_cast<double>(st.part.eliminated));
+    ctx.count("supernodes", static_cast<double>(st.part.supernodes.size()));
+  }
+
+ private:
+  core::EliminateOptions opts_;
+};
+
+class BdsDecomposePass final : public Pass {
+ public:
+  explicit BdsDecomposePass(const std::vector<std::string>& args) {
+    validate_args(
+        "bds_decompose", args, 0, {"-max_cuts"},
+        {"-noreorder", "-nodom", "-nomux", "-nogen", "-noxdom", "-constrain"});
+    reorder_ = !has_flag(args, "-noreorder");
+    opts_.use_simple_dominators = !has_flag(args, "-nodom");
+    opts_.use_mux = !has_flag(args, "-nomux");
+    opts_.use_generalized = !has_flag(args, "-nogen");
+    opts_.use_xdom = !has_flag(args, "-noxdom");
+    if (has_flag(args, "-constrain")) {
+      opts_.dc_minimizer = core::DcMinimizer::kConstrain;
+    }
+    opts_.max_cuts = parse_size_arg(
+        "bds_decompose", flag_value("bds_decompose", args, "-max_cuts",
+                                    std::to_string(opts_.max_cuts)));
+  }
+
+  std::string_view name() const override { return "bds_decompose"; }
+  std::string args() const override {
+    std::string out;
+    const auto flag = [&out](const char* f) {
+      if (!out.empty()) out += ' ';
+      out += f;
+    };
+    if (!reorder_) flag("-noreorder");
+    if (!opts_.use_simple_dominators) flag("-nodom");
+    if (!opts_.use_mux) flag("-nomux");
+    if (!opts_.use_generalized) flag("-nogen");
+    if (!opts_.use_xdom) flag("-noxdom");
+    if (opts_.dc_minimizer == core::DcMinimizer::kConstrain) {
+      flag("-constrain");
+    }
+    const core::DecomposeOptions defaults;
+    if (opts_.max_cuts != defaults.max_cuts) {
+      if (!out.empty()) out += ' ';
+      out += "-max_cuts " + std::to_string(opts_.max_cuts);
+    }
+    return out;
+  }
+  bool modifies_network() const override { return false; }
+
+  void run(net::Network&, PassContext& ctx) override {
+    BdsFlowState& st = ctx.state<BdsFlowState>();
+    if (!st.pmgr) {
+      throw ScriptError("bds_decompose: no partition; run bds_partition first");
+    }
+    st.forest = core::FactoringForest();
+    st.roots.clear();
+    st.roots.reserve(st.part.supernodes.size());
+
+    for (const core::Supernode& sn : st.part.supernodes) {
+      const auto k = static_cast<std::uint32_t>(sn.inputs.size());
+      // "BDD mapping": rebuild the supernode function in a compact manager
+      // containing only the used variables (Section IV-B).
+      bdd::Manager local(k);
+      std::vector<Var> var_map(st.pmgr->num_vars(), 0);
+      for (std::uint32_t i = 0; i < k; ++i) {
+        var_map[st.part.var_of[sn.inputs[i]]] = i;
+      }
+      const Bdd lf =
+          local.wrap(st.pmgr->transfer_to(local, sn.func.edge(), var_map));
+      if (reorder_ && k > 1) local.reorder_sift();
+
+      core::FactoringForest local_forest;
+      core::Decomposer dec(local, local_forest, opts_);
+      const core::FactId local_root = dec.decompose(lf);
+      const core::DecomposeStats& d = dec.stats();
+      st.decompose.one_dominator += d.one_dominator;
+      st.decompose.zero_dominator += d.zero_dominator;
+      st.decompose.x_dominator += d.x_dominator;
+      st.decompose.functional_mux += d.functional_mux;
+      st.decompose.generalized_and += d.generalized_and;
+      st.decompose.generalized_or += d.generalized_or;
+      st.decompose.generalized_xnor += d.generalized_xnor;
+      st.decompose.shannon += d.shannon;
+
+      std::vector<core::FactId> leaf_map(k);
+      for (std::uint32_t i = 0; i < k; ++i) {
+        leaf_map[i] = st.forest.mk_var(st.sig_of[sn.inputs[i]]);
+      }
+      st.roots.push_back(
+          local_forest.copy_into(st.forest, local_root, leaf_map));
+      st.peak_local_nodes =
+          std::max(st.peak_local_nodes, local.stats().peak_live_nodes);
+      st.peak_local_bytes =
+          std::max(st.peak_local_bytes, local.stats().peak_memory_bytes);
+    }
+
+    ctx.count("dominators", static_cast<double>(st.decompose.one_dominator +
+                                                st.decompose.zero_dominator +
+                                                st.decompose.x_dominator));
+    ctx.count("mux", static_cast<double>(st.decompose.functional_mux));
+    ctx.count("generalized",
+              static_cast<double>(st.decompose.generalized_and +
+                                  st.decompose.generalized_or +
+                                  st.decompose.generalized_xnor));
+    ctx.count("shannon", static_cast<double>(st.decompose.shannon));
+  }
+
+ private:
+  core::DecomposeOptions opts_;
+  bool reorder_ = true;
+};
+
+class BdsSharingPass final : public Pass {
+ public:
+  std::string_view name() const override { return "bds_sharing"; }
+  bool modifies_network() const override { return false; }
+
+  void run(net::Network&, PassContext& ctx) override {
+    BdsFlowState& st = ctx.state<BdsFlowState>();
+    if (!st.pmgr) {
+      throw ScriptError("bds_sharing: no partition; run bds_partition first");
+    }
+    if (st.roots.empty()) return;
+    bdd::Manager smgr(st.nsigs);
+    st.sharing = core::extract_sharing(st.forest, st.roots, smgr);
+    st.peak_sharing_nodes = smgr.stats().peak_live_nodes;
+    st.peak_sharing_bytes = smgr.stats().peak_memory_bytes;
+    ctx.count("merged", static_cast<double>(st.sharing.merged));
+    ctx.count("merged_neg", static_cast<double>(st.sharing.merged_negated));
+  }
+};
+
+class BdsBalancePass final : public Pass {
+ public:
+  std::string_view name() const override { return "bds_balance"; }
+  bool modifies_network() const override { return false; }
+
+  void run(net::Network&, PassContext& ctx) override {
+    BdsFlowState& st = ctx.state<BdsFlowState>();
+    if (st.roots.empty()) return;
+    st.balance = core::balance_forest(st.forest, st.roots);
+    ctx.count("chains", static_cast<double>(st.balance.chains_rebalanced));
+  }
+};
+
+class BdsEmitPass final : public Pass {
+ public:
+  std::string_view name() const override { return "bds_emit"; }
+
+  void run(net::Network& net, PassContext& ctx) override {
+    BdsFlowState& st = ctx.state<BdsFlowState>();
+    if (!st.pmgr) {
+      throw ScriptError("bds_emit: no partition; run bds_partition first");
+    }
+    net::Network out = core::emit_gate_network(
+        net, st.forest, st.roots, st.part, st.sig_of, st.nsigs, &st.emit);
+    ctx.count("po_inverters", static_cast<double>(st.emit.po_inverters));
+    // The supernode partition refers to ids of the pre-emit network; it is
+    // consumed here (a later bds_emit without a fresh partition is an error).
+    st.peak_partition_nodes =
+        std::max(st.peak_partition_nodes, st.pmgr->stats().peak_live_nodes);
+    st.peak_partition_bytes =
+        std::max(st.peak_partition_bytes, st.pmgr->stats().peak_memory_bytes);
+    st.part = {};  // drops the supernode Bdd handles before their manager
+    st.pmgr.reset();
+    net = std::move(out);
+  }
+};
+
+}  // namespace
+
+void register_bds_passes(PassRegistry& registry) {
+  registry.add(
+      "bds_partition",
+      "bds_partition [-t N] [-max_bdd N] [-passes N]: BDD-cost eliminate; "
+      "builds the supernode partition (blackboard)",
+      [](const std::vector<std::string>& args) {
+        return std::make_unique<BdsPartitionPass>(args);
+      });
+  registry.add(
+      "bds_decompose",
+      "bds_decompose [-noreorder] [-nodom] [-nomux] [-nogen] [-noxdom] "
+      "[-constrain] [-max_cuts N]: per-supernode BDD decomposition into "
+      "factoring trees",
+      [](const std::vector<std::string>& args) {
+        return std::make_unique<BdsDecomposePass>(args);
+      });
+  registry.add("bds_sharing",
+               "canonical sharing extraction across factoring trees",
+               [](const std::vector<std::string>& args) {
+                 validate_args("bds_sharing", args, 0, {}, {});
+                 return std::make_unique<BdsSharingPass>();
+               });
+  registry.add("bds_balance",
+               "depth-balance associative chains in the factoring trees",
+               [](const std::vector<std::string>& args) {
+                 validate_args("bds_balance", args, 0, {}, {});
+                 return std::make_unique<BdsBalancePass>();
+               });
+  registry.add("bds_emit",
+               "construct the simple-gate network from the factoring forest",
+               [](const std::vector<std::string>& args) {
+                 validate_args("bds_emit", args, 0, {}, {});
+                 return std::make_unique<BdsEmitPass>();
+               });
+}
+
+}  // namespace bds::opt

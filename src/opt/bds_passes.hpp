@@ -1,0 +1,65 @@
+// The BDS flow (Fig. 12) as pipeline passes over a shared blackboard
+// state: `bds_partition` builds the supernode partition, `bds_decompose`
+// turns every supernode BDD into a factoring tree, `bds_sharing` and
+// `bds_balance` rewrite the forest, and `bds_emit` constructs the gate
+// network. All but `bds_emit` leave the pipeline's network untouched; the
+// per-pass CEC checkpoint at `bds_emit` therefore validates the whole
+// decomposition chain against the partitioned input.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "core/balance.hpp"
+#include "core/decompose.hpp"
+#include "core/eliminate.hpp"
+#include "core/emit.hpp"
+#include "core/factree.hpp"
+#include "core/sharing.hpp"
+
+namespace bds::opt {
+
+/// Blackboard state shared by the bds_* passes (PassContext::state).
+struct BdsFlowState {
+  /// Partition manager; owns the supernode function BDDs.
+  std::unique_ptr<bdd::Manager> pmgr;
+  core::PartitionResult part;
+  /// Original node id -> dense signal index (PIs + supernode outputs).
+  std::vector<std::uint32_t> sig_of;
+  std::uint32_t nsigs = 0;
+
+  core::FactoringForest forest;
+  std::vector<core::FactId> roots;
+  core::DecomposeStats decompose;
+
+  core::SharingStats sharing;
+  core::BalanceStats balance;
+  core::EmitStats emit;
+
+  // BDD memory high-watermarks of the partition, local (per-supernode),
+  // and sharing managers. The partition peak is captured by bds_emit when
+  // it retires `pmgr`.
+  std::size_t peak_partition_nodes = 0;
+  std::size_t peak_partition_bytes = 0;
+  std::size_t peak_local_nodes = 0;
+  std::size_t peak_local_bytes = 0;
+  std::size_t peak_sharing_nodes = 0;
+  std::size_t peak_sharing_bytes = 0;
+
+  std::size_t peak_bdd_nodes() const {
+    return std::max(peak_partition_nodes,
+                    pmgr ? pmgr->stats().peak_live_nodes : std::size_t{0}) +
+           peak_local_nodes + peak_sharing_nodes;
+  }
+  std::size_t peak_bdd_bytes() const {
+    return std::max(peak_partition_bytes,
+                    pmgr ? pmgr->stats().peak_memory_bytes : std::size_t{0}) +
+           peak_local_bytes + peak_sharing_bytes;
+  }
+};
+
+}  // namespace bds::opt

@@ -1,0 +1,25 @@
+// Script builders for the two canonical flows. The legacy entry points
+// (`core::bds_optimize`, `sis::script_rugged`) are thin wrappers that build
+// one of these scripts from their option structs and run it through the
+// PassManager; tools can obtain the same text, edit it, and run variants.
+#pragma once
+
+#include <string>
+
+#include "core/bds.hpp"
+#include "sis/optimize.hpp"
+
+namespace bds::opt {
+
+/// The BDS flow of Fig. 12 as a script:
+/// `sweep; bds_partition ...; bds_decompose ...; bds_sharing; bds_balance;
+///  bds_emit; sweep`, with stages and flags reflecting `options`.
+std::string default_bds_script(const core::BdsOptions& options = {});
+
+/// The SIS `script.rugged` recipe as a script:
+/// `sweep; eliminate -1; simplify; sweep; eliminate 5; gkx; resub; gkx;
+///  sweep; eliminate -1; simplify; sweep; full_simplify; sweep`,
+/// with non-default option values rendered as pass flags.
+std::string rugged_script(const sis::SisOptions& options = {});
+
+}  // namespace bds::opt

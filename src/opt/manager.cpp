@@ -1,0 +1,172 @@
+#include "opt/manager.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "opt/registry.hpp"
+#include "util/timer.hpp"
+#include "verify/cec.hpp"
+
+namespace bds::opt {
+
+double PipelineStats::counter(std::string_view key) const {
+  double total = 0.0;
+  for (const PassStats& p : passes) total += p.counter(key);
+  return total;
+}
+
+double PipelineStats::seconds_in(std::string_view pass_name) const {
+  double total = 0.0;
+  for (const PassStats& p : passes) {
+    if (p.name == pass_name) total += p.seconds;
+  }
+  return total;
+}
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+PassManager PassManager::from_script(const std::string& script) {
+  std::string text = script;
+  {
+    // A bare registered-script name expands to its text.
+    const std::vector<ScriptCommand> probe = parse_script(text);
+    if (probe.size() == 1 && probe[0].args.empty()) {
+      if (const std::string* named =
+              PassRegistry::instance().find_script(probe[0].name)) {
+        text = *named;
+      }
+    }
+  }
+  PassManager pm;
+  for (const ScriptCommand& cmd : parse_script(text)) {
+    pm.add(PassRegistry::instance().create(cmd));
+  }
+  return pm;
+}
+
+PipelineStats PassManager::run(net::Network& net,
+                               const PipelineOptions& options) {
+  PassContext ctx;
+  return run(net, options, ctx);
+}
+
+PipelineStats PassManager::run(net::Network& net,
+                               const PipelineOptions& options,
+                               PassContext& ctx) {
+  PipelineStats stats;
+  stats.passes.reserve(passes_.size());
+  Timer t_total;
+
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    PassStats ps;
+    ps.name = std::string(pass->name());
+    ps.args = pass->args();
+    ps.nodes_before = net.num_logic_nodes();
+    ps.lits_before = net.total_literals();
+    ps.depth_before = net.depth();
+
+    const bool checkpoint = options.check && pass->modifies_network();
+    net::Network before_copy("unused");
+    if (checkpoint) before_copy = net;
+
+    ctx.attach_counter_sink(&ps);
+    Timer t_pass;
+    pass->run(net, ctx);
+    ps.seconds = t_pass.seconds();
+    ctx.attach_counter_sink(nullptr);
+
+    ps.nodes_after = net.num_logic_nodes();
+    ps.lits_after = net.total_literals();
+    ps.depth_after = net.depth();
+
+    if (checkpoint) {
+      const verify::CecResult cec = verify::check_equivalence(
+          before_copy, net, options.check_max_live_nodes);
+      switch (cec.status) {
+        case verify::CecStatus::kEquivalent:
+          ps.check = PassStats::Check::kEquivalent;
+          break;
+        case verify::CecStatus::kInequivalent:
+          ps.check = PassStats::Check::kFailed;
+          break;
+        case verify::CecStatus::kAborted:
+          ps.check = verify::random_simulation_equal(before_copy, net)
+                         ? PassStats::Check::kSimulated
+                         : PassStats::Check::kFailed;
+          break;
+      }
+      if (ps.check == PassStats::Check::kFailed) ++stats.check_failures;
+    }
+
+    if (options.trace) options.trace(ps);
+    stats.passes.push_back(std::move(ps));
+  }
+
+  stats.seconds_total = t_total.seconds();
+  return stats;
+}
+
+std::string format_pass_table(const PipelineStats& stats) {
+  std::ostringstream os;
+  os << "  " << std::left << std::setw(28) << "pass" << std::right
+     << std::setw(10) << "time [s]" << std::setw(16) << "nodes"
+     << std::setw(16) << "literals" << std::setw(7) << "depth" << "  check  "
+     << "counters\n";
+
+  const auto arrow = [](std::size_t before, std::size_t after) {
+    std::ostringstream s;
+    if (before == after) {
+      s << after;
+    } else {
+      s << before << "->" << after;
+    }
+    return s.str();
+  };
+
+  for (const PassStats& p : stats.passes) {
+    std::string head = p.name;
+    if (!p.args.empty()) head += " " + p.args;
+    os << "  " << std::left << std::setw(28) << head << std::right
+       << std::setw(10) << std::fixed << std::setprecision(4) << p.seconds
+       << std::setw(16) << arrow(p.nodes_before, p.nodes_after)
+       << std::setw(16) << arrow(p.lits_before, p.lits_after) << std::setw(7)
+       << arrow(p.depth_before, p.depth_after);
+    const char* check = "-";
+    switch (p.check) {
+      case PassStats::Check::kSkipped:
+        check = "-";
+        break;
+      case PassStats::Check::kEquivalent:
+        check = "ok";
+        break;
+      case PassStats::Check::kSimulated:
+        check = "sim";
+        break;
+      case PassStats::Check::kFailed:
+        check = "FAIL";
+        break;
+    }
+    os << std::setw(7) << check << "  ";
+    bool first = true;
+    for (const auto& [key, value] : p.counters) {
+      if (!first) os << ' ';
+      first = false;
+      os << key << '=';
+      if (value == static_cast<double>(static_cast<long long>(value))) {
+        os << static_cast<long long>(value);
+      } else {
+        os << value;
+      }
+    }
+    os << '\n';
+  }
+  os << "  " << std::left << std::setw(28) << "total" << std::right
+     << std::setw(10) << std::fixed << std::setprecision(4)
+     << stats.seconds_total << '\n';
+  return os.str();
+}
+
+}  // namespace bds::opt

@@ -1,0 +1,69 @@
+// The pipeline driver: runs a sequence of passes over a network with
+// per-pass instrumentation (wall time, node/literal/depth deltas, pass
+// counters), an optional per-pass equivalence checkpoint against the pass
+// input, and an optional trace callback for live progress reporting.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/pass.hpp"
+#include "opt/script.hpp"
+
+namespace bds::opt {
+
+struct PipelineOptions {
+  /// After every network-modifying pass, prove the pass output equivalent
+  /// to the pass input (global-BDD CEC with a random-simulation fallback).
+  bool check = false;
+  /// Node budget of the checkpoint CEC before it falls back to simulation.
+  std::size_t check_max_live_nodes = 2'000'000;
+  /// Called after each pass completes with its final measurements.
+  std::function<void(const PassStats&)> trace;
+};
+
+struct PipelineStats {
+  std::vector<PassStats> passes;
+  double seconds_total = 0.0;
+  std::size_t check_failures = 0;
+
+  /// Sum of a named counter over all passes.
+  double counter(std::string_view key) const;
+  /// Total seconds spent in passes with the given name.
+  double seconds_in(std::string_view pass_name) const;
+};
+
+/// Renders the per-pass breakdown as an aligned text table (the `-stats`
+/// output of `optimize_blif`, shared by both flows).
+std::string format_pass_table(const PipelineStats& stats);
+
+class PassManager {
+ public:
+  PassManager() = default;
+
+  PassManager& add(std::unique_ptr<Pass> pass);
+
+  /// Builds a pipeline from script text via the global PassRegistry.
+  /// A single-word script naming a registered script ("rugged", "bds") is
+  /// expanded to that script's text first. Throws ScriptError on unknown
+  /// passes or malformed arguments.
+  static PassManager from_script(const std::string& script);
+
+  /// Runs all passes in order over `net`, in place.
+  PipelineStats run(net::Network& net, const PipelineOptions& options = {});
+  /// Same, with a caller-owned context (to inspect blackboard state after
+  /// the run, or to share state between pipelines).
+  PipelineStats run(net::Network& net, const PipelineOptions& options,
+                    PassContext& ctx);
+
+  const std::vector<std::unique_ptr<Pass>>& passes() const { return passes_; }
+  bool empty() const { return passes_.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace bds::opt

@@ -1,0 +1,128 @@
+// The pass abstraction of the optimization pipeline layer.
+//
+// Both flows of the system -- the BDS decomposition flow (Fig. 12) and the
+// SIS-style `script.rugged` baseline -- are sequences of *passes* run by a
+// `PassManager` (opt/manager.hpp). A pass transforms a Boolean network in
+// place, or contributes to shared flow state held in the `PassContext`
+// blackboard (the BDS factoring-forest passes). Passes are created from
+// string commands through the `PassRegistry` (opt/registry.hpp), so whole
+// flows are data: `"sweep; eliminate -1; simplify; gkx; resub"`.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace bds::opt {
+
+/// Per-pass measurements recorded by the PassManager: wall time, network
+/// size deltas, the optional equivalence checkpoint verdict, and whatever
+/// named counters the pass itself reported through PassContext::count().
+struct PassStats {
+  std::string name;
+  std::string args;  ///< formatted argument string, empty if none
+
+  double seconds = 0.0;
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  unsigned lits_before = 0;
+  unsigned lits_after = 0;
+  unsigned depth_before = 0;
+  unsigned depth_after = 0;
+
+  /// Verdict of the per-pass CEC checkpoint (PipelineOptions::check).
+  enum class Check {
+    kSkipped,     ///< checking disabled, or the pass left the network alone
+    kEquivalent,  ///< proved equivalent by global BDDs
+    kSimulated,   ///< BDDs blew up; random simulation found no mismatch
+    kFailed,      ///< the pass broke the network function
+  };
+  Check check = Check::kSkipped;
+
+  /// Pass-specific counters in report order (e.g. "eliminated", "merged").
+  std::vector<std::pair<std::string, double>> counters;
+
+  double counter(std::string_view key) const {
+    for (const auto& [k, v] : counters) {
+      if (k == key) return v;
+    }
+    return 0.0;
+  }
+  long long node_delta() const {
+    return static_cast<long long>(nodes_after) -
+           static_cast<long long>(nodes_before);
+  }
+  long long lit_delta() const {
+    return static_cast<long long>(lits_after) -
+           static_cast<long long>(lits_before);
+  }
+};
+
+/// Shared state threaded through a pipeline run.
+///
+/// Passes that cooperate on intermediate representations other than the
+/// network itself (the BDS partition/forest passes) exchange them through
+/// the typed blackboard: `ctx.state<BdsFlowState>()` returns the single
+/// instance of that type, default-constructing it on first access. The
+/// context also collects the running pass's counters; the PassManager
+/// routes them into the right PassStats entry.
+class PassContext {
+ public:
+  template <class T>
+  T& state() {
+    auto& slot = state_[std::type_index(typeid(T))];
+    if (!slot) slot = std::make_shared<T>();
+    return *static_cast<T*>(slot.get());
+  }
+  template <class T>
+  T* find_state() {
+    const auto it = state_.find(std::type_index(typeid(T)));
+    return it == state_.end() ? nullptr : static_cast<T*>(it->second.get());
+  }
+
+  /// Adds `value` to the named counter of the currently running pass.
+  void count(const std::string& key, double value) {
+    if (sink_ == nullptr) return;
+    for (auto& [k, v] : *sink_) {
+      if (k == key) {
+        v += value;
+        return;
+      }
+    }
+    sink_->emplace_back(key, value);
+  }
+
+  /// PassManager internal: redirects count() into `stats` (null to detach).
+  void attach_counter_sink(PassStats* stats) {
+    sink_ = stats == nullptr ? nullptr : &stats->counters;
+  }
+
+ private:
+  std::unordered_map<std::type_index, std::shared_ptr<void>> state_;
+  std::vector<std::pair<std::string, double>>* sink_ = nullptr;
+};
+
+/// One step of an optimization pipeline.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  /// The registry key this pass was created under (e.g. "eliminate").
+  virtual std::string_view name() const = 0;
+  /// Formatted arguments for reports and script round-trips ("" if none).
+  virtual std::string args() const { return {}; }
+  /// False for passes that only read the network and write blackboard
+  /// state; the manager skips the pre-copy and CEC checkpoint for them.
+  virtual bool modifies_network() const { return true; }
+
+  virtual void run(net::Network& net, PassContext& ctx) = 0;
+};
+
+}  // namespace bds::opt

@@ -1,0 +1,98 @@
+#include "opt/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "opt/flows.hpp"
+
+namespace bds::opt {
+
+PassRegistry& PassRegistry::instance() {
+  static PassRegistry* registry = [] {
+    auto* r = new PassRegistry();
+    register_sis_passes(*r);
+    register_bds_passes(*r);
+    r->add_script("rugged", rugged_script());
+    r->add_script("bds", default_bds_script());
+    return r;
+  }();
+  return *registry;
+}
+
+void PassRegistry::add(const std::string& name, const std::string& help,
+                       Factory factory) {
+  passes_[name] = Entry{help, std::move(factory)};
+}
+
+bool PassRegistry::contains(const std::string& name) const {
+  return passes_.count(name) != 0;
+}
+
+std::unique_ptr<Pass> PassRegistry::create(const ScriptCommand& command) const {
+  const auto it = passes_.find(command.name);
+  if (it == passes_.end()) {
+    throw ScriptError("unknown pass '" + command.name + "'");
+  }
+  return it->second.factory(command.args);
+}
+
+std::vector<std::pair<std::string, std::string>> PassRegistry::list() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(passes_.size());
+  for (const auto& [name, entry] : passes_) out.emplace_back(name, entry.help);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void PassRegistry::add_script(const std::string& name,
+                              const std::string& text) {
+  scripts_[name] = text;
+}
+
+const std::string* PassRegistry::find_script(const std::string& name) const {
+  const auto it = scripts_.find(name);
+  return it == scripts_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, std::string>> PassRegistry::list_scripts()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(scripts_.size());
+  for (const auto& [name, text] : scripts_) out.emplace_back(name, text);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void validate_args(std::string_view pass, const std::vector<std::string>& args,
+                   std::size_t max_positional,
+                   const std::vector<std::string_view>& value_flags,
+                   const std::vector<std::string_view>& bare_flags) {
+  std::size_t positional = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (std::find(value_flags.begin(), value_flags.end(), a) !=
+        value_flags.end()) {
+      if (i + 1 >= args.size()) {
+        throw ScriptError(std::string(pass) + ": flag " + a +
+                          " needs a value");
+      }
+      ++i;  // consume the value
+      continue;
+    }
+    if (std::find(bare_flags.begin(), bare_flags.end(), a) !=
+        bare_flags.end()) {
+      continue;
+    }
+    // A positional argument. Negative numbers ("-1") parse as positional,
+    // not as flags.
+    const bool looks_numeric =
+        !a.empty() && (a[0] != '-' || (a.size() > 1 && (std::isdigit(static_cast<unsigned char>(a[1])) != 0)));
+    if (looks_numeric && positional < max_positional) {
+      ++positional;
+      continue;
+    }
+    throw ScriptError(std::string(pass) + ": unknown argument '" + a + "'");
+  }
+}
+
+}  // namespace bds::opt

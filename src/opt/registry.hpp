@@ -1,0 +1,66 @@
+// String-keyed factory table for passes plus a library of named scripts.
+//
+// Every optimization pass registers a factory under its script name; the
+// script interpreter (PassManager::from_script) resolves commands through
+// this table. Named scripts let whole flows ("rugged", "bds") be referred
+// to by name in tools and tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/pass.hpp"
+#include "opt/script.hpp"
+
+namespace bds::opt {
+
+class PassRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Pass>(const std::vector<std::string>&)>;
+
+  /// The global registry with all built-in passes and scripts registered.
+  static PassRegistry& instance();
+
+  void add(const std::string& name, const std::string& help, Factory factory);
+  bool contains(const std::string& name) const;
+
+  /// Instantiates the named pass; ScriptError on unknown name or bad args.
+  std::unique_ptr<Pass> create(const ScriptCommand& command) const;
+
+  /// All registered pass names with their help lines, sorted by name.
+  std::vector<std::pair<std::string, std::string>> list() const;
+
+  // ---- named scripts ---------------------------------------------------------
+
+  void add_script(const std::string& name, const std::string& text);
+  /// Script text for `name`, or nullptr when no such script exists.
+  const std::string* find_script(const std::string& name) const;
+  std::vector<std::pair<std::string, std::string>> list_scripts() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    Factory factory;
+  };
+  std::unordered_map<std::string, Entry> passes_;
+  std::unordered_map<std::string, std::string> scripts_;
+};
+
+/// Validates a command's arguments against the pass's accepted shapes:
+/// at most `max_positional` leading non-flag arguments, flags in
+/// `value_flags` consume the following token, flags in `bare_flags` stand
+/// alone. Throws ScriptError naming the offending argument.
+void validate_args(std::string_view pass, const std::vector<std::string>& args,
+                   std::size_t max_positional,
+                   const std::vector<std::string_view>& value_flags,
+                   const std::vector<std::string_view>& bare_flags);
+
+// Built-in registration hooks (opt/sis_passes.cpp, opt/bds_passes.cpp);
+// called once by PassRegistry::instance().
+void register_sis_passes(PassRegistry& registry);
+void register_bds_passes(PassRegistry& registry);
+
+}  // namespace bds::opt

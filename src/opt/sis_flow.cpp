@@ -1,0 +1,105 @@
+// `script_rugged` as a pipeline: the classic SIS recipe is a script string
+// built from SisOptions, run through the PassManager, with the pipeline's
+// measurements mapped back onto the legacy SisStats shape.
+#include <string>
+#include <utility>
+
+#include "opt/flows.hpp"
+#include "opt/manager.hpp"
+#include "sis/script.hpp"
+
+namespace bds::opt {
+
+std::string rugged_script(const sis::SisOptions& options) {
+  const sis::SisOptions defaults;
+  std::vector<std::string> tuning;  // shared flags of eliminate/gkx/resub
+  if (options.eliminate_passes != defaults.eliminate_passes) {
+    tuning.insert(tuning.end(),
+                  {"-passes", std::to_string(options.eliminate_passes)});
+  }
+  if (options.max_node_cubes != defaults.max_node_cubes) {
+    tuning.insert(tuning.end(),
+                  {"-max_cubes", std::to_string(options.max_node_cubes)});
+  }
+
+  const auto eliminate = [&](int threshold) {
+    ScriptCommand cmd{"eliminate", {std::to_string(threshold)}};
+    cmd.args.insert(cmd.args.end(), tuning.begin(), tuning.end());
+    return cmd;
+  };
+  ScriptCommand gkx{"gkx", {}};
+  if (options.extract_passes != defaults.extract_passes) {
+    gkx.args.insert(gkx.args.end(),
+                    {"-passes", std::to_string(options.extract_passes)});
+  }
+  if (options.max_kernels != defaults.max_kernels) {
+    gkx.args.insert(gkx.args.end(),
+                    {"-kernels", std::to_string(options.max_kernels)});
+  }
+  if (options.max_node_cubes != defaults.max_node_cubes) {
+    gkx.args.insert(gkx.args.end(),
+                    {"-max_cubes", std::to_string(options.max_node_cubes)});
+  }
+  ScriptCommand resub{"resub", {}};
+  if (options.max_node_cubes != defaults.max_node_cubes) {
+    resub.args.insert(resub.args.end(),
+                      {"-max_cubes", std::to_string(options.max_node_cubes)});
+  }
+
+  std::vector<ScriptCommand> script;
+  script.push_back({"sweep", {}});
+  script.push_back(eliminate(-1));
+  script.push_back({"simplify", {}});
+  script.push_back({"sweep", {}});
+  // eliminate 5: merge mild reconvergence before extraction.
+  script.push_back(eliminate(5));
+  script.push_back(gkx);
+  script.push_back(resub);
+  script.push_back(gkx);
+  // cleanup: sweep; eliminate -1; simplify.
+  script.push_back({"sweep", {}});
+  script.push_back(eliminate(-1));
+  script.push_back({"simplify", {}});
+  script.push_back({"sweep", {}});
+  // full_simplify: satisfiability-don't-care minimization (the closing
+  // step of script.rugged; gives up automatically on BDD-infeasible
+  // circuits).
+  script.push_back({"full_simplify", {}});
+  script.push_back({"sweep", {}});
+  return format_script(script);
+}
+
+}  // namespace bds::opt
+
+namespace bds::sis {
+
+SisStats script_rugged(net::Network& net, const SisOptions& opts) {
+  opt::PassManager pm =
+      opt::PassManager::from_script(opt::rugged_script(opts));
+  opt::PipelineStats ps = pm.run(net);
+
+  SisStats stats;
+  if (!ps.passes.empty()) {
+    const opt::PassStats& first = ps.passes.front();
+    stats.sweep.constants_propagated =
+        static_cast<std::size_t>(first.counter("constants"));
+    stats.sweep.trivial_collapsed =
+        static_cast<std::size_t>(first.counter("collapsed"));
+    stats.sweep.duplicates_merged =
+        static_cast<std::size_t>(first.counter("merged"));
+    stats.sweep.dead_removed =
+        static_cast<std::size_t>(first.counter("dead"));
+  }
+  stats.eliminated = static_cast<std::size_t>(ps.counter("eliminated"));
+  stats.divisors_extracted =
+      static_cast<std::size_t>(ps.counter("divisors"));
+  stats.resubstitutions = static_cast<std::size_t>(ps.counter("resubs"));
+  stats.full_simplified = static_cast<std::size_t>(ps.counter("simplified"));
+  stats.peak_bdd_nodes =
+      static_cast<std::size_t>(ps.counter("peak_bdd_nodes"));
+  stats.seconds_total = ps.seconds_total;
+  stats.passes = std::move(ps.passes);
+  return stats;
+}
+
+}  // namespace bds::sis

@@ -3,7 +3,10 @@
 // compares BDS against (Section V).
 #pragma once
 
+#include <vector>
+
 #include "net/network.hpp"
+#include "opt/pass.hpp"
 #include "sis/optimize.hpp"
 
 namespace bds::sis {
@@ -16,10 +19,16 @@ struct SisStats {
   std::size_t full_simplified = 0;
   std::size_t peak_bdd_nodes = 0;  ///< global-BDD peak of full_simplify
   double seconds_total = 0.0;
+  /// Per-pass breakdown of the pipeline that ran (opt/manager.hpp).
+  std::vector<opt::PassStats> passes;
 };
 
 /// Runs the full algebraic flow in place and returns statistics. The result
 /// is a multilevel network of SOP nodes ready for technology mapping.
+///
+/// Implemented (src/opt/sis_flow.cpp) as a thin wrapper: the recipe is the
+/// pipeline script `opt::rugged_script(opts)` run through
+/// `opt::PassManager`.
 SisStats script_rugged(net::Network& net, const SisOptions& opts = {});
 
 }  // namespace bds::sis

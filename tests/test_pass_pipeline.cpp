@@ -1,0 +1,172 @@
+// Tests for the PassManager pipeline driver: instrumentation, the per-pass
+// equivalence checkpoint, trace callbacks, and — the refactor's contract —
+// that the legacy entry points (`bds_optimize`, `script_rugged`) and the
+// explicit script pipelines they wrap produce CEC-equivalent networks with
+// matching statistics on the generator circuits.
+#include <gtest/gtest.h>
+
+#include "core/bds.hpp"
+#include "gen/gen.hpp"
+#include "opt/bds_passes.hpp"
+#include "opt/flows.hpp"
+#include "opt/manager.hpp"
+#include "sis/script.hpp"
+#include "verify/cec.hpp"
+
+namespace bds::opt {
+namespace {
+
+std::vector<net::Network> pipeline_circuits() {
+  std::vector<net::Network> circuits;
+  circuits.push_back(gen::ripple_adder(5));
+  circuits.push_back(gen::alu(4));
+  circuits.push_back(gen::barrel_shifter(8));
+  circuits.push_back(gen::comparator(4));
+  return circuits;
+}
+
+TEST(PassPipeline, BdsWrapperMatchesExplicitScriptPipeline) {
+  for (const net::Network& input : pipeline_circuits()) {
+    core::BdsStats stats;
+    const net::Network legacy = core::bds_optimize(input, {}, &stats);
+
+    net::Network piped = input;
+    PassManager pm = PassManager::from_script(default_bds_script());
+    const PipelineStats ps = pm.run(piped);
+
+    EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, legacy)))
+        << input.name();
+    EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(legacy, piped)))
+        << input.name();
+    // Same script, same passes: identical results, not merely equivalent.
+    EXPECT_EQ(legacy.num_logic_nodes(), piped.num_logic_nodes())
+        << input.name();
+    EXPECT_EQ(legacy.total_literals(), piped.total_literals())
+        << input.name();
+    ASSERT_EQ(stats.passes.size(), ps.passes.size());
+    for (std::size_t i = 0; i < ps.passes.size(); ++i) {
+      EXPECT_EQ(stats.passes[i].name, ps.passes[i].name);
+      EXPECT_EQ(stats.passes[i].nodes_after, ps.passes[i].nodes_after);
+      EXPECT_EQ(stats.passes[i].lits_after, ps.passes[i].lits_after);
+    }
+  }
+}
+
+TEST(PassPipeline, RuggedWrapperMatchesNamedScript) {
+  for (const net::Network& input : pipeline_circuits()) {
+    net::Network legacy = input;
+    const sis::SisStats stats = sis::script_rugged(legacy);
+
+    net::Network piped = input;
+    PassManager pm = PassManager::from_script("rugged");
+    const PipelineStats ps = pm.run(piped);
+
+    EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, legacy)))
+        << input.name();
+    EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(legacy, piped)))
+        << input.name();
+    EXPECT_EQ(legacy.num_logic_nodes(), piped.num_logic_nodes())
+        << input.name();
+    EXPECT_EQ(legacy.total_literals(), piped.total_literals())
+        << input.name();
+    // Legacy stat fields are sums of the per-pass counters.
+    EXPECT_EQ(static_cast<double>(stats.eliminated),
+              ps.counter("eliminated"));
+    EXPECT_EQ(static_cast<double>(stats.divisors_extracted),
+              ps.counter("divisors"));
+    EXPECT_EQ(static_cast<double>(stats.resubstitutions),
+              ps.counter("resubs"));
+    EXPECT_EQ(stats.passes.size(), ps.passes.size());
+  }
+}
+
+TEST(PassPipeline, InstrumentationRecordsDeltas) {
+  net::Network net = gen::ripple_adder(4);
+  const std::size_t nodes_in = net.num_logic_nodes();
+  PassManager pm = PassManager::from_script("sweep; eliminate -1; simplify");
+  const PipelineStats ps = pm.run(net);
+  ASSERT_EQ(ps.passes.size(), 3u);
+  EXPECT_EQ(ps.passes[0].name, "sweep");
+  EXPECT_EQ(ps.passes[0].nodes_before, nodes_in);
+  for (std::size_t i = 1; i < ps.passes.size(); ++i) {
+    EXPECT_EQ(ps.passes[i].nodes_before, ps.passes[i - 1].nodes_after);
+    EXPECT_EQ(ps.passes[i].lits_before, ps.passes[i - 1].lits_after);
+  }
+  EXPECT_EQ(ps.passes.back().nodes_after, net.num_logic_nodes());
+  double sum = 0.0;
+  for (const PassStats& p : ps.passes) {
+    EXPECT_GE(p.seconds, 0.0);
+    sum += p.seconds;
+  }
+  EXPECT_LE(sum, ps.seconds_total + 1e-9);
+}
+
+TEST(PassPipeline, PerPassCheckPassesOnBothFlows) {
+  for (const char* script : {"bds", "rugged"}) {
+    net::Network net = gen::alu(3);
+    const net::Network input = net;
+    PassManager pm = PassManager::from_script(script);
+    PipelineOptions popts;
+    popts.check = true;
+    const PipelineStats ps = pm.run(net, popts);
+    EXPECT_EQ(ps.check_failures, 0u) << script;
+    for (const PassStats& p : ps.passes) {
+      if (p.name == "bds_partition" || p.name == "bds_decompose" ||
+          p.name == "bds_sharing" || p.name == "bds_balance") {
+        // Blackboard passes leave the network alone; no checkpoint.
+        EXPECT_EQ(p.check, PassStats::Check::kSkipped) << p.name;
+      } else {
+        EXPECT_NE(p.check, PassStats::Check::kSkipped) << p.name;
+        EXPECT_NE(p.check, PassStats::Check::kFailed) << p.name;
+      }
+    }
+    EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, net)))
+        << script;
+  }
+}
+
+TEST(PassPipeline, TraceCallbackFiresPerPass) {
+  net::Network net = gen::ripple_adder(3);
+  PassManager pm = PassManager::from_script("sweep; simplify; sweep");
+  std::vector<std::string> seen;
+  PipelineOptions popts;
+  popts.trace = [&seen](const PassStats& p) { seen.push_back(p.name); };
+  pm.run(net, popts);
+  EXPECT_EQ(seen, (std::vector<std::string>{"sweep", "simplify", "sweep"}));
+}
+
+TEST(PassPipeline, BlackboardStateIsInspectableAfterRun) {
+  net::Network net = gen::ripple_adder(4);
+  PassManager pm = PassManager::from_script("bds");
+  PassContext ctx;
+  pm.run(net, {}, ctx);
+  const BdsFlowState* st = ctx.find_state<BdsFlowState>();
+  ASSERT_NE(st, nullptr);
+  EXPECT_GT(st->decompose.total(), 0u);
+  EXPECT_GT(st->peak_bdd_nodes(), 0u);
+  // bds_emit consumed the partition.
+  EXPECT_EQ(st->pmgr, nullptr);
+}
+
+TEST(PassPipeline, BdsStageWithoutPartitionThrows) {
+  net::Network net = gen::ripple_adder(3);
+  for (const char* script : {"bds_decompose", "bds_emit", "bds_sharing"}) {
+    PassManager pm = PassManager::from_script(script);
+    EXPECT_THROW(pm.run(net), ScriptError) << script;
+  }
+}
+
+TEST(PassPipeline, HybridSisThenBdsScriptRuns) {
+  // The seam the refactor exists for: a hybrid flow mixing both engines.
+  const net::Network input = gen::alu(3);
+  net::Network net = input;
+  PassManager pm = PassManager::from_script(
+      "sweep; eliminate -1; simplify; bds_partition; bds_decompose; "
+      "bds_sharing; bds_emit; sweep");
+  const PipelineStats ps = pm.run(net);
+  EXPECT_EQ(ps.passes.size(), 8u);
+  EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, net)));
+}
+
+}  // namespace
+}  // namespace bds::opt

@@ -1,0 +1,120 @@
+// Tests for the pipeline script grammar and the pass registry: parsing,
+// formatting round-trips, named-script resolution, and the error cases
+// (unknown pass, malformed arguments).
+#include <gtest/gtest.h>
+
+#include "opt/flows.hpp"
+#include "opt/manager.hpp"
+#include "opt/registry.hpp"
+#include "opt/script.hpp"
+
+namespace bds::opt {
+namespace {
+
+TEST(ScriptParse, SplitsOnSemicolonsAndNewlines) {
+  const auto cmds = parse_script("sweep; eliminate -1\n simplify ;gkx");
+  ASSERT_EQ(cmds.size(), 4u);
+  EXPECT_EQ(cmds[0].name, "sweep");
+  EXPECT_TRUE(cmds[0].args.empty());
+  EXPECT_EQ(cmds[1].name, "eliminate");
+  ASSERT_EQ(cmds[1].args.size(), 1u);
+  EXPECT_EQ(cmds[1].args[0], "-1");
+  EXPECT_EQ(cmds[2].name, "simplify");
+  EXPECT_EQ(cmds[3].name, "gkx");
+}
+
+TEST(ScriptParse, SkipsEmptyCommandsAndComments) {
+  const auto cmds = parse_script(R"(
+    # the cleanup tail of script.rugged
+    sweep;; eliminate -1   # strict
+    ;
+    simplify
+  )");
+  ASSERT_EQ(cmds.size(), 3u);
+  EXPECT_EQ(cmds[0].name, "sweep");
+  EXPECT_EQ(cmds[1].name, "eliminate");
+  EXPECT_EQ(cmds[2].name, "simplify");
+}
+
+TEST(ScriptParse, EmptyInputYieldsNoCommands) {
+  EXPECT_TRUE(parse_script("").empty());
+  EXPECT_TRUE(parse_script("  ;; \n # only a comment\n").empty());
+}
+
+TEST(ScriptFormat, RoundTripsThroughParse) {
+  const std::vector<ScriptCommand> cmds = {
+      {"sweep", {}},
+      {"eliminate", {"-1", "-passes", "2"}},
+      {"bds_decompose", {"-noreorder", "-nomux"}},
+  };
+  const std::string text = format_script(cmds);
+  EXPECT_EQ(text, "sweep; eliminate -1 -passes 2; bds_decompose -noreorder -nomux");
+  EXPECT_EQ(parse_script(text), cmds);
+}
+
+TEST(ScriptFormat, CanonicalFlowScriptsRoundTrip) {
+  for (const std::string text : {default_bds_script(), rugged_script()}) {
+    EXPECT_EQ(format_script(parse_script(text)), text);
+  }
+}
+
+TEST(Registry, ListsTheBuiltinPasses) {
+  PassRegistry& reg = PassRegistry::instance();
+  for (const char* name :
+       {"sweep", "eliminate", "simplify", "gkx", "resub", "full_simplify",
+        "bds_partition", "bds_decompose", "bds_sharing", "bds_balance",
+        "bds_emit"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+  }
+  EXPECT_FALSE(reg.contains("collapse"));
+  EXPECT_GE(reg.list().size(), 11u);
+}
+
+TEST(Registry, NamedScriptsResolve) {
+  PassRegistry& reg = PassRegistry::instance();
+  ASSERT_NE(reg.find_script("rugged"), nullptr);
+  ASSERT_NE(reg.find_script("bds"), nullptr);
+  EXPECT_EQ(*reg.find_script("rugged"), rugged_script());
+  EXPECT_EQ(*reg.find_script("bds"), default_bds_script());
+  EXPECT_EQ(reg.find_script("nonesuch"), nullptr);
+}
+
+TEST(Registry, UnknownPassThrows) {
+  EXPECT_THROW(PassManager::from_script("sweep; frobnicate"), ScriptError);
+  EXPECT_THROW(PassRegistry::instance().create({"nope", {}}), ScriptError);
+}
+
+TEST(Registry, BadArgumentsThrow) {
+  // Non-numeric threshold.
+  EXPECT_THROW(PassManager::from_script("eliminate five"), ScriptError);
+  // Value flag without a value.
+  EXPECT_THROW(PassManager::from_script("gkx -passes"), ScriptError);
+  // Unknown flag.
+  EXPECT_THROW(PassManager::from_script("sweep -harder"), ScriptError);
+  EXPECT_THROW(PassManager::from_script("bds_decompose -bogus"), ScriptError);
+  // Stray positional argument on a pass that takes none.
+  EXPECT_THROW(PassManager::from_script("simplify 3"), ScriptError);
+  // Negative count.
+  EXPECT_THROW(PassManager::from_script("gkx -passes -3"), ScriptError);
+}
+
+TEST(Registry, ArgumentRoundTripThroughPassObjects) {
+  // name() + args() of the instantiated passes reproduce a canonical
+  // script that parses back to the same pipeline.
+  const std::string text = "sweep; eliminate 5 -passes 2; bds_partition -t 0";
+  PassManager pm = PassManager::from_script(text);
+  ASSERT_EQ(pm.passes().size(), 3u);
+  EXPECT_EQ(pm.passes()[0]->args(), "");
+  EXPECT_EQ(pm.passes()[1]->args(), "5");
+  EXPECT_EQ(pm.passes()[2]->args(), "-t 0");
+}
+
+TEST(Script, NamedScriptExpandsInFromScript) {
+  PassManager pm = PassManager::from_script("rugged");
+  EXPECT_EQ(pm.passes().size(), parse_script(rugged_script()).size());
+  EXPECT_EQ(pm.passes().front()->name(), "sweep");
+  EXPECT_EQ(pm.passes()[1]->name(), "eliminate");
+}
+
+}  // namespace
+}  // namespace bds::opt
