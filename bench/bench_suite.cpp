@@ -1,0 +1,455 @@
+// Continuous benchmark suite (PR 2): runs the generated circuit families
+// through the registered `bds` and `rugged` pipelines, builds global BDDs
+// per family to exercise the manager's computed table and GC, and times a
+// structural-query microbenchmark (size / support / sat_count over a
+// generated-adder forest) against faithful reimplementations of the pre-PR
+// recursive/hash-set query code. Emits one JSON report (default
+// BENCH_pr2.json) that CI uploads as an artifact, so manager regressions
+// show up as a diff in the numbers rather than as an anecdote.
+//
+// Usage: bench_suite [-out <path>] [-quick]
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "gen/gen.hpp"
+#include "net/network.hpp"
+#include "opt/bds_passes.hpp"
+#include "opt/manager.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using bds::Timer;
+using bds::bdd::Bdd;
+using bds::bdd::Edge;
+using bds::bdd::Manager;
+using bds::bdd::Var;
+using bds::net::Network;
+using bds::net::NodeId;
+
+// ---------------------------------------------------------------------------
+// Tiny JSON writer (no new dependencies): builds an indented object tree.
+
+class Json {
+ public:
+  explicit Json(std::ostream& os) : os_(os) {}
+
+  void open(const std::string& key = "") { item(key, "{"), ++depth_; }
+  void close() { end_scope("}"); }
+  void open_list(const std::string& key = "") { item(key, "["), ++depth_; }
+  void close_list() { end_scope("]"); }
+
+  void field(const std::string& key, const std::string& v) {
+    item(key, quote(v));
+  }
+  void field(const std::string& key, const char* v) { item(key, quote(v)); }
+  void field(const std::string& key, bool v) { item(key, v ? "true" : "false"); }
+  void field(const std::string& key, double v) {
+    std::ostringstream ss;
+    ss << std::setprecision(6) << v;
+    item(key, ss.str());
+  }
+  template <class T>
+    requires std::is_integral_v<T>
+  void field(const std::string& key, T v) {
+    item(key, std::to_string(v));
+  }
+
+ private:
+  static std::string quote(const std::string& s) { return '"' + s + '"'; }
+
+  void item(const std::string& key, const std::string& text) {
+    if (needs_comma_) {
+      os_ << ",\n";
+    } else if (!first_) {
+      os_ << '\n';
+    }
+    first_ = false;
+    os_ << std::string(2 * depth_, ' ');
+    if (!key.empty()) os_ << quote(key) << ": ";
+    os_ << text;
+    // An opening brace/bracket starts a fresh scope with no pending comma.
+    needs_comma_ = text != "{" && text != "[";
+  }
+  void end_scope(const char* closer) {
+    --depth_;
+    os_ << '\n' << std::string(2 * depth_, ' ') << closer;
+    needs_comma_ = true;
+  }
+
+  std::ostream& os_;
+  int depth_ = 0;
+  bool needs_comma_ = false;
+  bool first_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Global-BDD construction (the cec.cpp pattern): topo walk turning each
+// node's SOP cover into AND/OR of fanin functions, sifting under pressure.
+
+struct GlobalBuild {
+  std::unique_ptr<Manager> mgr;
+  std::vector<Bdd> outputs;
+  double seconds = 0.0;
+  bool aborted = false;
+};
+
+GlobalBuild build_global_bdds(const Network& net, std::size_t max_live_nodes) {
+  GlobalBuild gb;
+  gb.mgr = std::make_unique<Manager>(
+      static_cast<std::uint32_t>(net.num_inputs()));
+  Manager& mgr = *gb.mgr;
+  Timer t;
+
+  std::vector<Bdd> value(net.raw_size());
+  Var next_var = 0;
+  for (const NodeId pi : net.inputs()) value[pi] = mgr.var(next_var++);
+
+  std::size_t reorder_at = std::min<std::size_t>(20'000, max_live_nodes / 8);
+  for (const NodeId id : net.topo_order()) {
+    const bds::net::Node& n = net.node(id);
+    Bdd f = mgr.zero();
+    for (const bds::sop::Cube& c : n.func.cubes()) {
+      Bdd term = mgr.one();
+      for (unsigned i = 0; i < c.num_vars(); ++i) {
+        const bds::sop::Literal l = c.get(i);
+        if (l == bds::sop::Literal::kAbsent) continue;
+        const Bdd& in = value[n.fanins[i]];
+        term = term & (l == bds::sop::Literal::kPos ? in : !in);
+      }
+      f = f | term;
+    }
+    value[id] = f;
+    if (mgr.live_nodes() > reorder_at) {
+      mgr.reorder_sift();
+      reorder_at = std::max(reorder_at, mgr.live_nodes() * 4);
+    }
+    if (mgr.live_nodes() > max_live_nodes) {
+      gb.aborted = true;
+      break;
+    }
+  }
+  if (!gb.aborted) {
+    for (const auto& [name, driver] : net.outputs()) {
+      gb.outputs.push_back(driver == bds::net::kNoNode ? mgr.zero()
+                                                       : value[driver]);
+    }
+  }
+  gb.seconds = t.seconds();
+  return gb;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-PR structural queries, reimplemented verbatim-in-spirit over the
+// public read-only accessors: recursion via std::function, a fresh
+// unordered_set/unordered_map per call. These are the baseline the 2x
+// acceptance bar in BENCH_pr2.json is measured against.
+
+std::size_t legacy_size(const Manager& mgr, Edge e) {
+  std::unordered_set<std::uint32_t> seen;
+  std::size_t count = 0;
+  std::function<void(Edge)> go = [&](Edge f) {
+    const std::uint32_t idx = f.node();
+    if (!seen.insert(idx).second) return;
+    ++count;
+    if (idx == 0) return;
+    go(mgr.node_hi(idx));
+    go(mgr.node_lo(idx));
+  };
+  go(e);
+  return count;
+}
+
+std::vector<Var> legacy_support(const Manager& mgr, Edge e) {
+  std::unordered_set<std::uint32_t> seen;
+  std::unordered_set<Var> vars;
+  std::function<void(Edge)> go = [&](Edge f) {
+    const std::uint32_t idx = f.node();
+    if (idx == 0 || !seen.insert(idx).second) return;
+    vars.insert(mgr.node_var(idx));
+    go(mgr.node_hi(idx));
+    go(mgr.node_lo(idx));
+  };
+  go(e);
+  std::vector<Var> result(vars.begin(), vars.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+double legacy_sat_count(const Manager& mgr, Edge e, std::uint32_t nvars) {
+  // Plain-double minterm densities (the representation the PR replaced with
+  // scaled mantissa/exponent pairs to survive wide supports).
+  std::unordered_map<std::uint32_t, double> density;
+  std::function<double(Edge)> go = [&](Edge f) -> double {
+    const std::uint32_t idx = f.node();
+    double d;
+    if (idx == 0) {
+      d = 1.0;
+    } else if (const auto it = density.find(idx); it != density.end()) {
+      d = it->second;
+    } else {
+      d = 0.5 * go(mgr.node_hi(idx)) + 0.5 * go(mgr.node_lo(idx));
+      density.emplace(idx, d);
+    }
+    return f.complemented() ? 1.0 - d : d;
+  };
+  double result = go(e);
+  for (std::uint32_t i = 0; i < nvars; ++i) result *= 2.0;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Structural-query microbenchmark: repeated size / support / sat_count over
+// every root of an adder forest, legacy vs current implementations.
+
+struct MicrobenchResult {
+  std::string circuit;
+  std::size_t roots = 0;
+  std::size_t forest_nodes = 0;
+  int iterations = 0;
+  double legacy_seconds = 0.0;
+  double current_seconds = 0.0;
+  double speedup = 0.0;
+  bool results_match = false;
+};
+
+MicrobenchResult run_microbench(int iterations) {
+  constexpr unsigned kAdderBits = 24;
+  const Network net = bds::gen::ripple_adder(kAdderBits);
+  GlobalBuild gb = build_global_bdds(net, 2'000'000);
+  const Manager& mgr = *gb.mgr;
+  const std::uint32_t nvars = mgr.num_vars();
+
+  MicrobenchResult r;
+  r.circuit = "ripple_adder(" + std::to_string(kAdderBits) + ")";
+  r.roots = gb.outputs.size();
+  r.iterations = iterations;
+  std::vector<Edge> roots;
+  for (const Bdd& f : gb.outputs) roots.push_back(f.edge());
+  r.forest_nodes = mgr.size(roots);
+
+  // Cross-check once before timing: the two implementations must agree on
+  // every root, or the speedup number is meaningless.
+  r.results_match = true;
+  for (const Edge e : roots) {
+    if (legacy_size(mgr, e) != mgr.size(e)) r.results_match = false;
+    if (legacy_support(mgr, e) != mgr.support(e)) r.results_match = false;
+    const double a = legacy_sat_count(mgr, e, nvars);
+    const double b = mgr.sat_count(e, nvars);
+    if (std::abs(a - b) > 1e-9 * std::max(std::abs(a), 1.0)) {
+      r.results_match = false;
+    }
+  }
+
+  // volatile sink defeats dead-code elimination of the query results.
+  volatile double sink = 0.0;
+  Timer tl;
+  for (int it = 0; it < iterations; ++it) {
+    for (const Edge e : roots) {
+      sink = sink + static_cast<double>(legacy_size(mgr, e));
+      sink = sink + static_cast<double>(legacy_support(mgr, e).size());
+      sink = sink + legacy_sat_count(mgr, e, nvars);
+    }
+  }
+  r.legacy_seconds = tl.seconds();
+
+  Timer tc;
+  for (int it = 0; it < iterations; ++it) {
+    for (const Edge e : roots) {
+      sink = sink + static_cast<double>(mgr.size(e));
+      sink = sink + static_cast<double>(mgr.support(e).size());
+      sink = sink + mgr.sat_count(e, nvars);
+    }
+  }
+  r.current_seconds = tc.seconds();
+  r.speedup = r.current_seconds > 0 ? r.legacy_seconds / r.current_seconds : 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Family runs: each generated circuit goes through both registered
+// pipelines, and through a plain global-BDD build that records ManagerStats.
+
+struct FlowResult {
+  double seconds = 0.0;
+  unsigned literals_after = 0;
+  unsigned depth_after = 0;
+  std::size_t peak_bdd_nodes = 0;
+};
+
+FlowResult run_flow(const Network& input, const std::string& script) {
+  FlowResult r;
+  Network net = input;
+  bds::opt::PassManager pm = bds::opt::PassManager::from_script(script);
+  bds::opt::PassContext ctx;
+  const bds::opt::PipelineStats ps = pm.run(net, {}, ctx);
+  r.seconds = ps.seconds_total;
+  r.literals_after = net.total_literals();
+  r.depth_after = net.depth();
+  if (const auto* st = ctx.find_state<bds::opt::BdsFlowState>()) {
+    r.peak_bdd_nodes = st->peak_bdd_nodes();
+  } else {
+    r.peak_bdd_nodes = static_cast<std::size_t>(ps.counter("peak_bdd_nodes"));
+  }
+  return r;
+}
+
+struct Family {
+  std::string name;
+  std::string generator;
+  Network net;
+};
+
+void emit_manager_stats(Json& json, const Manager& mgr) {
+  const bds::bdd::ManagerStats& ms = mgr.stats();
+  json.field("live_nodes", ms.live_nodes);
+  json.field("peak_live_nodes", ms.peak_live_nodes);
+  json.field("peak_memory_bytes", ms.peak_memory_bytes);
+  json.field("gc_runs", ms.gc_runs);
+  json.field("cache_entries", ms.cache_entries);
+  json.field("cache_resizes", ms.cache_resizes);
+  json.field("cache_dead_evictions", ms.cache_dead_evictions);
+  json.field("cache_lookups", ms.cache_lookups);
+  json.field("cache_hits", ms.cache_hits);
+  json.field("cache_hit_rate",
+             ms.cache_lookups > 0
+                 ? static_cast<double>(ms.cache_hits) /
+                       static_cast<double>(ms.cache_lookups)
+                 : 0.0);
+  json.open("per_op");
+  for (std::size_t i = 0; i < bds::bdd::kNumCacheOps; ++i) {
+    json.open(std::string(bds::bdd::kCacheOpNames[i]));
+    json.field("lookups", ms.cache_op_lookups[i]);
+    json.field("hits", ms.cache_op_hits[i]);
+    json.close();
+  }
+  json.close();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_pr2.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "-quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: bench_suite [-out <path>] [-quick]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Family> families;
+  families.push_back({"add32", "ripple_adder(32)", bds::gen::ripple_adder(32)});
+  families.push_back(
+      {"bshift32", "barrel_shifter(32)", bds::gen::barrel_shifter(32)});
+  families.push_back(
+      {"mult8", "array_multiplier(8)", bds::gen::array_multiplier(8)});
+  families.push_back({"alu8", "alu(8)", bds::gen::alu(8)});
+  families.push_back({"parity64", "parity_tree(64)", bds::gen::parity_tree(64)});
+  families.push_back({"priority16", "priority_controller(16)",
+                      bds::gen::priority_controller(16)});
+  families.push_back({"control24", "random_control(24,10,12,7)",
+                      bds::gen::random_control(24, 10, 12, 7)});
+  if (quick) families.resize(3);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_suite: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  Json json(out);
+  json.open();
+  json.field("schema", "bds-bench/v1");
+  json.field("pr", "pr2");
+
+  // -- Microbenchmark -------------------------------------------------------
+  std::cout << "== structural-query microbenchmark ==\n";
+  const MicrobenchResult mb = run_microbench(quick ? 5 : 40);
+  std::cout << "  " << mb.circuit << ": " << mb.roots << " roots, "
+            << mb.forest_nodes << " forest nodes, " << mb.iterations
+            << " iterations\n"
+            << "  legacy " << std::fixed << std::setprecision(3)
+            << mb.legacy_seconds << "s   current " << mb.current_seconds
+            << "s   speedup " << std::setprecision(2) << mb.speedup << "x"
+            << (mb.results_match ? "" : "   RESULTS MISMATCH!") << "\n";
+  json.open("microbench");
+  json.open("structural_queries");
+  json.field("circuit", mb.circuit);
+  json.field("roots", mb.roots);
+  json.field("forest_nodes", mb.forest_nodes);
+  json.field("iterations", mb.iterations);
+  json.field("legacy_seconds", mb.legacy_seconds);
+  json.field("current_seconds", mb.current_seconds);
+  json.field("speedup", mb.speedup);
+  json.field("results_match", mb.results_match);
+  json.close();
+  json.close();
+
+  // -- Families -------------------------------------------------------------
+  std::cout << "== circuit families ==\n";
+  json.open_list("families");
+  bool all_ok = mb.results_match;
+  for (const Family& fam : families) {
+    json.open();
+    json.field("name", fam.name);
+    json.field("generator", fam.generator);
+    json.field("inputs", fam.net.num_inputs());
+    json.field("outputs", fam.net.num_outputs());
+    json.field("literals", fam.net.total_literals());
+    json.field("depth", fam.net.depth());
+
+    json.open("flows");
+    for (const char* script : {"bds", "rugged"}) {
+      const FlowResult fr = run_flow(fam.net, script);
+      json.open(script);
+      json.field("seconds", fr.seconds);
+      json.field("literals_after", fr.literals_after);
+      json.field("depth_after", fr.depth_after);
+      json.field("peak_bdd_nodes", fr.peak_bdd_nodes);
+      json.close();
+      std::cout << "  " << std::left << std::setw(12) << fam.name
+                << std::right << std::setw(8) << script << "  lits "
+                << std::setw(6) << fr.literals_after << "  depth "
+                << std::setw(3) << fr.depth_after << "  " << std::fixed
+                << std::setprecision(2) << fr.seconds << "s\n";
+    }
+    json.close();
+
+    const GlobalBuild gb = build_global_bdds(fam.net, 2'000'000);
+    json.open("global_bdd");
+    json.field("seconds", gb.seconds);
+    json.field("aborted", gb.aborted);
+    if (!gb.aborted) emit_manager_stats(json, *gb.mgr);
+    json.close();
+    json.close();
+    if (gb.aborted) all_ok = false;
+  }
+  json.close_list();
+  json.close();
+  out << '\n';
+  out.close();
+
+  std::cout << "wrote " << out_path << "\n";
+  if (!all_ok) {
+    std::cerr << "bench_suite: cross-check failed or a build aborted\n";
+    return 1;
+  }
+  return 0;
+}

@@ -4,14 +4,35 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace bds::bdd {
 
+namespace detail {
+void invalid_handle(const char* op) {
+  std::fprintf(stderr,
+               "bds: fatal: %s called on an empty Bdd handle (or on operands "
+               "from different managers)\n",
+               op);
+  std::abort();
+}
+}  // namespace detail
+
 namespace {
 constexpr std::size_t kInitialBuckets = 16;
-constexpr std::size_t kCacheSize = 1u << 16;  // entries; power of two
+// Computed-table sizing: start small, double while the lookup stream runs
+// hot (cache_maybe_grow), never past the ceiling. Power-of-two throughout.
+constexpr std::size_t kCacheInitialEntries = 1u << 14;
+constexpr std::size_t kCacheMaxEntries = 1u << 20;
+
+std::uint64_t cache_hash(std::uint64_t key_lo, std::uint64_t key_hi) {
+  std::uint64_t h =
+      key_lo * 0x9e3779b97f4a7c15ULL ^ key_hi * 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 29);
+}
 }  // namespace
 
 Manager::Manager(std::uint32_t num_vars) {
@@ -25,7 +46,8 @@ Manager::Manager(std::uint32_t num_vars) {
   nodes_.push_back(terminal);
   stats_.live_nodes = 1;
   stats_.peak_live_nodes = 1;
-  cache_.resize(kCacheSize);
+  cache_.resize(kCacheInitialEntries);
+  stats_.cache_entries = cache_.size();
   ensure_vars(num_vars);
 }
 
@@ -189,7 +211,6 @@ void Manager::deref(Edge e) {
 
 void Manager::gc() {
   ++stats_.gc_runs;
-  cache_clear();
   // Sweep dead nodes; freeing one may kill its children, so iterate to a
   // fixed point. A worklist seeded from all currently-dead nodes suffices
   // because deref() on a child only ever transitions live -> dead here.
@@ -197,6 +218,7 @@ void Manager::gc() {
   for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
     if (nodes_[i].var != kVarTerminal && nodes_[i].ref == 0) dead.push_back(i);
   }
+  std::size_t freed = 0;
   while (!dead.empty()) {
     const std::uint32_t idx = dead.back();
     dead.pop_back();
@@ -206,11 +228,15 @@ void Manager::gc() {
     const Edge lo = n.lo;
     unique_remove(idx);
     free_node(idx);
+    ++freed;
     deref(hi);
     deref(lo);
     if (!hi.is_constant() && nodes_[hi.node()].ref == 0) dead.push_back(hi.node());
     if (!lo.is_constant() && nodes_[lo.node()].ref == 0) dead.push_back(lo.node());
   }
+  // Evict only the computed-table entries that reference reclaimed nodes;
+  // hot results over the surviving graph stay warm across collections.
+  if (freed > 0) cache_invalidate_dead();
   update_memory_stats();
 }
 
@@ -240,17 +266,19 @@ void Manager::update_memory_stats() {
 // ----- computed table ---------------------------------------------------------
 
 Edge Manager::cache_lookup(CacheOp op, Edge f, Edge g, Edge h, bool& hit) {
+  cache_maybe_grow();
   ++stats_.cache_lookups;
+  ++stats_.cache_op_lookups[static_cast<std::uint32_t>(op) - 1];
   const std::uint64_t key_lo =
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(op)) << 32) |
       f.bits();
   const std::uint64_t key_hi =
       (static_cast<std::uint64_t>(g.bits()) << 32) | h.bits();
-  std::uint64_t idx = key_lo * 0x9e3779b97f4a7c15ULL ^ key_hi * 0xff51afd7ed558ccdULL;
-  idx ^= idx >> 29;
-  const CacheEntry& e = cache_[idx & (kCacheSize - 1)];
+  const CacheEntry& e =
+      cache_[cache_hash(key_lo, key_hi) & (cache_.size() - 1)];
   if (e.key_lo == key_lo && e.key_hi == key_hi) {
     ++stats_.cache_hits;
+    ++stats_.cache_op_hits[static_cast<std::uint32_t>(op) - 1];
     hit = true;
     return e.result;
   }
@@ -264,9 +292,7 @@ void Manager::cache_store(CacheOp op, Edge f, Edge g, Edge h, Edge result) {
       f.bits();
   const std::uint64_t key_hi =
       (static_cast<std::uint64_t>(g.bits()) << 32) | h.bits();
-  std::uint64_t idx = key_lo * 0x9e3779b97f4a7c15ULL ^ key_hi * 0xff51afd7ed558ccdULL;
-  idx ^= idx >> 29;
-  CacheEntry& e = cache_[idx & (kCacheSize - 1)];
+  CacheEntry& e = cache_[cache_hash(key_lo, key_hi) & (cache_.size() - 1)];
   e.key_lo = key_lo;
   e.key_hi = key_hi;
   e.result = result;
@@ -274,6 +300,51 @@ void Manager::cache_store(CacheOp op, Edge f, Edge g, Edge h, Edge result) {
 
 void Manager::cache_clear() {
   std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+}
+
+void Manager::cache_maybe_grow() {
+  // Evaluate the growth policy once per window of 2x-capacity lookups: if
+  // at least a quarter of them hit, the working set is bigger than the
+  // table -- double it (rehashing the surviving entries) up to the ceiling.
+  const std::size_t lookups = stats_.cache_lookups - cache_lookups_at_resize_;
+  if (lookups < cache_.size() * 2) return;
+  const std::size_t hits = stats_.cache_hits - cache_hits_at_resize_;
+  cache_lookups_at_resize_ = stats_.cache_lookups;
+  cache_hits_at_resize_ = stats_.cache_hits;
+  if (cache_.size() >= kCacheMaxEntries || hits * 4 < lookups) return;
+  std::vector<CacheEntry> old = std::move(cache_);
+  cache_.assign(old.size() * 2, CacheEntry{});
+  for (const CacheEntry& e : old) {
+    if (e.key_lo == ~0ULL && e.key_hi == ~0ULL) continue;
+    cache_[cache_hash(e.key_lo, e.key_hi) & (cache_.size() - 1)] = e;
+  }
+  ++stats_.cache_resizes;
+  stats_.cache_entries = cache_.size();
+  update_memory_stats();
+}
+
+bool Manager::node_is_free(std::uint32_t idx) const {
+  // Free slots are stamped kVarTerminal by free_node(); node 0 is the
+  // pinned terminal. Indices past the arena cannot name a live node either
+  // (they come from Var-encoded cache keys, which this check may treat as
+  // node references -- a conservative eviction, never an unsafe keep).
+  return idx != 0 &&
+         (idx >= nodes_.size() || nodes_[idx].var == kVarTerminal);
+}
+
+void Manager::cache_invalidate_dead() {
+  for (CacheEntry& e : cache_) {
+    if (e.key_lo == ~0ULL && e.key_hi == ~0ULL) continue;
+    // Keys pack (op, f) and (g, h); edge bits hold the node index << 1.
+    const auto f = static_cast<std::uint32_t>(e.key_lo) >> 1;
+    const auto g = static_cast<std::uint32_t>(e.key_hi >> 32) >> 1;
+    const auto h = static_cast<std::uint32_t>(e.key_hi) >> 1;
+    if (node_is_free(f) || node_is_free(g) || node_is_free(h) ||
+        node_is_free(e.result.node())) {
+      e = CacheEntry{};
+      ++stats_.cache_dead_evictions;
+    }
+  }
 }
 
 // ----- structural queries ------------------------------------------------------
@@ -291,76 +362,158 @@ Edge Manager::cofactor(Edge f, Var v, bool value) {
   return compose_rec(f, v, value ? Edge::one() : Edge::zero(), vlevel);
 }
 
-void Manager::count_nodes(Edge e, std::unordered_set<std::uint32_t>& seen,
-                          std::size_t& n) const {
-  // Iterative DFS; cost is proportional to the function's size, not the
-  // arena's (eliminate calls this in a tight loop on large managers).
-  std::vector<std::uint32_t> stack{e.node()};
+std::uint32_t Manager::begin_visit() const {
+  // A node is "seen" in the current traversal iff its stamp equals the
+  // epoch; bumping the epoch unmarks every node at once. On the (rare)
+  // 32-bit wrap, reset all stamps so stale marks cannot alias.
+  if (++visit_epoch_ == 0) {
+    for (const Node& n : nodes_) n.visit = 0;
+    visit_epoch_ = 1;
+  }
+  return visit_epoch_;
+}
+
+std::size_t Manager::count_nodes(Edge e, std::uint32_t epoch) const {
+  // Stamped DFS; cost is proportional to the function's size, not the
+  // arena's (eliminate calls this in a tight loop on large managers), and
+  // no per-call containers are allocated.
+  std::size_t n = 0;
+  std::vector<std::uint32_t>& stack = visit_stack_;
+  stack.clear();
+  const std::uint32_t root = e.node();
+  if (nodes_[root].visit != epoch) {
+    nodes_[root].visit = epoch;
+    ++n;
+    if (root != 0) stack.push_back(root);
+  }
   while (!stack.empty()) {
     const std::uint32_t idx = stack.back();
     stack.pop_back();
-    if (!seen.insert(idx).second) continue;
-    ++n;
-    if (idx == 0) continue;
-    stack.push_back(nodes_[idx].hi.node());
-    stack.push_back(nodes_[idx].lo.node());
+    for (const Edge child : {nodes_[idx].hi, nodes_[idx].lo}) {
+      const std::uint32_t c = child.node();
+      if (nodes_[c].visit == epoch) continue;
+      nodes_[c].visit = epoch;
+      ++n;
+      if (c != 0) stack.push_back(c);
+    }
   }
-}
-
-std::size_t Manager::size(Edge e) const {
-  std::unordered_set<std::uint32_t> seen;
-  std::size_t n = 0;
-  count_nodes(e, seen, n);
   return n;
 }
 
+std::size_t Manager::size(Edge e) const {
+  return count_nodes(e, begin_visit());
+}
+
 std::size_t Manager::size(const std::vector<Edge>& roots) const {
-  std::unordered_set<std::uint32_t> seen;
+  const std::uint32_t epoch = begin_visit();
   std::size_t n = 0;
-  for (Edge e : roots) count_nodes(e, seen, n);
+  for (Edge e : roots) n += count_nodes(e, epoch);
   return n;
 }
 
 std::vector<Var> Manager::support(Edge e) const {
-  std::vector<bool> seen(nodes_.size(), false);
-  std::vector<bool> in_support(num_vars(), false);
-  std::vector<std::uint32_t> stack{e.node()};
+  const std::uint32_t epoch = begin_visit();
+  std::vector<std::uint32_t>& stack = visit_stack_;
+  stack.clear();
+  std::vector<Var> result;
+  nodes_[0].visit = epoch;  // never record the terminal
+  const std::uint32_t root = e.node();
+  if (nodes_[root].visit != epoch) {
+    nodes_[root].visit = epoch;
+    stack.push_back(root);
+  }
   while (!stack.empty()) {
     const std::uint32_t idx = stack.back();
     stack.pop_back();
-    if (idx == 0 || seen[idx]) continue;
-    seen[idx] = true;
-    in_support[nodes_[idx].var] = true;
-    stack.push_back(nodes_[idx].hi.node());
-    stack.push_back(nodes_[idx].lo.node());
+    result.push_back(nodes_[idx].var);
+    for (const Edge child : {nodes_[idx].hi, nodes_[idx].lo}) {
+      const std::uint32_t c = child.node();
+      if (nodes_[c].visit == epoch) continue;
+      nodes_[c].visit = epoch;
+      stack.push_back(c);
+    }
   }
-  std::vector<Var> result;
-  for (Var v = 0; v < num_vars(); ++v) {
-    if (in_support[v]) result.push_back(v);
-  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
   return result;
 }
 
+namespace {
+// Density of a function kept as m * 2^e with m in [0.5, 1) or m == 0: a
+// plain double underflows for wide supports (an AND of 1100 inputs has
+// density 2^-1100), silently turning sat counts into 0.
+struct ScaledDensity {
+  double m = 0.0;
+  std::int32_t e = 0;
+};
+
+ScaledDensity normalize(double m, std::int32_t e) {
+  if (m == 0.0) return {0.0, 0};
+  int shift = 0;
+  m = std::frexp(m, &shift);
+  return {m, e + shift};
+}
+
+// 0.5 * (a + b), exponent-aligned so the sum itself cannot underflow.
+ScaledDensity half_sum(ScaledDensity a, ScaledDensity b) {
+  if (a.m == 0.0) return normalize(b.m, b.e - 1);
+  if (b.m == 0.0) return normalize(a.m, a.e - 1);
+  if (a.e < b.e) std::swap(a, b);
+  return normalize(a.m + std::ldexp(b.m, b.e - a.e), a.e - 1);
+}
+
+// 1 - d, for complement edges. Densities within 2^-53 of 1 round to 1.
+ScaledDensity complement1(ScaledDensity d) {
+  if (d.m == 0.0 || d.e < -60) return {0.5, 1};
+  return normalize(1.0 - std::ldexp(d.m, d.e), 0);
+}
+}  // namespace
+
 double Manager::sat_count(Edge e, std::uint32_t nvars) const {
-  // Fraction of the Boolean space mapped to 1, computed over regular edges.
-  std::unordered_map<std::uint32_t, double> density;
-  const std::function<double(Edge)> go = [&](Edge f) -> double {
-    const double d = [&]() -> double {
-      const std::uint32_t idx = f.regular().node();
-      if (idx == 0) return 1.0;
-      const auto it = density.find(idx);
-      if (it != density.end()) return it->second;
-      const Node& n = nodes_[idx];
-      const double result = 0.5 * go(n.hi) + 0.5 * go(n.lo);
-      density.emplace(idx, result);
-      return result;
-    }();
-    return f.complemented() ? 1.0 - d : d;
-  };
-  double frac = go(e);
-  double count = frac;
-  for (std::uint32_t i = 0; i < nvars; ++i) count *= 2.0;
-  return count;
+  // Fraction of the Boolean space mapped to 1, memoized per regular node in
+  // scaled form; the final count is one ldexp, not nvars doublings.
+  const std::uint32_t epoch = begin_visit();
+  scratch_mant_.resize(nodes_.size());
+  scratch_exp_.resize(nodes_.size());
+  nodes_[0].visit = epoch;
+  scratch_mant_[0] = 0.5;  // terminal 1: density 1.0
+  scratch_exp_[0] = 1;
+  const std::uint32_t root = e.regular().node();
+  std::vector<std::uint32_t>& stack = visit_stack_;
+  stack.clear();
+  if (nodes_[root].visit != epoch) stack.push_back(root);
+  // Post-order over stamps: a node is computed once both children carry the
+  // current epoch; until then it stays on the stack below them.
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    if (nodes_[idx].visit == epoch) {  // finished via another path
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[idx];
+    bool ready = true;
+    if (nodes_[n.hi.node()].visit != epoch) {
+      stack.push_back(n.hi.node());
+      ready = false;
+    }
+    if (nodes_[n.lo.node()].visit != epoch) {
+      stack.push_back(n.lo.node());
+      ready = false;
+    }
+    if (!ready) continue;
+    const auto read = [&](Edge c) {
+      const ScaledDensity d{scratch_mant_[c.node()], scratch_exp_[c.node()]};
+      return c.complemented() ? complement1(d) : d;
+    };
+    const ScaledDensity d = half_sum(read(n.hi), read(n.lo));
+    scratch_mant_[idx] = d.m;
+    scratch_exp_[idx] = d.e;
+    n.visit = epoch;
+    stack.pop_back();
+  }
+  ScaledDensity frac{scratch_mant_[root], scratch_exp_[root]};
+  if (e.complemented()) frac = complement1(frac);
+  return std::ldexp(frac.m, frac.e + static_cast<std::int32_t>(nvars));
 }
 
 bool Manager::eval(Edge e, const std::vector<bool>& assignment) const {
@@ -380,26 +533,47 @@ bool Manager::eval(Edge e, const std::vector<bool>& assignment) const {
 
 Edge Manager::transfer_to(Manager& dst, Edge e,
                           const std::vector<Var>& var_map) const {
-  std::unordered_map<std::uint32_t, Edge> memo;  // this-node -> dst regular edge
-  const std::function<Edge(Edge)> go = [&](Edge f) -> Edge {
-    if (f.is_constant()) return f;
-    const std::uint32_t idx = f.regular().node();
-    const auto it = memo.find(idx);
-    if (it != memo.end()) return it->second ^ f.complemented();
+  assert(&dst != this && "transfer_to needs a distinct destination manager");
+  if (e.is_constant()) return e;
+  // Stamped post-order with the per-node memo in scratch_edge_ (this-node ->
+  // dst regular edge); no recursion, so arbitrarily deep chains transfer.
+  // No GC can run in dst because only raw operations are used here.
+  const std::uint32_t epoch = begin_visit();
+  scratch_edge_.resize(nodes_.size());
+  nodes_[0].visit = epoch;
+  scratch_edge_[0] = Edge::one();
+  const std::uint32_t root = e.regular().node();
+  std::vector<std::uint32_t>& stack = visit_stack_;
+  stack.clear();
+  stack.push_back(root);
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    if (nodes_[idx].visit == epoch) {
+      stack.pop_back();
+      continue;
+    }
     const Node& n = nodes_[idx];
-    // Recurse children first; no GC can run in dst because only raw
-    // operations are used here.
-    const Edge hi = go(n.hi);
-    const Edge lo = go(n.lo);
+    bool ready = true;
+    if (nodes_[n.hi.node()].visit != epoch) {
+      stack.push_back(n.hi.node());
+      ready = false;
+    }
+    if (nodes_[n.lo.node()].visit != epoch) {
+      stack.push_back(n.lo.node());
+      ready = false;
+    }
+    if (!ready) continue;
+    const Edge hi = scratch_edge_[n.hi.node()] ^ n.hi.complemented();
+    const Edge lo = scratch_edge_[n.lo.node()] ^ n.lo.complemented();
     assert(n.var < var_map.size());
     // The map may reorder variables relative to dst's order, so rebuild
     // through ITE (Shannon expansion) rather than raw mk.
     const Edge v = dst.mk(var_map[n.var], Edge::one(), Edge::zero());
-    const Edge result = dst.ite(v, hi, lo);
-    memo.emplace(idx, result);
-    return result ^ f.complemented();
-  };
-  return go(e);
+    scratch_edge_[idx] = dst.ite(v, hi, lo);
+    n.visit = epoch;
+    stack.pop_back();
+  }
+  return scratch_edge_[root] ^ e.complemented();
 }
 
 // ----- consistency check --------------------------------------------------------

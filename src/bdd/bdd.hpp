@@ -13,7 +13,10 @@
 //  * A per-variable unique table guarantees structural canonicity and makes
 //    Rudell-style in-place adjacent-variable swap (and hence sifting
 //    reordering) possible.
-//  * A lossy computed table caches ITE/restrict/compose results.
+//  * A lossy computed table caches ITE/restrict/compose results. It is
+//    direct-mapped, sized adaptively (doubling while the lookup stream runs
+//    hot, as CUDD does), and survives garbage collection: gc() drops only
+//    the entries that reference reclaimed nodes.
 //  * Reference counting with deferred reclamation: external references are
 //    held through the RAII `Bdd` handle; dead nodes are reclaimed by
 //    explicit or threshold-triggered garbage collection, which only runs at
@@ -24,9 +27,9 @@
 // `Edge`/`node_hi`/`node_lo` accessors.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -82,6 +85,12 @@ inline constexpr Var kVarTerminal = 0xffffffffu;
 /// Level of the terminal node: below every variable.
 inline constexpr std::uint32_t kLevelTerminal = 0xffffffffu;
 
+/// Cached operation kinds of the computed table, in the order used by the
+/// per-op counters of `ManagerStats` (and by `kCacheOpNames`).
+inline constexpr std::size_t kNumCacheOps = 5;
+inline constexpr std::array<const char*, kNumCacheOps> kCacheOpNames{
+    "ite", "restrict", "constrain", "compose", "exists"};
+
 /// Statistics snapshot used by benchmarks to report memory/size columns.
 struct ManagerStats {
   std::size_t live_nodes = 0;       ///< Nodes with a nonzero reference count.
@@ -91,11 +100,25 @@ struct ManagerStats {
   std::size_t unique_lookups = 0;
   std::size_t cache_lookups = 0;
   std::size_t cache_hits = 0;
+  /// Per-operation computed-table traffic, indexed as in kCacheOpNames.
+  std::array<std::size_t, kNumCacheOps> cache_op_lookups{};
+  std::array<std::size_t, kNumCacheOps> cache_op_hits{};
+  std::size_t cache_entries = 0;   ///< Current computed-table capacity.
+  std::size_t cache_resizes = 0;   ///< Adaptive growth events.
+  /// Entries dropped by gc() because they referenced reclaimed nodes
+  /// (the rest of the table survives collection).
+  std::size_t cache_dead_evictions = 0;
   std::size_t reorderings = 0;
   /// Approximate resident bytes of the node arena plus tables.
   std::size_t memory_bytes = 0;
   std::size_t peak_memory_bytes = 0;
 };
+
+namespace detail {
+/// Always-on failure hook of the `Bdd` handle guard: prints a diagnostic
+/// naming the offending operation and aborts (release builds included).
+[[noreturn]] void invalid_handle(const char* op);
+}  // namespace detail
 
 /// The BDD manager: owns all nodes, tables and the variable order.
 class Manager {
@@ -226,6 +249,10 @@ class Manager {
     Edge lo{};
     std::uint32_t next = kNil;  ///< Unique-table chain.
     std::uint32_t ref = 0;
+    /// Generation stamp of the last traversal that touched this node
+    /// (begin_visit()); lets the structural queries run without per-call
+    /// hash containers. Mutable: marking is not an observable mutation.
+    mutable std::uint32_t visit = 0;
   };
   static constexpr std::uint32_t kNil = 0xffffffffu;
 
@@ -258,6 +285,13 @@ class Manager {
   Edge cache_lookup(CacheOp op, Edge f, Edge g, Edge h, bool& hit);
   void cache_store(CacheOp op, Edge f, Edge g, Edge h, Edge result);
   void cache_clear();
+  /// Doubles the computed table when the recent lookup window ran hot
+  /// (CUDD-style adaptive sizing); existing entries are rehashed, not lost.
+  void cache_maybe_grow();
+  /// Drops only the entries whose operands or result reference a reclaimed
+  /// node; called by gc() instead of cache_clear().
+  void cache_invalidate_dead();
+  bool node_is_free(std::uint32_t idx) const;
 
   Edge ite_rec(Edge f, Edge g, Edge h);
   Edge restrict_rec(Edge f, Edge c);
@@ -265,8 +299,13 @@ class Manager {
   Edge compose_rec(Edge f, Var v, Edge g, std::uint32_t vlevel);
   Edge exists_rec(Edge f, Var v, std::uint32_t vlevel);
 
-  void count_nodes(Edge e, std::unordered_set<std::uint32_t>& seen,
-                   std::size_t& n) const;
+  // Generation-stamped traversal machinery (see Node::visit). begin_visit()
+  // opens a fresh epoch: a node is "seen" in the current query iff its stamp
+  // equals the epoch. Queries share the scratch stack/arrays below so the
+  // hot structural paths allocate nothing after warm-up.
+  std::uint32_t begin_visit() const;
+  /// Marks and counts the nodes reachable from `e` not yet stamped `epoch`.
+  std::size_t count_nodes(Edge e, std::uint32_t epoch) const;
   void update_memory_stats();
 
   // Reordering internals (bdd/reorder.cpp).
@@ -278,15 +317,32 @@ class Manager {
   std::vector<Subtable> subtables_;  ///< Indexed by Var.
   std::vector<std::uint32_t> var2level_;
   std::vector<Var> level2var_;
-  std::vector<CacheEntry> cache_;
+  std::vector<CacheEntry> cache_;  ///< Power-of-two size, adaptively grown.
+  std::size_t cache_lookups_at_resize_ = 0;  ///< Window start (growth policy).
+  std::size_t cache_hits_at_resize_ = 0;
   std::size_t gc_threshold_ = 1u << 14;
   ManagerStats stats_;
+
+  // Traversal scratch (all logically const; see begin_visit()).
+  mutable std::uint32_t visit_epoch_ = 0;
+  mutable std::vector<std::uint32_t> visit_stack_;
+  mutable std::vector<double> scratch_mant_;       ///< sat_count densities
+  mutable std::vector<std::int32_t> scratch_exp_;  ///< (mantissa, exponent)
+  mutable std::vector<Edge> scratch_edge_;         ///< transfer_to memo
 };
 
 /// RAII handle to a BDD function: owns one external reference.
 ///
 /// All engine-level code holds functions through `Bdd`; raw `Edge` values
 /// are only used inside single recursive operations.
+///
+/// INVARIANT: a default-constructed `Bdd` is an empty placeholder -- it
+/// holds no manager and denotes no function (`valid()` is false). The only
+/// legal operations on it are destruction, assignment, swap, `valid()` and
+/// `operator==`. Every functional query or operator checks this invariant
+/// (and that binary operands share one manager) and aborts with a
+/// diagnostic on violation, in release builds too: a silent null-manager
+/// dereference used to segfault far from the misuse site.
 class Bdd {
  public:
   Bdd() = default;
@@ -316,7 +372,7 @@ class Bdd {
   }
 
   bool valid() const { return mgr_ != nullptr; }
-  Manager& manager() const { return *mgr_; }
+  Manager& manager() const { return req("Bdd::manager"); }
   Edge edge() const { return e_; }
 
   bool is_one() const { return e_.is_one(); }
@@ -326,62 +382,84 @@ class Bdd {
   // Handle-level operators run maybe_gc() first: every live function is
   // pinned by a handle here, so collection is safe, and it bounds the
   // arena during long operation sequences (CEC, eliminate, full_simplify).
-  Bdd operator!() const { return Bdd(*mgr_, !e_); }
+  Bdd operator!() const { return Bdd(req("Bdd::operator!"), !e_); }
   Bdd operator&(const Bdd& o) const {
-    mgr_->maybe_gc();
-    return Bdd(*mgr_, mgr_->and_(e_, o.e_));
+    Manager& m = req(o, "Bdd::operator&");
+    m.maybe_gc();
+    return Bdd(m, m.and_(e_, o.e_));
   }
   Bdd operator|(const Bdd& o) const {
-    mgr_->maybe_gc();
-    return Bdd(*mgr_, mgr_->or_(e_, o.e_));
+    Manager& m = req(o, "Bdd::operator|");
+    m.maybe_gc();
+    return Bdd(m, m.or_(e_, o.e_));
   }
   Bdd operator^(const Bdd& o) const {
-    mgr_->maybe_gc();
-    return Bdd(*mgr_, mgr_->xor_(e_, o.e_));
+    Manager& m = req(o, "Bdd::operator^");
+    m.maybe_gc();
+    return Bdd(m, m.xor_(e_, o.e_));
   }
   Bdd xnor(const Bdd& o) const {
-    mgr_->maybe_gc();
-    return Bdd(*mgr_, mgr_->xnor_(e_, o.e_));
+    Manager& m = req(o, "Bdd::xnor");
+    m.maybe_gc();
+    return Bdd(m, m.xnor_(e_, o.e_));
   }
   Bdd ite(const Bdd& g, const Bdd& h) const {
-    mgr_->maybe_gc();
-    return Bdd(*mgr_, mgr_->ite(e_, g.e_, h.e_));
+    Manager& m = req(g, "Bdd::ite");
+    if (h.mgr_ != mgr_) detail::invalid_handle("Bdd::ite");
+    m.maybe_gc();
+    return Bdd(m, m.ite(e_, g.e_, h.e_));
   }
 
   bool operator==(const Bdd& o) const { return mgr_ == o.mgr_ && e_ == o.e_; }
 
   Bdd cofactor(Var v, bool value) const {
-    mgr_->maybe_gc();
-    return Bdd(*mgr_, mgr_->cofactor(e_, v, value));
+    Manager& m = req("Bdd::cofactor");
+    m.maybe_gc();
+    return Bdd(m, m.cofactor(e_, v, value));
   }
   Bdd restrict_(const Bdd& care) const {
-    mgr_->maybe_gc();
-    return Bdd(*mgr_, mgr_->restrict_(e_, care.e_));
+    Manager& m = req(care, "Bdd::restrict_");
+    m.maybe_gc();
+    return Bdd(m, m.restrict_(e_, care.e_));
   }
   Bdd constrain(const Bdd& care) const {
-    mgr_->maybe_gc();
-    return Bdd(*mgr_, mgr_->constrain(e_, care.e_));
+    Manager& m = req(care, "Bdd::constrain");
+    m.maybe_gc();
+    return Bdd(m, m.constrain(e_, care.e_));
   }
   Bdd compose(Var v, const Bdd& g) const {
-    mgr_->maybe_gc();
-    return Bdd(*mgr_, mgr_->compose(e_, v, g.e_));
+    Manager& m = req(g, "Bdd::compose");
+    m.maybe_gc();
+    return Bdd(m, m.compose(e_, v, g.e_));
   }
   Bdd exists(Var v) const {
-    mgr_->maybe_gc();
-    return Bdd(*mgr_, mgr_->exists(e_, v));
+    Manager& m = req("Bdd::exists");
+    m.maybe_gc();
+    return Bdd(m, m.exists(e_, v));
   }
 
-  Var top_var() const { return mgr_->top_var(e_); }
-  std::size_t size() const { return mgr_->size(e_); }
-  std::vector<Var> support() const { return mgr_->support(e_); }
+  Var top_var() const { return req("Bdd::top_var").top_var(e_); }
+  std::size_t size() const { return req("Bdd::size").size(e_); }
+  std::vector<Var> support() const { return req("Bdd::support").support(e_); }
   double sat_count(std::uint32_t nvars) const {
-    return mgr_->sat_count(e_, nvars);
+    return req("Bdd::sat_count").sat_count(e_, nvars);
   }
   bool eval(const std::vector<bool>& assignment) const {
-    return mgr_->eval(e_, assignment);
+    return req("Bdd::eval").eval(e_, assignment);
   }
 
  private:
+  /// Handle guard (see class invariant): aborts on an empty handle, or --
+  /// for binary operations -- on operands from different managers.
+  Manager& req(const char* op) const {
+    if (mgr_ == nullptr) detail::invalid_handle(op);
+    return *mgr_;
+  }
+  Manager& req(const Bdd& o, const char* op) const {
+    if (mgr_ == nullptr || o.mgr_ != mgr_) detail::invalid_handle(op);
+    return *mgr_;
+  }
+
   Manager* mgr_ = nullptr;
   Edge e_ = Edge::one();
 };

@@ -1,7 +1,6 @@
 // Graphviz export, in the style of the paper's figures: solid 1-edges,
 // dashed 0-edges, dotted edges with a dot marker for complement edges.
 #include <ostream>
-#include <unordered_set>
 
 #include "bdd/bdd.hpp"
 
@@ -24,7 +23,9 @@ void Manager::write_dot(std::ostream& os, const std::vector<Edge>& roots,
     return attr + "]";
   };
 
-  std::unordered_set<std::uint32_t> seen;
+  // Stamped DFS (begin_visit): no per-call hash set, no recursion.
+  const std::uint32_t epoch = begin_visit();
+  nodes_[0].visit = epoch;
   std::vector<std::uint32_t> stack;
   const auto target = [](Edge e) -> std::string {
     return e.is_constant() ? "terminal" : "n" + std::to_string(e.node());
@@ -41,7 +42,8 @@ void Manager::write_dot(std::ostream& os, const std::vector<Edge>& roots,
   while (!stack.empty()) {
     const std::uint32_t idx = stack.back();
     stack.pop_back();
-    if (idx == 0 || !seen.insert(idx).second) continue;
+    if (nodes_[idx].visit == epoch) continue;
+    nodes_[idx].visit = epoch;
     const Node& n = nodes_[idx];
     os << "  n" << idx << " [label=\"" << var_label(n.var) << "\"];\n";
     os << "  n" << idx << " -> " << target(n.hi) << ' ' << edge_attr(n.hi, true)

@@ -1,37 +1,66 @@
 #include "core/cuts.hpp"
 
-#include <algorithm>
+#include <unordered_set>
 
 namespace bds::core {
 
 using bdd::Edge;
 
 std::vector<CutInfo> enumerate_cuts(const BddStructure& s) {
+  // Single top-down sweep. The old implementation rescanned every node
+  // above each cut and deduplicated targets with a linear find --
+  // O(levels * width^2); this maintains the cut state incrementally.
+  //
+  // Nodes are processed in ascending level order. Processing a node (a)
+  // removes it from the crossing-target set -- all its parents lie strictly
+  // above, so once it is above the cut no edge into it crosses -- and (b)
+  // classifies its child edges: terminals bump the cumulative Sigma_0 /
+  // Sigma_1 counters, nonterminals enter the target set. After processing
+  // every node above level L, the state *is* the cut at L. Since all
+  // parents of a node are processed before it, each edge is inserted before
+  // any removal, exactly once.
   std::vector<CutInfo> cuts;
   if (s.root().is_constant() || s.levels().size() < 2) return cuts;
   bdd::Manager& mgr = s.manager();
+  const std::vector<Edge>& nodes = s.nodes();  // level-ascending
 
-  // Cut positions: just above every occupied level except the root's.
+  unsigned zero_leaves = 0;
+  unsigned one_leaves = 0;
+  std::unordered_set<Edge> alive;  // current crossing targets
+  std::vector<Edge> order;  // targets in first-discovery order (may hold dead)
+  std::size_t next = 0;     // first node not yet above the cut
+  cuts.reserve(s.levels().size() - 1);
   for (std::size_t li = 1; li < s.levels().size(); ++li) {
     const std::uint32_t cut_level = s.levels()[li];
-    CutInfo info;
-    info.level = cut_level;
-    for (const Edge e : s.nodes()) {
-      if (mgr.edge_level(e) >= cut_level) break;  // nodes are level-sorted
+    for (; next < nodes.size() && mgr.edge_level(nodes[next]) < cut_level;
+         ++next) {
+      const Edge e = nodes[next];
+      alive.erase(e);
       for (const Edge child : {mgr.hi_of(e), mgr.lo_of(e)}) {
         if (child.is_zero()) {
-          ++info.zero_leaves;
+          ++zero_leaves;
         } else if (child.is_one()) {
-          ++info.one_leaves;
-        } else if (mgr.edge_level(child) >= cut_level) {
-          if (std::find(info.crossing_targets.begin(),
-                        info.crossing_targets.end(),
-                        child) == info.crossing_targets.end()) {
-            info.crossing_targets.push_back(child);
-          }
+          ++one_leaves;
+        } else if (alive.insert(child).second) {
+          order.push_back(child);
         }
       }
     }
+    // Compact away processed targets; the survivors keep first-discovery
+    // order, which is what the per-cut rescan used to produce. The copy is
+    // proportional to the cut's own width -- the size of the output row.
+    std::vector<Edge> live;
+    live.reserve(alive.size());
+    for (const Edge e : order) {
+      if (alive.contains(e)) live.push_back(e);
+    }
+    order.swap(live);
+
+    CutInfo info;
+    info.level = cut_level;
+    info.zero_leaves = zero_leaves;
+    info.one_leaves = one_leaves;
+    info.crossing_targets = order;
     cuts.push_back(std::move(info));
   }
   return cuts;

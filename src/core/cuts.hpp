@@ -27,7 +27,10 @@ struct CutInfo {
 };
 
 /// All horizontal cuts of the structure, top to bottom (one per occupied
-/// level below the root's).
+/// level below the root's). Computed in a single top-down sweep that
+/// maintains the Sigma_0/Sigma_1 counters and the crossing-target set
+/// incrementally per level; crossing targets are listed in first-discovery
+/// order (the order a top-down scan of the nodes first reaches them).
 std::vector<CutInfo> enumerate_cuts(const BddStructure& s);
 
 /// Representative cuts for conjunctive (AND) decomposition: valid cuts

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "net/network.hpp"
 
@@ -36,6 +37,9 @@ Network parse_blif(std::istream& is) {
   std::vector<PendingNames> pending;
   PendingNames* current = nullptr;
   bool in_model = false;
+  // Signal definition sites (inputs and .names outputs), for duplicate
+  // diagnostics that point at both lines instead of a late generic throw.
+  std::unordered_map<std::string, int> defined_at;
 
   int lineno = 0;
   std::string line;
@@ -64,8 +68,14 @@ Network parse_blif(std::istream& is) {
       in_model = true;
       if (tokens.size() > 1) net.set_name(tokens[1]);
     } else if (tokens[0] == ".inputs") {
-      declared_inputs.insert(declared_inputs.end(), tokens.begin() + 1,
-                             tokens.end());
+      for (auto it = tokens.begin() + 1; it != tokens.end(); ++it) {
+        const auto [prev, fresh] = defined_at.emplace(*it, lineno);
+        if (!fresh) {
+          fail("input '" + *it + "' already defined at line " +
+               std::to_string(prev->second));
+        }
+        declared_inputs.push_back(*it);
+      }
       current = nullptr;
     } else if (tokens[0] == ".outputs") {
       declared_outputs.insert(declared_outputs.end(), tokens.begin() + 1,
@@ -73,6 +83,12 @@ Network parse_blif(std::istream& is) {
       current = nullptr;
     } else if (tokens[0] == ".names") {
       if (tokens.size() < 2) fail(".names needs at least an output");
+      const auto [prev, fresh] = defined_at.emplace(tokens.back(), lineno);
+      if (!fresh) {
+        fail("duplicate driver for '" + tokens.back() +
+             "' (already defined at line " + std::to_string(prev->second) +
+             ")");
+      }
       pending.push_back(
           {std::vector<std::string>(tokens.begin() + 1, tokens.end()),
            {},
@@ -96,9 +112,21 @@ Network parse_blif(std::istream& is) {
       } else {
         if (tokens.size() != 2) fail("cover line must be '<cube> <value>'");
         if (tokens[0].size() != current->signals.size() - 1) {
-          fail("cube width does not match fanin count");
+          fail("cube width " + std::to_string(tokens[0].size()) +
+               " does not match fanin count " +
+               std::to_string(current->signals.size() - 1) + " of .names '" +
+               current->signals.back() + "' (line " +
+               std::to_string(current->line) + ")");
         }
-        if (tokens[1] != "0" && tokens[1] != "1") fail("bad output value");
+        for (const char ch : tokens[0]) {
+          if (ch != '0' && ch != '1' && ch != '-' && ch != '2') {
+            fail(std::string("invalid cube character '") + ch +
+                 "' (expected 0, 1 or -)");
+          }
+        }
+        if (tokens[1] != "0" && tokens[1] != "1") {
+          fail("bad output value '" + tokens[1] + "' (expected 0 or 1)");
+        }
         current->cover.emplace_back(tokens[0], tokens[1][0]);
       }
     }

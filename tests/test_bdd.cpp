@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "oracle.hpp"
@@ -314,6 +315,157 @@ TEST(Bdd, DotExportMentionsAllRoots) {
   EXPECT_NE(s.find("\"f\""), std::string::npos);
   EXPECT_NE(s.find("\"g\""), std::string::npos);
   EXPECT_NE(s.find("\"a\""), std::string::npos);
+}
+
+TEST(Bdd, SatCountSurvivesWideSupports) {
+  // AND of 1200 variables: minterm density 2^-1200 underflows a plain
+  // double to 0, which the old implementation then multiplied back up to
+  // 0 "satisfying assignments". The scaled mantissa/exponent densities
+  // must return exactly 1.
+  constexpr std::uint32_t kVars = 1200;
+  Manager mgr(kVars);
+  Bdd f = mgr.one();
+  for (Var v = 0; v < kVars; ++v) f = f & mgr.var(v);
+  EXPECT_EQ(f.sat_count(kVars), 1.0);
+  // The complement misses exactly one assignment out of 2^1200.
+  EXPECT_EQ((!f).sat_count(kVars), std::ldexp(1.0, 1200) - 1.0);
+  // OR of all positive literals: all assignments except all-zero satisfy.
+  Bdd g = mgr.zero();
+  for (Var v = 0; v < kVars; ++v) g = g | mgr.var(v);
+  EXPECT_EQ(g.sat_count(kVars), std::ldexp(1.0, 1200) - 1.0);
+}
+
+// ---- computed-table policy (PR 2) -------------------------------------------
+
+TEST(BddCache, PerOpCountersPartitionTotalTraffic) {
+  Manager mgr(8);
+  Rng rng(29);
+  const ManagerStats& st = mgr.stats();
+  const std::size_t ite_before = st.cache_op_lookups[0];
+  const Bdd f = from_table(mgr, TruthTable::random(8, rng));
+  const Bdd c = from_table(mgr, TruthTable::random(8, rng));
+  EXPECT_GT(st.cache_op_lookups[0], ite_before);  // index 0 == "ite"
+
+  const std::size_t restrict_before = st.cache_op_lookups[1];
+  (void)f.restrict_(c);
+  EXPECT_GT(st.cache_op_lookups[1], restrict_before);
+
+  std::size_t lookups = 0, hits = 0;
+  for (std::size_t i = 0; i < kNumCacheOps; ++i) {
+    lookups += st.cache_op_lookups[i];
+    hits += st.cache_op_hits[i];
+  }
+  EXPECT_EQ(lookups, st.cache_lookups);
+  EXPECT_EQ(hits, st.cache_hits);
+  EXPECT_STREQ(kCacheOpNames[0], "ite");
+}
+
+TEST(BddCache, EntriesOverLiveNodesSurviveGc) {
+  Manager mgr(8);
+  Rng rng(31);
+  const Bdd a = from_table(mgr, TruthTable::random(8, rng));
+  const Bdd b = from_table(mgr, TruthTable::random(8, rng));
+  const Bdd r = mgr.wrap(mgr.and_(a.edge(), b.edge()));  // seeds the cache
+
+  for (int i = 0; i < 8; ++i) {
+    (void)from_table(mgr, TruthTable::random(8, rng));  // garbage
+  }
+  mgr.gc();
+
+  // Re-issuing the same operation must be answered from the cache: all
+  // operands and the result are still live, so gc() may not drop the entry.
+  const ManagerStats& st = mgr.stats();
+  const std::size_t hits_before = st.cache_hits;
+  EXPECT_EQ(mgr.and_(a.edge(), b.edge()), r.edge());
+  EXPECT_GT(st.cache_hits, hits_before);
+}
+
+TEST(BddCache, GcEvictsEntriesReferencingDeadNodes) {
+  Manager mgr(10);
+  Rng rng(37);
+  {
+    std::vector<Bdd> garbage;
+    for (int i = 0; i < 16; ++i) {
+      garbage.push_back(from_table(mgr, TruthTable::random(10, rng)));
+    }
+  }
+  const ManagerStats& st = mgr.stats();
+  const std::size_t evictions_before = st.cache_dead_evictions;
+  mgr.gc();
+  // The dropped tables seeded cache entries whose operands/results just
+  // died; gc() must invalidate those (and count them) instead of clearing
+  // the whole table.
+  EXPECT_GT(st.cache_dead_evictions, evictions_before);
+  EXPECT_TRUE(mgr.check_consistency());
+}
+
+TEST(BddCache, TableGrowsUnderSustainedHitTraffic) {
+  Manager mgr(8);
+  Rng rng(41);
+  const Bdd a = from_table(mgr, TruthTable::random(8, rng));
+  const Bdd b = from_table(mgr, TruthTable::random(8, rng));
+  const ManagerStats& st = mgr.stats();
+  const std::size_t initial_entries = st.cache_entries;
+  // A hot loop of pure cache hits: the adaptive policy must widen the
+  // table (growth is triggered from lookups, not only from stores).
+  for (int i = 0; i < 200'000; ++i) {
+    (void)mgr.and_(a.edge(), b.edge());
+  }
+  EXPECT_GT(st.cache_entries, initial_entries);
+  EXPECT_GE(st.cache_resizes, 1u);
+  EXPECT_GT(st.cache_hits, 100'000u);
+}
+
+// ---- empty-handle guard (always on, PR 2) -----------------------------------
+
+using BddHandleDeathTest = ::testing::Test;
+
+TEST(BddHandleDeathTest, DefaultConstructedHandleAbortsLoudly) {
+  EXPECT_DEATH(
+      {
+        const Bdd empty;
+        (void)empty.size();
+      },
+      "empty Bdd handle");
+  EXPECT_DEATH(
+      {
+        const Bdd empty;
+        (void)(!empty);
+      },
+      "empty Bdd handle");
+  EXPECT_DEATH(
+      {
+        Manager mgr(2);
+        const Bdd x = mgr.var(0);
+        const Bdd empty;
+        (void)(x & empty);
+      },
+      "empty Bdd handle");
+}
+
+TEST(BddHandleDeathTest, MixedManagerOperandsAbort) {
+  EXPECT_DEATH(
+      {
+        Manager m1(2);
+        Manager m2(2);
+        const Bdd x = m1.var(0);
+        const Bdd y = m2.var(0);
+        (void)(x & y);
+      },
+      "different managers");
+}
+
+TEST(Bdd, DefaultConstructedHandleAllowsValidityChecks) {
+  // The documented invariant: destruction, assignment, swap, valid() and
+  // operator== stay legal on an empty handle.
+  Bdd a, b;
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(a == b);
+  Manager mgr(2);
+  a = mgr.var(0);
+  EXPECT_TRUE(a.valid());
+  b = a;
+  EXPECT_TRUE(a == b);
 }
 
 TEST(Bdd, ManagerGrowsVariablesOnDemand) {

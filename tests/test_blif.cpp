@@ -100,6 +100,69 @@ TEST(Blif, RejectsWrongCubeWidth) {
                std::runtime_error);
 }
 
+// ---- malformed-input diagnostics (PR 2) -------------------------------------
+
+/// Parses the text, expecting failure; returns the exception message.
+std::string parse_error(const std::string& text) {
+  try {
+    parse_blif_string(text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Blif, WrongCubeWidthDiagnosticNamesNodeAndLines) {
+  const std::string msg = parse_error(
+      ".model m\n.inputs a b c\n.outputs o\n.names a b c o\n11 1\n");
+  EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("cube width 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("fanin count 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'o'"), std::string::npos) << msg;
+}
+
+TEST(Blif, RejectsInvalidCubeCharacter) {
+  const std::string msg = parse_error(
+      ".model m\n.inputs a b\n.outputs o\n.names a b o\n1x 1\n");
+  EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("invalid cube character 'x'"), std::string::npos) << msg;
+}
+
+TEST(Blif, RejectsBadOutputValue) {
+  const std::string msg = parse_error(
+      ".model m\n.inputs a b\n.outputs o\n.names a b o\n11 x\n");
+  EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bad output value 'x'"), std::string::npos) << msg;
+}
+
+TEST(Blif, RejectsDuplicateNamesDriver) {
+  const std::string msg = parse_error(
+      ".model m\n.inputs a b\n.outputs o\n"
+      ".names a o\n1 1\n"
+      ".names b o\n1 1\n.end\n");
+  EXPECT_NE(msg.find("line 6"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate driver for 'o'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;  // first site
+}
+
+TEST(Blif, RejectsNamesRedefiningAnInput) {
+  const std::string msg = parse_error(
+      ".model m\n.inputs a b\n.outputs o\n"
+      ".names b a\n1 1\n.end\n");
+  EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate driver for 'a'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(Blif, RejectsDuplicateInputDeclaration) {
+  const std::string msg =
+      parse_error(".model m\n.inputs a\n.inputs b a\n.outputs o\n.end\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("input 'a' already defined at line 2"),
+            std::string::npos)
+      << msg;
+}
+
 TEST(Blif, RoundTripPreservesSemantics) {
   const Network original = parse_blif_string(kHalfAdder);
   const std::string text = to_blif_string(original);
