@@ -1,11 +1,15 @@
-// Continuous benchmark suite (PR 2): runs the generated circuit families
-// through the registered `bds` and `rugged` pipelines, builds global BDDs
-// per family to exercise the manager's computed table and GC, and times a
+// Continuous benchmark suite: runs the generated circuit families through
+// the registered `bds` and `rugged` pipelines, builds global BDDs per
+// family to exercise the manager's computed table and GC, times a
 // structural-query microbenchmark (size / support / sat_count over a
-// generated-adder forest) against faithful reimplementations of the pre-PR
-// recursive/hash-set query code. Emits one JSON report (default
-// BENCH_pr2.json) that CI uploads as an artifact, so manager regressions
-// show up as a diff in the numbers rather than as an anecdote.
+// generated-adder forest) against faithful reimplementations of the old
+// recursive/hash-set query code, and measures the decompose phase serial
+// vs parallel (-j 1/2/4) on the adder-forest family, cross-checking that
+// every worker count emits byte-identical BLIF. Emits one JSON report
+// (default BENCH_pr3.json) that CI uploads as an artifact, so manager
+// regressions show up as a diff in the numbers rather than as an anecdote.
+// `hardware_concurrency` is recorded alongside: parallel speedups are only
+// meaningful where the host actually has the cores.
 //
 // Usage: bench_suite [-out <path>] [-quick]
 #include <algorithm>
@@ -18,14 +22,17 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "bdd/bdd.hpp"
+#include "core/bds.hpp"
 #include "gen/gen.hpp"
 #include "net/network.hpp"
 #include "opt/bds_passes.hpp"
+#include "opt/flows.hpp"
 #include "opt/manager.hpp"
 #include "util/timer.hpp"
 
@@ -312,6 +319,69 @@ struct Family {
   Network net;
 };
 
+// ---------------------------------------------------------------------------
+// Serial-vs-parallel decompose: the same `bds` pipeline at -j 1/2/4 over the
+// adder-forest family. Decompose wall time comes from the pipeline's
+// per-pass clock; the per-worker busy extremes come from the pass's own
+// counters. Every worker count must emit byte-identical BLIF.
+
+struct ParallelPoint {
+  unsigned jobs = 1;
+  double decompose_seconds = 0.0;  ///< best of `reps` runs
+  double par_seconds_max = 0.0;    ///< busiest worker, from the best run
+  double par_seconds_min = 0.0;
+};
+
+struct ParallelBenchResult {
+  std::string circuit;
+  std::size_t supernodes = 0;
+  bool deterministic = true;  ///< all worker counts emitted identical BLIF
+  std::vector<ParallelPoint> points;
+};
+
+ParallelBenchResult run_parallel_bench(const Network& input,
+                                       const std::string& circuit, int reps) {
+  ParallelBenchResult r;
+  r.circuit = circuit;
+  std::string reference_blif;
+  for (const unsigned jobs : {1u, 2u, 4u}) {
+    bds::core::BdsOptions opts;
+    opts.jobs = jobs;
+    const std::string script = bds::opt::default_bds_script(opts);
+    ParallelPoint p;
+    p.jobs = jobs;
+    for (int rep = 0; rep < reps; ++rep) {
+      Network net = input;
+      bds::opt::PassManager pm = bds::opt::PassManager::from_script(script);
+      const bds::opt::PipelineStats ps = pm.run(net);
+      double seconds = 0.0;
+      for (const bds::opt::PassStats& pass : ps.passes) {
+        if (pass.name != "bds_decompose") continue;
+        seconds = pass.seconds;
+        if (rep == 0 || seconds < p.decompose_seconds) {
+          p.par_seconds_max = pass.counter("par_seconds_max");
+          p.par_seconds_min = pass.counter("par_seconds_min");
+        }
+      }
+      if (rep == 0) {
+        p.decompose_seconds = seconds;
+        r.supernodes = static_cast<std::size_t>(ps.counter("supernodes"));
+        std::ostringstream blif;
+        bds::net::write_blif(blif, net);
+        if (reference_blif.empty()) {
+          reference_blif = blif.str();
+        } else if (blif.str() != reference_blif) {
+          r.deterministic = false;
+        }
+      } else {
+        p.decompose_seconds = std::min(p.decompose_seconds, seconds);
+      }
+    }
+    r.points.push_back(p);
+  }
+  return r;
+}
+
 void emit_manager_stats(Json& json, const Manager& mgr) {
   const bds::bdd::ManagerStats& ms = mgr.stats();
   json.field("live_nodes", ms.live_nodes);
@@ -341,7 +411,7 @@ void emit_manager_stats(Json& json, const Manager& mgr) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_pr2.json";
+  std::string out_path = "BENCH_pr3.json";
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -377,7 +447,8 @@ int main(int argc, char** argv) {
   Json json(out);
   json.open();
   json.field("schema", "bds-bench/v1");
-  json.field("pr", "pr2");
+  json.field("pr", "pr3");
+  json.field("hardware_concurrency", std::thread::hardware_concurrency());
 
   // -- Microbenchmark -------------------------------------------------------
   std::cout << "== structural-query microbenchmark ==\n";
@@ -401,11 +472,43 @@ int main(int argc, char** argv) {
   json.field("results_match", mb.results_match);
   json.close();
   json.close();
+  bool all_ok = mb.results_match;
+
+  // -- Serial vs parallel decompose -----------------------------------------
+  std::cout << "== parallel decompose (adder forest) ==\n";
+  const ParallelBenchResult pb = run_parallel_bench(
+      bds::gen::ripple_adder(64), "ripple_adder(64)", quick ? 1 : 3);
+  const double serial_seconds =
+      pb.points.empty() ? 0.0 : pb.points.front().decompose_seconds;
+  json.open("parallel_decompose");
+  json.field("circuit", pb.circuit);
+  json.field("supernodes", pb.supernodes);
+  json.field("deterministic", pb.deterministic);
+  json.open_list("points");
+  for (const ParallelPoint& p : pb.points) {
+    const double speedup =
+        p.decompose_seconds > 0 ? serial_seconds / p.decompose_seconds : 0.0;
+    json.open();
+    json.field("jobs", p.jobs);
+    json.field("decompose_seconds", p.decompose_seconds);
+    json.field("speedup_vs_serial", speedup);
+    json.field("par_seconds_max", p.par_seconds_max);
+    json.field("par_seconds_min", p.par_seconds_min);
+    json.close();
+    std::cout << "  -j " << p.jobs << "  decompose " << std::fixed
+              << std::setprecision(3) << p.decompose_seconds << "s  speedup "
+              << std::setprecision(2) << speedup << "x\n";
+  }
+  json.close_list();
+  json.close();
+  if (!pb.deterministic) {
+    std::cerr << "bench_suite: parallel decompose was NOT deterministic\n";
+    all_ok = false;
+  }
 
   // -- Families -------------------------------------------------------------
   std::cout << "== circuit families ==\n";
   json.open_list("families");
-  bool all_ok = mb.results_match;
   for (const Family& fam : families) {
     json.open();
     json.field("name", fam.name);

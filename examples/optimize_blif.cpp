@@ -4,21 +4,25 @@
 //
 // Usage:
 //   optimize_blif <input.blif> [-o out.blif] [-gates out_mapped.blif]
-//                 [-flow bds|sis] [-script "<passes>"] [-nomap] [-noverify]
-//                 [-stats] [-trace] [-check] [-list-passes]
+//                 [-flow bds|sis] [-script "<passes>"] [-j N] [-nomap]
+//                 [-noverify] [-stats] [-trace] [-check] [-list-passes]
 //
 // The optimization flow is a pass pipeline (src/opt/): `-flow` selects one
 // of the two registered scripts ("bds", "rugged"), `-script` runs an
 // arbitrary script such as "sweep; eliminate -1; simplify; gkx; resub",
 // `-trace` prints each pass as it completes, `-check` proves every
 // network-modifying pass equivalent to its input, and `-stats` prints the
-// shared per-pass time/size breakdown table.
+// shared per-pass time/size breakdown table. `-j N` runs the decompose
+// phase on N workers (0 = all hardware threads); the result is
+// bit-identical to a serial run.
 //
 // With no input file, a built-in demo circuit is used.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "map/mapper.hpp"
 #include "net/network.hpp"
@@ -49,9 +53,41 @@ constexpr const char* kDemo = R"(
 int usage() {
   std::cerr << "usage: optimize_blif [input.blif] [-o out.blif] "
                "[-gates out_mapped.blif] [-flow bds|sis] "
-               "[-script \"<passes>\"] [-nomap] [-noverify] [-stats] "
+               "[-script \"<passes>\"] [-j N] [-nomap] [-noverify] [-stats] "
                "[-trace] [-check] [-list-passes]\n";
   return 2;
+}
+
+// Threads `-j N` into the script: every `bds_decompose` command gets its
+// `-j` argument replaced (or appended). Named scripts are expanded first so
+// the patch applies to the underlying command list.
+std::string with_jobs(const std::string& script_text, const std::string& jobs) {
+  std::string text = script_text;
+  {
+    const std::vector<bds::opt::ScriptCommand> probe =
+        bds::opt::parse_script(text);
+    if (probe.size() == 1 && probe[0].args.empty()) {
+      if (const std::string* named =
+              bds::opt::PassRegistry::instance().find_script(probe[0].name)) {
+        text = *named;
+      }
+    }
+  }
+  std::vector<bds::opt::ScriptCommand> commands = bds::opt::parse_script(text);
+  for (bds::opt::ScriptCommand& cmd : commands) {
+    if (cmd.name != "bds_decompose") continue;
+    auto& args = cmd.args;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "-j") {
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(
+                                      std::min(i + 2, args.size())));
+        break;
+      }
+    }
+    args.insert(args.end(), {"-j", jobs});
+  }
+  return bds::opt::format_script(commands);
 }
 
 int list_passes() {
@@ -77,6 +113,7 @@ int main(int argc, char** argv) {
   std::string gate_path;
   std::string flow = "bds";
   std::string script;
+  std::string jobs;
   bool do_map = true;
   bool do_verify = true;
   bool show_stats = false;
@@ -93,6 +130,8 @@ int main(int argc, char** argv) {
       flow = argv[++i];
     } else if (arg == "-script" && i + 1 < argc) {
       script = argv[++i];
+    } else if (arg == "-j" && i + 1 < argc) {
+      jobs = argv[++i];
     } else if (arg == "-nomap") {
       do_map = false;
     } else if (arg == "-noverify") {
@@ -117,6 +156,14 @@ int main(int argc, char** argv) {
   }
   if (flow != "bds" && flow != "sis") return usage();
   if (script.empty()) script = (flow == "bds") ? "bds" : "rugged";
+  if (!jobs.empty()) {
+    try {
+      script = with_jobs(script, jobs);
+    } catch (const opt::ScriptError& e) {
+      std::cerr << "script error: " << e.what() << "\n";
+      return 2;
+    }
+  }
 
   net::Network input;
   try {

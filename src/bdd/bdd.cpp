@@ -19,6 +19,11 @@ void invalid_handle(const char* op) {
                op);
   std::abort();
 }
+
+void invalid_argument(const char* op, const char* what) {
+  std::fprintf(stderr, "bds: fatal: %s: %s\n", op, what);
+  std::abort();
+}
 }  // namespace detail
 
 namespace {
@@ -59,6 +64,7 @@ Var Manager::new_var() {
   level2var_.push_back(v);
   Subtable st;
   st.buckets.assign(kInitialBuckets, kNil);
+  subtable_bucket_bytes_ += kInitialBuckets * sizeof(std::uint32_t);
   subtables_.push_back(std::move(st));
   return v;
 }
@@ -130,6 +136,7 @@ void Manager::free_node(std::uint32_t idx) {
 void Manager::grow_subtable(Subtable& st) {
   std::vector<std::uint32_t> old = std::move(st.buckets);
   st.buckets.assign(old.size() * 2, kNil);
+  subtable_bucket_bytes_ += old.size() * sizeof(std::uint32_t);
   for (std::uint32_t head : old) {
     while (head != kNil) {
       Node& n = nodes_[head];
@@ -253,12 +260,15 @@ void Manager::maybe_gc() {
 }
 
 void Manager::update_memory_stats() {
-  std::size_t bytes = nodes_.capacity() * sizeof(Node) +
-                      free_list_.capacity() * sizeof(std::uint32_t) +
-                      cache_.capacity() * sizeof(CacheEntry);
-  for (const Subtable& st : subtables_) {
-    bytes += st.buckets.capacity() * sizeof(std::uint32_t);
-  }
+  // This runs on every handle-level operation (via maybe_gc), so it must
+  // not walk the subtables: with n variables that turns every op into O(n)
+  // and long operation streams quadratic. The bucket footprint is tracked
+  // incrementally at the two sites that allocate buckets (new_var,
+  // grow_subtable) instead.
+  const std::size_t bytes = nodes_.capacity() * sizeof(Node) +
+                            free_list_.capacity() * sizeof(std::uint32_t) +
+                            cache_.capacity() * sizeof(CacheEntry) +
+                            subtable_bucket_bytes_;
   stats_.memory_bytes = bytes;
   stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, bytes);
 }

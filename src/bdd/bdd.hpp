@@ -118,6 +118,10 @@ namespace detail {
 /// Always-on failure hook of the `Bdd` handle guard: prints a diagnostic
 /// naming the offending operation and aborts (release builds included).
 [[noreturn]] void invalid_handle(const char* op);
+/// Always-on rejection of malformed caller-supplied arguments (e.g. a
+/// non-permutation handed to Manager::set_order): prints the operation and
+/// the violated precondition, then aborts, in release builds too.
+[[noreturn]] void invalid_argument(const char* op, const char* what);
 }  // namespace detail
 
 /// The BDD manager: owns all nodes, tables and the variable order.
@@ -321,6 +325,9 @@ class Manager {
   std::size_t cache_lookups_at_resize_ = 0;  ///< Window start (growth policy).
   std::size_t cache_hits_at_resize_ = 0;
   std::size_t gc_threshold_ = 1u << 14;
+  /// Total bytes of all subtable bucket arrays, maintained incrementally so
+  /// update_memory_stats() stays O(1) on the per-operation hot path.
+  std::size_t subtable_bucket_bytes_ = 0;
   ManagerStats stats_;
 
   // Traversal scratch (all logically const; see begin_visit()).

@@ -175,11 +175,30 @@ void Manager::reorder_sift(double max_growth) {
 }
 
 void Manager::set_order(const std::vector<Var>& order) {
-  assert(order.size() == num_vars());
+  // Validate up front, release builds included: a non-permutation would
+  // silently scramble var2level_ mid-way through the bubble swaps, leaving
+  // the manager corrupted far from the misuse site.
+  if (order.size() != num_vars()) {
+    detail::invalid_argument("Manager::set_order",
+                             "order must list every variable exactly once "
+                             "(size differs from num_vars)");
+  }
+  std::vector<bool> seen(num_vars(), false);
+  for (const Var v : order) {
+    if (v >= num_vars()) {
+      detail::invalid_argument("Manager::set_order",
+                               "order names a variable that does not exist");
+    }
+    if (seen[v]) {
+      detail::invalid_argument("Manager::set_order",
+                               "order repeats a variable (not a permutation)");
+    }
+    seen[v] = true;
+  }
   gc();
   for (std::uint32_t target = 0; target < order.size(); ++target) {
     std::uint32_t cur = var2level_[order[target]];
-    assert(cur >= target && "order is not a permutation");
+    assert(cur >= target && "level invariant broken during reorder");
     while (cur > target) {
       swap_levels(cur - 1);
       --cur;

@@ -1,41 +1,80 @@
 #include "core/balance.hpp"
 
 #include <algorithm>
-#include <functional>
 #include <queue>
 #include <unordered_map>
+#include <vector>
 
 namespace bds::core {
 
 namespace {
 
+// All traversals here are explicit-stack iterations: factoring trees mirror
+// BDD chains, so single-path depths in the 100k range are routine, and the
+// former std::function recursions overflowed the C stack on them.
+
 struct DepthMemo {
   const FactoringForest& forest;
   std::unordered_map<FactId, std::size_t> memo;
 
-  std::size_t depth(FactId id) {
-    const auto it = memo.find(id);
-    if (it != memo.end()) return it->second;
-    const FactNode& n = forest.node(id);
-    std::size_t d = 0;
-    switch (n.kind) {
-      case FactKind::kConst0:
-      case FactKind::kConst1:
-      case FactKind::kVar:
-        d = 0;
-        break;
-      case FactKind::kNot:
-        d = depth(n.a);  // inverters are free in this depth model
-        break;
-      case FactKind::kMux:
-        d = 1 + std::max({depth(n.a), depth(n.b), depth(n.c)});
-        break;
-      default:
-        d = 1 + std::max(depth(n.a), depth(n.b));
-        break;
+  std::size_t depth(FactId root) {
+    std::vector<FactId> stack{root};
+    while (!stack.empty()) {
+      const FactId id = stack.back();
+      if (memo.find(id) != memo.end()) {
+        stack.pop_back();
+        continue;
+      }
+      const FactNode& n = forest.node(id);
+      FactId deps[3];
+      std::size_t ndeps = 0;
+      switch (n.kind) {
+        case FactKind::kConst0:
+        case FactKind::kConst1:
+        case FactKind::kVar:
+          break;
+        case FactKind::kNot:
+          deps[ndeps++] = n.a;
+          break;
+        case FactKind::kMux:
+          deps[ndeps++] = n.a;
+          deps[ndeps++] = n.b;
+          deps[ndeps++] = n.c;
+          break;
+        default:
+          deps[ndeps++] = n.a;
+          deps[ndeps++] = n.b;
+          break;
+      }
+      bool ready = true;
+      for (std::size_t i = 0; i < ndeps; ++i) {
+        if (memo.find(deps[i]) == memo.end()) {
+          stack.push_back(deps[i]);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      std::size_t d = 0;
+      switch (n.kind) {
+        case FactKind::kConst0:
+        case FactKind::kConst1:
+        case FactKind::kVar:
+          d = 0;
+          break;
+        case FactKind::kNot:
+          d = memo.at(n.a);  // inverters are free in this depth model
+          break;
+        case FactKind::kMux:
+          d = 1 + std::max({memo.at(n.a), memo.at(n.b), memo.at(n.c)});
+          break;
+        default:
+          d = 1 + std::max(memo.at(n.a), memo.at(n.b));
+          break;
+      }
+      memo.emplace(id, d);
+      stack.pop_back();
     }
-    memo.emplace(id, d);
-    return d;
+    return memo.at(root);
   }
 };
 
@@ -44,51 +83,128 @@ class Balancer {
   Balancer(FactoringForest& forest, BalanceStats& stats)
       : forest_(forest), stats_(stats), depths_{forest, {}} {}
 
-  FactId rewrite(FactId id) {
-    const auto it = rewritten_.find(id);
-    if (it != rewritten_.end()) return it->second;
-    const FactNode n = forest_.node(id);  // copy; forest grows
-    FactId result = id;
-    switch (n.kind) {
-      case FactKind::kConst0:
-      case FactKind::kConst1:
-      case FactKind::kVar:
-        break;
-      case FactKind::kNot:
-        result = forest_.mk_not(rewrite(n.a));
-        break;
-      case FactKind::kMux:
-        result = forest_.mk_mux(rewrite(n.a), rewrite(n.b), rewrite(n.c));
-        break;
-      case FactKind::kAnd:
-      case FactKind::kOr:
-        result = rebuild_chain(id, n.kind);
-        break;
-      case FactKind::kXor:
-      case FactKind::kXnor:
-        result = rebuild_xor_chain(id);
-        break;
+  /// Iterative two-visit rewrite. The first visit of a node computes its
+  /// dependency list -- direct children for NOT/MUX, the flattened operand
+  /// frontier for associative chains -- and pushes the unrewritten ones in
+  /// reverse, so they complete left-to-right exactly as the recursion did
+  /// (the forest's interning order, and hence every produced FactId, is
+  /// unchanged). The second visit rebuilds the node from `rewritten_`.
+  /// Collecting the frontier before any rewriting also fixes a latent bug:
+  /// the recursive collect() held a FactNode reference across rewrite()
+  /// calls that can reallocate the forest's node arena.
+  FactId rewrite(FactId root) {
+    std::vector<FactId> stack{root};
+    std::vector<FactId> deps;
+    while (!stack.empty()) {
+      const FactId id = stack.back();
+      if (rewritten_.find(id) != rewritten_.end()) {
+        stack.pop_back();
+        continue;
+      }
+      const FactNode n = forest_.node(id);  // copy; forest grows
+      deps.clear();
+      bool invert = false;
+      switch (n.kind) {
+        case FactKind::kConst0:
+        case FactKind::kConst1:
+        case FactKind::kVar:
+          break;
+        case FactKind::kNot:
+          deps.push_back(n.a);
+          break;
+        case FactKind::kMux:
+          deps.insert(deps.end(), {n.a, n.b, n.c});
+          break;
+        case FactKind::kAnd:
+        case FactKind::kOr:
+          collect_frontier(id, n.kind, deps);
+          break;
+        case FactKind::kXor:
+        case FactKind::kXnor:
+          collect_xor_frontier(id, deps, invert);
+          break;
+      }
+      bool ready = true;
+      for (std::size_t i = deps.size(); i-- > 0;) {
+        if (rewritten_.find(deps[i]) == rewritten_.end()) {
+          stack.push_back(deps[i]);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      FactId result = id;
+      switch (n.kind) {
+        case FactKind::kConst0:
+        case FactKind::kConst1:
+        case FactKind::kVar:
+          break;
+        case FactKind::kNot:
+          result = forest_.mk_not(rewritten_.at(n.a));
+          break;
+        case FactKind::kMux:
+          result = forest_.mk_mux(rewritten_.at(n.a), rewritten_.at(n.b),
+                                  rewritten_.at(n.c));
+          break;
+        case FactKind::kAnd:
+        case FactKind::kOr:
+          result = rebuild_chain(deps, n.kind);
+          break;
+        case FactKind::kXor:
+        case FactKind::kXnor:
+          result = rebuild_xor_chain(deps, invert);
+          break;
+      }
+      rewritten_.emplace(id, result);
+      stack.pop_back();
     }
-    rewritten_.emplace(id, result);
-    return result;
+    return rewritten_.at(root);
   }
 
  private:
-  /// Collects the operands of a maximal same-operator chain, rewriting
-  /// each operand first.
-  void collect(FactId id, FactKind op, std::vector<FactId>& operands) {
-    const FactNode& n = forest_.node(id);
-    if (n.kind == op) {
-      collect(n.a, op, operands);
-      collect(n.b, op, operands);
-    } else {
-      operands.push_back(rewrite(id));
+  /// Flattens the maximal same-operator chain under `id` into its operand
+  /// frontier, in the in-order (left-to-right) sequence the recursion
+  /// produced. Shared operands appear once per chain reference.
+  void collect_frontier(FactId id, FactKind op, std::vector<FactId>& out) {
+    std::vector<FactId> stack{id};
+    while (!stack.empty()) {
+      const FactId cur = stack.back();
+      stack.pop_back();
+      const FactNode& n = forest_.node(cur);
+      if (n.kind == op) {
+        stack.push_back(n.b);
+        stack.push_back(n.a);  // a pops first: in-order
+      } else {
+        out.push_back(cur);
+      }
     }
   }
 
-  FactId rebuild_chain(FactId id, FactKind op) {
+  /// XOR/XNOR chains flatten through both operators and through NOT,
+  /// tracking the output complement parity in `invert`.
+  void collect_xor_frontier(FactId id, std::vector<FactId>& out,
+                            bool& invert) {
+    std::vector<FactId> stack{id};
+    while (!stack.empty()) {
+      const FactId cur = stack.back();
+      stack.pop_back();
+      const FactNode& n = forest_.node(cur);
+      if (n.kind == FactKind::kXor || n.kind == FactKind::kXnor) {
+        if (n.kind == FactKind::kXnor) invert = !invert;
+        stack.push_back(n.b);
+        stack.push_back(n.a);
+      } else if (n.kind == FactKind::kNot) {
+        invert = !invert;
+        stack.push_back(n.a);
+      } else {
+        out.push_back(cur);
+      }
+    }
+  }
+
+  FactId rebuild_chain(const std::vector<FactId>& frontier, FactKind op) {
     std::vector<FactId> operands;
-    collect(id, op, operands);
+    operands.reserve(frontier.size());
+    for (const FactId f : frontier) operands.push_back(rewritten_.at(f));
     if (operands.size() <= 2) {
       return op == FactKind::kAnd
                  ? forest_.mk_and(operands[0],
@@ -105,26 +221,10 @@ class Balancer {
     });
   }
 
-  /// XOR/XNOR chains: flatten through both operators, tracking the output
-  /// complement parity; rebuild a balanced XOR tree.
-  void collect_xor(FactId id, std::vector<FactId>& operands, bool& invert) {
-    const FactNode& n = forest_.node(id);
-    if (n.kind == FactKind::kXor || n.kind == FactKind::kXnor) {
-      if (n.kind == FactKind::kXnor) invert = !invert;
-      collect_xor(n.a, operands, invert);
-      collect_xor(n.b, operands, invert);
-    } else if (n.kind == FactKind::kNot) {
-      invert = !invert;
-      collect_xor(n.a, operands, invert);
-    } else {
-      operands.push_back(rewrite(id));
-    }
-  }
-
-  FactId rebuild_xor_chain(FactId id) {
+  FactId rebuild_xor_chain(const std::vector<FactId>& frontier, bool invert) {
     std::vector<FactId> operands;
-    bool invert = false;
-    collect_xor(id, operands, invert);
+    operands.reserve(frontier.size());
+    for (const FactId f : frontier) operands.push_back(rewritten_.at(f));
     FactId result;
     if (operands.size() <= 2) {
       result = operands.size() > 1 ? forest_.mk_xor(operands[0], operands[1])

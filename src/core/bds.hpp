@@ -27,6 +27,9 @@ struct BdsOptions {
   /// emission (implements the paper's future-work item 3; pure delay win).
   bool balance = true;
   bool final_sweep = true;    ///< cheap cleanup of the emitted gate network
+  /// Decompose worker threads: 1 = serial, 0 = use hardware concurrency.
+  /// Results are bit-identical for every worker count.
+  unsigned jobs = 1;
   EliminateOptions eliminate;
   DecomposeOptions decompose;
 };

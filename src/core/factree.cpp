@@ -1,11 +1,37 @@
 #include "core/factree.hpp"
 
 #include <cassert>
-#include <functional>
 #include <unordered_map>
-#include <unordered_set>
 
 namespace bds::core {
+
+namespace {
+
+/// Children of a node in left-to-right order; returns the count written
+/// into `out`. Shared helper of the explicit-stack traversals below (the
+/// trees reach BDD-chain depths, so no traversal here may recurse).
+std::size_t children_of(const FactNode& n, FactId out[3]) {
+  switch (n.kind) {
+    case FactKind::kConst0:
+    case FactKind::kConst1:
+    case FactKind::kVar:
+      return 0;
+    case FactKind::kNot:
+      out[0] = n.a;
+      return 1;
+    case FactKind::kMux:
+      out[0] = n.a;
+      out[1] = n.b;
+      out[2] = n.c;
+      return 3;
+    default:
+      out[0] = n.a;
+      out[1] = n.b;
+      return 2;
+  }
+}
+
+}  // namespace
 
 FactoringForest::FactoringForest() {
   nodes_.push_back({FactKind::kConst0, 0, kNoFact, kNoFact, kNoFact});
@@ -159,66 +185,44 @@ FactId FactoringForest::mk_mux(FactId sel, FactId hi, FactId lo) {
 }
 
 std::size_t FactoringForest::gate_count(const std::vector<FactId>& roots) const {
-  std::unordered_set<FactId> seen;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<FactId> stack;
   std::size_t gates = 0;
-  const std::function<void(FactId)> go = [&](FactId id) {
-    if (!seen.insert(id).second) return;
+  for (const FactId r : roots) stack.push_back(r);
+  while (!stack.empty()) {
+    const FactId id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = true;
     const FactNode& n = nodes_[id];
-    switch (n.kind) {
-      case FactKind::kConst0:
-      case FactKind::kConst1:
-      case FactKind::kVar:
-        return;
-      case FactKind::kNot:
-        ++gates;
-        go(n.a);
-        return;
-      case FactKind::kMux:
-        ++gates;
-        go(n.a);
-        go(n.b);
-        go(n.c);
-        return;
-      default:
-        ++gates;
-        go(n.a);
-        go(n.b);
-        return;
-    }
-  };
-  for (const FactId r : roots) go(r);
+    FactId kids[3];
+    const std::size_t nkids = children_of(n, kids);
+    if (nkids > 0) ++gates;  // every operator node, NOT included, is a gate
+    for (std::size_t i = 0; i < nkids; ++i) stack.push_back(kids[i]);
+  }
   return gates;
 }
 
 std::size_t FactoringForest::literal_count(
     const std::vector<FactId>& roots) const {
-  std::unordered_set<FactId> seen;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<FactId> stack;
   std::size_t lits = 0;
-  const std::function<void(FactId)> go = [&](FactId id) {
-    if (!seen.insert(id).second) return;
+  for (const FactId r : roots) stack.push_back(r);
+  while (!stack.empty()) {
+    const FactId id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = true;
     const FactNode& n = nodes_[id];
-    switch (n.kind) {
-      case FactKind::kConst0:
-      case FactKind::kConst1:
-        return;
-      case FactKind::kVar:
-        ++lits;
-        return;
-      case FactKind::kNot:
-        go(n.a);
-        return;
-      case FactKind::kMux:
-        go(n.a);
-        go(n.b);
-        go(n.c);
-        return;
-      default:
-        go(n.a);
-        go(n.b);
-        return;
+    if (n.kind == FactKind::kVar) {
+      ++lits;
+      continue;
     }
-  };
-  for (const FactId r : roots) go(r);
+    FactId kids[3];
+    const std::size_t nkids = children_of(n, kids);
+    for (std::size_t i = 0; i < nkids; ++i) stack.push_back(kids[i]);
+  }
   return lits;
 }
 
@@ -259,11 +263,29 @@ std::string FactoringForest::to_string(
 
 FactId FactoringForest::copy_into(FactoringForest& dst, FactId root,
                                   const std::vector<FactId>& leaf_map) const {
+  // Two-visit post-order on an explicit stack: the first visit pushes
+  // unresolved children in reverse (so they resolve left-to-right, keeping
+  // dst's interning order identical to the old recursion), the second
+  // rebuilds the node from the memo.
   std::unordered_map<FactId, FactId> memo;
-  const std::function<FactId(FactId)> go = [&](FactId id) -> FactId {
-    const auto it = memo.find(id);
-    if (it != memo.end()) return it->second;
+  std::vector<FactId> stack{root};
+  while (!stack.empty()) {
+    const FactId id = stack.back();
+    if (memo.find(id) != memo.end()) {
+      stack.pop_back();
+      continue;
+    }
     const FactNode& n = nodes_[id];
+    FactId kids[3];
+    const std::size_t nkids = children_of(n, kids);
+    bool ready = true;
+    for (std::size_t i = nkids; i-- > 0;) {
+      if (memo.find(kids[i]) == memo.end()) {
+        stack.push_back(kids[i]);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
     FactId result = kNoFact;
     switch (n.kind) {
       case FactKind::kConst0:
@@ -277,36 +299,50 @@ FactId FactoringForest::copy_into(FactoringForest& dst, FactId root,
         result = leaf_map[n.var];
         break;
       case FactKind::kNot:
-        result = dst.mk_not(go(n.a));
+        result = dst.mk_not(memo.at(n.a));
         break;
       case FactKind::kAnd:
-        result = dst.mk_and(go(n.a), go(n.b));
+        result = dst.mk_and(memo.at(n.a), memo.at(n.b));
         break;
       case FactKind::kOr:
-        result = dst.mk_or(go(n.a), go(n.b));
+        result = dst.mk_or(memo.at(n.a), memo.at(n.b));
         break;
       case FactKind::kXor:
-        result = dst.mk_xor(go(n.a), go(n.b));
+        result = dst.mk_xor(memo.at(n.a), memo.at(n.b));
         break;
       case FactKind::kXnor:
-        result = dst.mk_xnor(go(n.a), go(n.b));
+        result = dst.mk_xnor(memo.at(n.a), memo.at(n.b));
         break;
       case FactKind::kMux:
-        result = dst.mk_mux(go(n.a), go(n.b), go(n.c));
+        result = dst.mk_mux(memo.at(n.a), memo.at(n.b), memo.at(n.c));
         break;
     }
     memo.emplace(id, result);
-    return result;
-  };
-  return go(root);
+    stack.pop_back();
+  }
+  return memo.at(root);
 }
 
 bdd::Bdd FactoringForest::to_bdd(FactId id, bdd::Manager& mgr) const {
   std::unordered_map<FactId, bdd::Bdd> memo;
-  const std::function<bdd::Bdd(FactId)> go = [&](FactId i) -> bdd::Bdd {
-    const auto it = memo.find(i);
-    if (it != memo.end()) return it->second;
-    const FactNode& n = nodes_[i];
+  std::vector<FactId> stack{id};
+  while (!stack.empty()) {
+    const FactId cur = stack.back();
+    if (memo.find(cur) != memo.end()) {
+      stack.pop_back();
+      continue;
+    }
+    const FactNode& n = nodes_[cur];
+    FactId kids[3];
+    const std::size_t nkids = children_of(n, kids);
+    bool ready = true;
+    for (std::size_t i = nkids; i-- > 0;) {
+      if (memo.find(kids[i]) == memo.end()) {
+        stack.push_back(kids[i]);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
     bdd::Bdd result;
     switch (n.kind) {
       case FactKind::kConst0:
@@ -319,28 +355,28 @@ bdd::Bdd FactoringForest::to_bdd(FactId id, bdd::Manager& mgr) const {
         result = mgr.var(n.var);
         break;
       case FactKind::kNot:
-        result = !go(n.a);
+        result = !memo.at(n.a);
         break;
       case FactKind::kAnd:
-        result = go(n.a) & go(n.b);
+        result = memo.at(n.a) & memo.at(n.b);
         break;
       case FactKind::kOr:
-        result = go(n.a) | go(n.b);
+        result = memo.at(n.a) | memo.at(n.b);
         break;
       case FactKind::kXor:
-        result = go(n.a) ^ go(n.b);
+        result = memo.at(n.a) ^ memo.at(n.b);
         break;
       case FactKind::kXnor:
-        result = go(n.a).xnor(go(n.b));
+        result = memo.at(n.a).xnor(memo.at(n.b));
         break;
       case FactKind::kMux:
-        result = go(n.a).ite(go(n.b), go(n.c));
+        result = memo.at(n.a).ite(memo.at(n.b), memo.at(n.c));
         break;
     }
-    memo.emplace(i, result);
-    return result;
-  };
-  return go(id);
+    memo.emplace(cur, result);
+    stack.pop_back();
+  }
+  return memo.at(id);
 }
 
 }  // namespace bds::core

@@ -50,6 +50,10 @@ std::string default_bds_script(const core::BdsOptions& options) {
         decompose.args.end(),
         {"-max_cuts", std::to_string(options.decompose.max_cuts)});
   }
+  if (options.jobs != 1) {
+    decompose.args.insert(decompose.args.end(),
+                          {"-j", std::to_string(options.jobs)});
+  }
   script.push_back(std::move(decompose));
 
   if (options.sharing) script.push_back({"bds_sharing", {}});

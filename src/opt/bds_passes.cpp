@@ -1,9 +1,13 @@
 #include "opt/bds_passes.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "opt/registry.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace bds::opt {
 
@@ -73,7 +77,7 @@ class BdsDecomposePass final : public Pass {
  public:
   explicit BdsDecomposePass(const std::vector<std::string>& args) {
     validate_args(
-        "bds_decompose", args, 0, {"-max_cuts"},
+        "bds_decompose", args, 0, {"-max_cuts", "-j"},
         {"-noreorder", "-nodom", "-nomux", "-nogen", "-noxdom", "-constrain"});
     reorder_ = !has_flag(args, "-noreorder");
     opts_.use_simple_dominators = !has_flag(args, "-nodom");
@@ -86,6 +90,9 @@ class BdsDecomposePass final : public Pass {
     opts_.max_cuts = parse_size_arg(
         "bds_decompose", flag_value("bds_decompose", args, "-max_cuts",
                                     std::to_string(opts_.max_cuts)));
+    jobs_ = static_cast<unsigned>(parse_size_arg(
+        "bds_decompose",
+        flag_value("bds_decompose", args, "-j", std::to_string(jobs_))));
   }
 
   std::string_view name() const override { return "bds_decompose"; }
@@ -108,36 +115,105 @@ class BdsDecomposePass final : public Pass {
       if (!out.empty()) out += ' ';
       out += "-max_cuts " + std::to_string(opts_.max_cuts);
     }
+    if (jobs_ != 1) {
+      if (!out.empty()) out += ' ';
+      out += "-j " + std::to_string(jobs_);
+    }
     return out;
   }
   bool modifies_network() const override { return false; }
 
-  void run(net::Network&, PassContext& ctx) override {
+  // The decompose phase is embarrassingly parallel: every supernode is
+  // rebuilt in its own compact manager and factored into its own private
+  // forest, so the per-supernode work shares nothing. The pass therefore
+  // runs in three stages:
+  //
+  //   1. serial   -- "BDD mapping" transfers out of the shared partition
+  //                  manager (transfer_to mutates the *source* manager's
+  //                  visit stamps and scratch, so these cannot overlap);
+  //   2. parallel -- reorder + decompose per (local manager, local forest),
+  //                  fanned out over a worker pool;
+  //   3. serial   -- copy_into splices and stats merge in supernode index
+  //                  order, so the emitted network is bit-identical to -j1.
+  void run(net::Network& net, PassContext& ctx) override {
     BdsFlowState& st = ctx.state<BdsFlowState>();
     if (!st.pmgr) {
       throw ScriptError("bds_decompose: no partition; run bds_partition first");
     }
     st.forest = core::FactoringForest();
     st.roots.clear();
-    st.roots.reserve(st.part.supernodes.size());
+    const std::size_t num_supernodes = st.part.supernodes.size();
+    st.roots.reserve(num_supernodes);
 
-    for (const core::Supernode& sn : st.part.supernodes) {
-      const auto k = static_cast<std::uint32_t>(sn.inputs.size());
+    // Per-supernode work unit. `func` must be declared after `mgr`: the
+    // handle has to die before the manager that owns its nodes.
+    struct Item {
+      std::unique_ptr<bdd::Manager> mgr;
+      Bdd func;
+      std::uint32_t k = 0;
+      core::FactoringForest forest;
+      core::FactId root = core::kNoFact;
+      core::DecomposeStats stats;
+    };
+
+    // ---- stage 1: serial transfers out of the shared partition manager.
+    std::vector<Item> items(num_supernodes);
+    for (std::size_t s = 0; s < num_supernodes; ++s) {
+      const core::Supernode& sn = st.part.supernodes[s];
+      Item& item = items[s];
+      item.k = static_cast<std::uint32_t>(sn.inputs.size());
       // "BDD mapping": rebuild the supernode function in a compact manager
       // containing only the used variables (Section IV-B).
-      bdd::Manager local(k);
-      std::vector<Var> var_map(st.pmgr->num_vars(), 0);
-      for (std::uint32_t i = 0; i < k; ++i) {
-        var_map[st.part.var_of[sn.inputs[i]]] = i;
+      item.mgr = std::make_unique<bdd::Manager>(item.k);
+      // kNoVar sentinel, not variable 0: an input absent from the partition
+      // map must be diagnosed, not silently aliased onto variable 0.
+      std::vector<Var> var_map(st.pmgr->num_vars(), core::kNoVar);
+      for (std::uint32_t i = 0; i < item.k; ++i) {
+        const net::NodeId input = sn.inputs[i];
+        const Var pvar = input < st.part.var_of.size()
+                             ? st.part.var_of[input]
+                             : core::kNoVar;
+        if (pvar == core::kNoVar) {
+          throw ScriptError("bds_decompose: supernode '" +
+                            net.node(sn.id).name + "' input '" +
+                            net.node(input).name +
+                            "' has no partition variable (stale partition?)");
+        }
+        var_map[pvar] = i;
       }
-      const Bdd lf =
-          local.wrap(st.pmgr->transfer_to(local, sn.func.edge(), var_map));
-      if (reorder_ && k > 1) local.reorder_sift();
+      for (const Var v : st.pmgr->support(sn.func.edge())) {
+        if (var_map[v] == core::kNoVar) {
+          throw ScriptError(
+              "bds_decompose: supernode '" + net.node(sn.id).name +
+              "' depends on a signal missing from its input list "
+              "(partition variable " +
+              std::to_string(v) + ")");
+        }
+      }
+      item.func = item.mgr->wrap(
+          st.pmgr->transfer_to(*item.mgr, sn.func.edge(), var_map));
+    }
 
-      core::FactoringForest local_forest;
-      core::Decomposer dec(local, local_forest, opts_);
-      const core::FactId local_root = dec.decompose(lf);
-      const core::DecomposeStats& d = dec.stats();
+    // ---- stage 2: parallel reorder + decompose on private state.
+    const unsigned workers = util::ThreadPool::resolve(jobs_);
+    util::ThreadPool pool(workers);
+    std::vector<double> busy_seconds(pool.workers(), 0.0);
+    pool.parallel_for(
+        num_supernodes, [&](std::size_t s, unsigned executor) {
+          Timer t;
+          Item& item = items[s];
+          if (reorder_ && item.k > 1) item.mgr->reorder_sift();
+          core::Decomposer dec(*item.mgr, item.forest, opts_);
+          item.root = dec.decompose(item.func);
+          item.stats = dec.stats();
+          busy_seconds[executor] += t.seconds();
+        });
+
+    // ---- stage 3: serial merge in supernode index order.
+    for (std::size_t s = 0; s < num_supernodes; ++s) {
+      const core::Supernode& sn = st.part.supernodes[s];
+      Item& item = items[s];
+      const core::DecomposeStats& d = item.stats;
       st.decompose.one_dominator += d.one_dominator;
       st.decompose.zero_dominator += d.zero_dominator;
       st.decompose.x_dominator += d.x_dominator;
@@ -147,16 +223,19 @@ class BdsDecomposePass final : public Pass {
       st.decompose.generalized_xnor += d.generalized_xnor;
       st.decompose.shannon += d.shannon;
 
-      std::vector<core::FactId> leaf_map(k);
-      for (std::uint32_t i = 0; i < k; ++i) {
+      std::vector<core::FactId> leaf_map(item.k);
+      for (std::uint32_t i = 0; i < item.k; ++i) {
         leaf_map[i] = st.forest.mk_var(st.sig_of[sn.inputs[i]]);
       }
       st.roots.push_back(
-          local_forest.copy_into(st.forest, local_root, leaf_map));
+          item.forest.copy_into(st.forest, item.root, leaf_map));
       st.peak_local_nodes =
-          std::max(st.peak_local_nodes, local.stats().peak_live_nodes);
+          std::max(st.peak_local_nodes, item.mgr->stats().peak_live_nodes);
       st.peak_local_bytes =
-          std::max(st.peak_local_bytes, local.stats().peak_memory_bytes);
+          std::max(st.peak_local_bytes, item.mgr->stats().peak_memory_bytes);
+      item.func = Bdd();  // release before the owning manager
+      item.mgr.reset();
+      item.forest = core::FactoringForest();
     }
 
     ctx.count("dominators", static_cast<double>(st.decompose.one_dominator +
@@ -168,11 +247,19 @@ class BdsDecomposePass final : public Pass {
                                   st.decompose.generalized_or +
                                   st.decompose.generalized_xnor));
     ctx.count("shannon", static_cast<double>(st.decompose.shannon));
+    ctx.count("workers", static_cast<double>(pool.workers()));
+    if (num_supernodes > 0) {
+      ctx.count("par_seconds_max",
+                *std::max_element(busy_seconds.begin(), busy_seconds.end()));
+      ctx.count("par_seconds_min",
+                *std::min_element(busy_seconds.begin(), busy_seconds.end()));
+    }
   }
 
  private:
   core::DecomposeOptions opts_;
   bool reorder_ = true;
+  unsigned jobs_ = 1;  ///< decompose workers; 0 = hardware concurrency
 };
 
 class BdsSharingPass final : public Pass {

@@ -1,0 +1,142 @@
+// A small reusable worker pool for embarrassingly parallel loops.
+//
+// The BDS flow's dominant phase -- per-supernode BDD decomposition -- works
+// on fully private state (one compact manager and factoring forest per
+// supernode), so it parallelizes as a plain index loop. `ThreadPool`
+// provides exactly that shape: `parallel_for(n, body)` runs `body(i, e)`
+// for every index `i` in [0, n), pulling indices from a shared atomic
+// counter so uneven item costs self-balance. Worker threads are spawned
+// once and reused across parallel_for calls (bench loops and multi-pass
+// pipelines pay the thread start-up cost once). The calling thread
+// participates as executor 0; a pool of `workers` therefore spawns only
+// `workers - 1` threads, and a 1-worker pool holds no thread at all --
+// with `-j1` parallel_for is a plain serial loop, no locks, no atomics.
+//
+// The executor id (0 .. workers-1) is handed to the body so callers can
+// keep per-worker accumulators (busy-time imbalance counters) without
+// sharing. Exceptions thrown by the body are captured and the first one is
+// rethrown on the calling thread after every executor has drained.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bds::util {
+
+class ThreadPool {
+ public:
+  /// A pool of `workers` total executors (>= 1); the constructor spawns
+  /// `workers - 1` threads, the calling thread is the remaining executor.
+  explicit ThreadPool(unsigned workers) : workers_(workers < 1 ? 1 : workers) {
+    threads_.reserve(workers_ - 1);
+    for (unsigned e = 1; e < workers_; ++e) {
+      threads_.emplace_back([this, e] { worker_loop(e); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return workers_; }
+
+  /// Maps a user-facing `-j N` request to an executor count: 0 means "use
+  /// the hardware" (hardware_concurrency, itself 0 on exotic platforms --
+  /// treated as 1), anything else is taken literally.
+  static unsigned resolve(unsigned requested) {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  /// Runs body(i, executor) for every i in [0, n). Blocks until all
+  /// iterations finish; rethrows the first body exception afterwards.
+  /// Iterations are claimed dynamically (atomic counter), so the
+  /// index->executor assignment is nondeterministic with 2+ workers --
+  /// bodies must only touch per-index or per-executor state. Not
+  /// reentrant: one parallel_for at a time per pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, unsigned)>& body) {
+    if (workers_ == 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) body(i, 0);
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job_n_ = n;
+      job_body_ = &body;
+      job_next_.store(0, std::memory_order_relaxed);
+      job_error_ = nullptr;
+      busy_ = workers_ - 1;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    drain(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return busy_ == 0; });
+    job_body_ = nullptr;
+    if (job_error_) std::rethrow_exception(job_error_);
+  }
+
+ private:
+  void drain(unsigned executor) {
+    for (;;) {
+      const std::size_t i = job_next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job_n_) return;
+      try {
+        (*job_body_)(i, executor);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!job_error_) job_error_ = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop(unsigned executor) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      lock.unlock();
+      drain(executor);
+      lock.lock();
+      if (--busy_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  const unsigned workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< wakes workers on a new generation
+  std::condition_variable done_cv_;  ///< wakes the caller when busy_ hits 0
+  std::uint64_t generation_ = 0;
+  unsigned busy_ = 0;
+  bool stop_ = false;
+
+  // The in-flight job. `job_next_` is the shared claim counter; everything
+  // else is written by parallel_for before the generation bump publishes it.
+  std::size_t job_n_ = 0;
+  const std::function<void(std::size_t, unsigned)>* job_body_ = nullptr;
+  std::atomic<std::size_t> job_next_{0};
+  std::exception_ptr job_error_;
+};
+
+}  // namespace bds::util

@@ -457,11 +457,13 @@ TEST(BddHandleDeathTest, MixedManagerOperandsAbort) {
 
 TEST(Bdd, DefaultConstructedHandleAllowsValidityChecks) {
   // The documented invariant: destruction, assignment, swap, valid() and
-  // operator== stay legal on an empty handle.
+  // operator== stay legal on an empty handle. The manager must be declared
+  // before the handles: a non-empty handle derefs its node on destruction,
+  // so it must not outlive the manager that owns the node.
+  Manager mgr(2);
   Bdd a, b;
   EXPECT_FALSE(a.valid());
   EXPECT_TRUE(a == b);
-  Manager mgr(2);
   a = mgr.var(0);
   EXPECT_TRUE(a.valid());
   b = a;

@@ -157,5 +157,46 @@ INSTANTIATE_TEST_SUITE_P(Sweep, SiftProperty,
                                            SiftCase{8, 104}, SiftCase{8, 105},
                                            SiftCase{9, 106}));
 
+// ---- set_order input validation (always on, like the Bdd handle guard) ------
+
+using SetOrderDeathTest = ::testing::Test;
+
+TEST(SetOrderDeathTest, RejectsNonPermutations) {
+  EXPECT_DEATH(
+      {
+        Manager mgr(3);
+        mgr.set_order({0, 1});  // wrong size
+      },
+      "set_order");
+  EXPECT_DEATH(
+      {
+        Manager mgr(3);
+        mgr.set_order({0, 1, 7});  // out-of-range variable
+      },
+      "does not exist");
+  EXPECT_DEATH(
+      {
+        Manager mgr(3);
+        mgr.set_order({0, 1, 1});  // duplicate: not a permutation
+      },
+      "not a permutation");
+}
+
+TEST(SetOrder, AcceptsEveryPermutationAndPreservesSemantics) {
+  Manager mgr(3);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  std::vector<Var> order{2, 0, 1};
+  mgr.set_order(order);
+  for (std::uint32_t level = 0; level < order.size(); ++level) {
+    EXPECT_EQ(mgr.var_at_level(level), order[level]);
+  }
+  for (unsigned bits = 0; bits < 8; ++bits) {
+    const std::vector<bool> a{(bits & 1) != 0, (bits & 2) != 0,
+                              (bits & 4) != 0};
+    EXPECT_EQ(f.eval(a), (a[0] && a[1]) || a[2]);
+  }
+  EXPECT_TRUE(mgr.check_consistency());
+}
+
 }  // namespace
 }  // namespace bds::bdd

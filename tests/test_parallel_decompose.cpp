@@ -1,0 +1,150 @@
+// Determinism contract of the parallel decompose phase: the `bds` pipeline
+// must produce byte-identical BLIF and identical per-pass decomposition
+// counters at every worker count. The transfers are staged serially and the
+// merge runs in supernode index order, so -jN is not merely equivalent to
+// -j1 -- it is the same network, bit for bit.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bds.hpp"
+#include "core/eliminate.hpp"
+#include "gen/gen.hpp"
+#include "opt/bds_passes.hpp"
+#include "opt/flows.hpp"
+#include "opt/manager.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/cec.hpp"
+
+namespace bds::opt {
+namespace {
+
+std::vector<net::Network> families() {
+  std::vector<net::Network> circuits;
+  circuits.push_back(gen::ripple_adder(12));
+  circuits.push_back(gen::alu(4));
+  circuits.push_back(gen::barrel_shifter(8));
+  circuits.push_back(gen::parity_tree(24));
+  circuits.push_back(gen::hamming_corrector(3));
+  circuits.push_back(gen::comparator(6));
+  circuits.push_back(gen::random_control(10, 6, 8, 42));
+  return circuits;
+}
+
+struct FlowResult {
+  std::string blif;
+  PassStats decompose;  ///< stats of the bds_decompose pass
+};
+
+FlowResult run_bds(const net::Network& input, unsigned jobs) {
+  core::BdsOptions opts;
+  opts.jobs = jobs;
+  net::Network net = input;
+  PassManager pm = PassManager::from_script(default_bds_script(opts));
+  const PipelineStats ps = pm.run(net);
+
+  FlowResult r;
+  std::ostringstream out;
+  net::write_blif(out, net);
+  r.blif = out.str();
+  for (const PassStats& p : ps.passes) {
+    if (p.name == "bds_decompose") r.decompose = p;
+  }
+  EXPECT_EQ(r.decompose.name, "bds_decompose");
+  return r;
+}
+
+// The decomposition counters that must be invariant under the worker count
+// ("workers" and the par_seconds_* timings legitimately differ).
+const char* const kInvariantCounters[] = {"dominators", "mux", "generalized",
+                                          "shannon"};
+
+TEST(ParallelDecompose, FourWorkersBitIdenticalToSerial) {
+  for (const net::Network& input : families()) {
+    const FlowResult serial = run_bds(input, 1);
+    const FlowResult parallel = run_bds(input, 4);
+    EXPECT_EQ(serial.blif, parallel.blif) << input.name();
+    for (const char* key : kInvariantCounters) {
+      EXPECT_EQ(serial.decompose.counter(key), parallel.decompose.counter(key))
+          << input.name() << " counter " << key;
+    }
+    EXPECT_EQ(serial.decompose.counter("workers"), 1.0) << input.name();
+    EXPECT_EQ(parallel.decompose.counter("workers"), 4.0) << input.name();
+  }
+}
+
+TEST(ParallelDecompose, OddWorkerCountsAgreeToo) {
+  const net::Network input = gen::alu(4);
+  const FlowResult serial = run_bds(input, 1);
+  for (const unsigned jobs : {2u, 3u, 7u}) {
+    const FlowResult parallel = run_bds(input, jobs);
+    EXPECT_EQ(serial.blif, parallel.blif) << "-j " << jobs;
+  }
+}
+
+TEST(ParallelDecompose, ParallelResultIsEquivalentToInput) {
+  const net::Network input = gen::ripple_adder(10);
+  core::BdsOptions opts;
+  opts.jobs = 4;
+  net::Network net = input;
+  PassManager pm = PassManager::from_script(default_bds_script(opts));
+  pm.run(net);
+  EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, net)));
+}
+
+TEST(ParallelDecompose, JobsZeroResolvesToHardwareConcurrency) {
+  const net::Network input = gen::ripple_adder(6);
+  const FlowResult r = run_bds(input, 0);
+  EXPECT_EQ(r.decompose.counter("workers"),
+            static_cast<double>(util::ThreadPool::resolve(0)));
+}
+
+TEST(ParallelDecompose, ReportsPerWorkerBusyTime) {
+  const net::Network input = gen::alu(4);
+  const FlowResult r = run_bds(input, 2);
+  EXPECT_GE(r.decompose.counter("par_seconds_max"),
+            r.decompose.counter("par_seconds_min"));
+  EXPECT_GE(r.decompose.counter("par_seconds_min"), 0.0);
+}
+
+TEST(ParallelDecompose, JobsFlagRoundTripsThroughScript) {
+  core::BdsOptions opts;
+  opts.jobs = 4;
+  const std::string script = default_bds_script(opts);
+  EXPECT_NE(script.find("bds_decompose -j 4"), std::string::npos) << script;
+  // Re-parsing and re-rendering the pipeline preserves the flag.
+  PassManager pm = PassManager::from_script(script);
+  std::string rendered;
+  for (const auto& pass : pm.passes()) {
+    if (!rendered.empty()) rendered += "; ";
+    rendered += std::string(pass->name());
+    const std::string args = pass->args();
+    if (!args.empty()) rendered += ' ' + args;
+  }
+  EXPECT_EQ(rendered, script);
+}
+
+TEST(ParallelDecompose, MissingPartitionVariableIsDiagnosed) {
+  // A supernode input with no partition variable must be reported, not
+  // silently aliased onto variable 0 (the pre-fix behaviour).
+  net::Network net = gen::ripple_adder(6);
+  PassContext ctx;
+  PassManager::from_script("sweep; bds_partition").run(net, {}, ctx);
+  BdsFlowState& st = ctx.state<BdsFlowState>();
+  ASSERT_FALSE(st.part.supernodes.empty());
+  ASSERT_FALSE(st.part.supernodes[0].inputs.empty());
+  st.part.var_of[st.part.supernodes[0].inputs[0]] = core::kNoVar;
+  try {
+    PassManager::from_script("bds_decompose").run(net, {}, ctx);
+    FAIL() << "corrupted partition was not diagnosed";
+  } catch (const ScriptError& e) {
+    EXPECT_NE(std::string(e.what()).find("no partition variable"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace bds::opt
