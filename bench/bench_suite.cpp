@@ -5,9 +5,12 @@
 // generated-adder forest) against faithful reimplementations of the old
 // recursive/hash-set query code, and measures the decompose phase serial
 // vs parallel (-j 1/2/4) on the adder-forest family, cross-checking that
-// every worker count emits byte-identical BLIF. Emits one JSON report
-// (default BENCH_pr3.json) that CI uploads as an artifact, so manager
-// regressions show up as a diff in the numbers rather than as an anecdote.
+// every worker count emits byte-identical BLIF. A `budget` section measures
+// the cost of resource governance: the same apply-heavy global-BDD build
+// with and without an installed (never-tripping) ResourceBudget, plus a
+// forced-degradation run whose output is equivalence-checked. Emits one
+// JSON report (default BENCH_pr4.json) that CI uploads as an artifact, so
+// manager regressions show up as a diff in the numbers, not an anecdote.
 // `hardware_concurrency` is recorded alongside: parallel speedups are only
 // meaningful where the host actually has the cores.
 //
@@ -34,7 +37,9 @@
 #include "opt/bds_passes.hpp"
 #include "opt/flows.hpp"
 #include "opt/manager.hpp"
+#include "util/budget.hpp"
 #include "util/timer.hpp"
+#include "verify/cec.hpp"
 
 namespace {
 
@@ -113,11 +118,13 @@ struct GlobalBuild {
   bool aborted = false;
 };
 
-GlobalBuild build_global_bdds(const Network& net, std::size_t max_live_nodes) {
+GlobalBuild build_global_bdds(const Network& net, std::size_t max_live_nodes,
+                              bds::util::BudgetPtr budget = nullptr) {
   GlobalBuild gb;
   gb.mgr = std::make_unique<Manager>(
       static_cast<std::uint32_t>(net.num_inputs()));
   Manager& mgr = *gb.mgr;
+  mgr.set_budget(std::move(budget));
   Timer t;
 
   std::vector<Bdd> value(net.raw_size());
@@ -382,6 +389,79 @@ ParallelBenchResult run_parallel_bench(const Network& input,
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Resource governance: the budget checks live on the apply hot paths
+// (cache_lookup, maybe_gc), so the honest overhead measure is an
+// apply-heavy global-BDD build with and without a never-tripping budget
+// installed -- same circuit, same operation sequence, best-of-N. A second
+// part forces degradation (node ceiling far below what the flow needs) and
+// equivalence-checks the fallback output, so the graceful-degradation path
+// stays both exercised and measured.
+
+struct BudgetBenchResult {
+  std::string circuit;
+  int reps = 0;
+  double baseline_seconds = 0.0;   ///< no budget installed
+  double governed_seconds = 0.0;   ///< never-tripping budget installed
+  double overhead_percent = 0.0;
+  std::string degraded_circuit;
+  std::size_t degraded_node_limit = 0;
+  double degraded_seconds = 0.0;
+  std::size_t degraded_passes = 0;
+  double degraded_count = 0.0;
+  bool degraded_equivalent = false;
+};
+
+BudgetBenchResult run_budget_bench(int reps) {
+  BudgetBenchResult r;
+  constexpr unsigned kAdderBits = 24;
+  const Network net = bds::gen::ripple_adder(kAdderBits);
+  r.circuit = "ripple_adder(" + std::to_string(kAdderBits) + ")";
+  r.reps = reps;
+
+  // Ceilings far above what the build needs, plus an armed far-future
+  // deadline, so every check executes its full (non-tripping) code path.
+  const auto budget = std::make_shared<bds::util::ResourceBudget>(
+      1u << 30, std::size_t{1} << 40);
+  budget->set_deadline_in(3600.0);
+
+  for (int rep = 0; rep < reps; ++rep) {
+    const GlobalBuild base = build_global_bdds(net, 2'000'000);
+    const GlobalBuild gov = build_global_bdds(net, 2'000'000, budget);
+    if (rep == 0) {
+      r.baseline_seconds = base.seconds;
+      r.governed_seconds = gov.seconds;
+    } else {
+      r.baseline_seconds = std::min(r.baseline_seconds, base.seconds);
+      r.governed_seconds = std::min(r.governed_seconds, gov.seconds);
+    }
+  }
+  r.overhead_percent =
+      r.baseline_seconds > 0
+          ? 100.0 * (r.governed_seconds - r.baseline_seconds) /
+                r.baseline_seconds
+          : 0.0;
+
+  // Forced degradation: a ceiling this small trips the partition build, so
+  // the whole flow routes through the algebraic fallback -- and must still
+  // produce an equivalent network.
+  const Network victim = bds::gen::alu(4);
+  r.degraded_circuit = "alu(4)";
+  r.degraded_node_limit = 16;
+  Network out = victim;
+  bds::opt::PipelineOptions popts;
+  popts.node_limit = r.degraded_node_limit;
+  Timer td;
+  const bds::opt::PipelineStats ps =
+      bds::opt::PassManager::from_script("bds").run(out, popts);
+  r.degraded_seconds = td.seconds();
+  r.degraded_passes = ps.degraded_passes;
+  r.degraded_count = ps.counter("degraded");
+  r.degraded_equivalent =
+      static_cast<bool>(bds::verify::check_equivalence(victim, out));
+  return r;
+}
+
 void emit_manager_stats(Json& json, const Manager& mgr) {
   const bds::bdd::ManagerStats& ms = mgr.stats();
   json.field("live_nodes", ms.live_nodes);
@@ -411,7 +491,7 @@ void emit_manager_stats(Json& json, const Manager& mgr) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_pr3.json";
+  std::string out_path = "BENCH_pr4.json";
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -447,7 +527,7 @@ int main(int argc, char** argv) {
   Json json(out);
   json.open();
   json.field("schema", "bds-bench/v1");
-  json.field("pr", "pr3");
+  json.field("pr", "pr4");
   json.field("hardware_concurrency", std::thread::hardware_concurrency());
 
   // -- Microbenchmark -------------------------------------------------------
@@ -503,6 +583,41 @@ int main(int argc, char** argv) {
   json.close();
   if (!pb.deterministic) {
     std::cerr << "bench_suite: parallel decompose was NOT deterministic\n";
+    all_ok = false;
+  }
+
+  // -- Resource-budget overhead and forced degradation ----------------------
+  std::cout << "== resource budget ==\n";
+  const BudgetBenchResult bb = run_budget_bench(quick ? 1 : 3);
+  std::cout << "  " << bb.circuit << " global build: baseline " << std::fixed
+            << std::setprecision(3) << bb.baseline_seconds << "s   governed "
+            << bb.governed_seconds << "s   overhead " << std::setprecision(2)
+            << bb.overhead_percent << "%\n"
+            << "  " << bb.degraded_circuit << " @ node-limit "
+            << bb.degraded_node_limit << ": " << bb.degraded_passes
+            << " degraded pass(es) in " << std::setprecision(3)
+            << bb.degraded_seconds << "s, "
+            << (bb.degraded_equivalent ? "EQUIVALENT" : "NOT EQUIVALENT")
+            << "\n";
+  json.open("budget");
+  json.open("overhead");
+  json.field("circuit", bb.circuit);
+  json.field("reps", bb.reps);
+  json.field("baseline_seconds", bb.baseline_seconds);
+  json.field("governed_seconds", bb.governed_seconds);
+  json.field("overhead_percent", bb.overhead_percent);
+  json.close();
+  json.open("forced_degradation");
+  json.field("circuit", bb.degraded_circuit);
+  json.field("node_limit", bb.degraded_node_limit);
+  json.field("seconds", bb.degraded_seconds);
+  json.field("degraded_passes", bb.degraded_passes);
+  json.field("degraded_count", bb.degraded_count);
+  json.field("equivalent", bb.degraded_equivalent);
+  json.close();
+  json.close();
+  if (!bb.degraded_equivalent) {
+    std::cerr << "bench_suite: forced-degradation output NOT equivalent\n";
     all_ok = false;
   }
 

@@ -4,8 +4,9 @@
 //
 // Usage:
 //   optimize_blif <input.blif> [-o out.blif] [-gates out_mapped.blif]
-//                 [-flow bds|sis] [-script "<passes>"] [-j N] [-nomap]
-//                 [-noverify] [-stats] [-trace] [-check] [-list-passes]
+//                 [-flow bds|sis] [-script "<passes>"] [-j N]
+//                 [-node-limit N] [-time-limit S] [-nomap] [-noverify]
+//                 [-stats] [-trace] [-check] [-list-passes]
 //
 // The optimization flow is a pass pipeline (src/opt/): `-flow` selects one
 // of the two registered scripts ("bds", "rugged"), `-script` runs an
@@ -16,8 +17,17 @@
 // phase on N workers (0 = all hardware threads); the result is
 // bit-identical to a serial run.
 //
+// `-node-limit N` and `-time-limit S` bound the run's BDD work (live nodes
+// per manager / wall-clock seconds). Exceeding a bound does not fail the
+// run: supernodes whose BDD work trips the budget fall back to algebraic
+// factoring of their original SOP (shown as `degraded` in -stats), and the
+// result stays functionally equivalent.
+//
+// Exit codes: 0 success (possibly degraded), 1 verification/check/IO
+// failure, 2 usage or script error, 3 parse error, 4 network construction
+// error, 5 resource budget exhausted with no fallback available.
+//
 // With no input file, a built-in demo circuit is used.
-#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,6 +38,7 @@
 #include "net/network.hpp"
 #include "opt/manager.hpp"
 #include "opt/registry.hpp"
+#include "util/error.hpp"
 #include "util/timer.hpp"
 #include "verify/cec.hpp"
 
@@ -53,41 +64,10 @@ constexpr const char* kDemo = R"(
 int usage() {
   std::cerr << "usage: optimize_blif [input.blif] [-o out.blif] "
                "[-gates out_mapped.blif] [-flow bds|sis] "
-               "[-script \"<passes>\"] [-j N] [-nomap] [-noverify] [-stats] "
+               "[-script \"<passes>\"] [-j N] [-node-limit N] "
+               "[-time-limit S] [-nomap] [-noverify] [-stats] "
                "[-trace] [-check] [-list-passes]\n";
   return 2;
-}
-
-// Threads `-j N` into the script: every `bds_decompose` command gets its
-// `-j` argument replaced (or appended). Named scripts are expanded first so
-// the patch applies to the underlying command list.
-std::string with_jobs(const std::string& script_text, const std::string& jobs) {
-  std::string text = script_text;
-  {
-    const std::vector<bds::opt::ScriptCommand> probe =
-        bds::opt::parse_script(text);
-    if (probe.size() == 1 && probe[0].args.empty()) {
-      if (const std::string* named =
-              bds::opt::PassRegistry::instance().find_script(probe[0].name)) {
-        text = *named;
-      }
-    }
-  }
-  std::vector<bds::opt::ScriptCommand> commands = bds::opt::parse_script(text);
-  for (bds::opt::ScriptCommand& cmd : commands) {
-    if (cmd.name != "bds_decompose") continue;
-    auto& args = cmd.args;
-    for (std::size_t i = 0; i < args.size(); ++i) {
-      if (args[i] == "-j") {
-        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                   args.begin() + static_cast<std::ptrdiff_t>(
-                                      std::min(i + 2, args.size())));
-        break;
-      }
-    }
-    args.insert(args.end(), {"-j", jobs});
-  }
-  return bds::opt::format_script(commands);
 }
 
 int list_passes() {
@@ -114,6 +94,8 @@ int main(int argc, char** argv) {
   std::string flow = "bds";
   std::string script;
   std::string jobs;
+  std::string node_limit;
+  std::string time_limit;
   bool do_map = true;
   bool do_verify = true;
   bool show_stats = false;
@@ -132,6 +114,10 @@ int main(int argc, char** argv) {
       script = argv[++i];
     } else if (arg == "-j" && i + 1 < argc) {
       jobs = argv[++i];
+    } else if (arg == "-node-limit" && i + 1 < argc) {
+      node_limit = argv[++i];
+    } else if (arg == "-time-limit" && i + 1 < argc) {
+      time_limit = argv[++i];
     } else if (arg == "-nomap") {
       do_map = false;
     } else if (arg == "-noverify") {
@@ -156,14 +142,14 @@ int main(int argc, char** argv) {
   }
   if (flow != "bds" && flow != "sis") return usage();
   if (script.empty()) script = (flow == "bds") ? "bds" : "rugged";
-  if (!jobs.empty()) {
-    try {
-      script = with_jobs(script, jobs);
-    } catch (const opt::ScriptError& e) {
-      std::cerr << "script error: " << e.what() << "\n";
-      return 2;
-    }
-  }
+
+  // Typed parameter bindings instead of patching script text: `jobs` is
+  // declared by the "bds" script (routed to bds_decompose -j), the budget
+  // keys are reserved pipeline parameters consumed by the PassManager.
+  opt::ScriptParams params;
+  if (!jobs.empty()) params.emplace_back("jobs", jobs);
+  if (!node_limit.empty()) params.emplace_back("node_limit", node_limit);
+  if (!time_limit.empty()) params.emplace_back("time_limit", time_limit);
 
   net::Network input;
   try {
@@ -178,8 +164,14 @@ int main(int argc, char** argv) {
       }
       input = net::parse_blif(in);
     }
-  } catch (const std::exception& e) {
+  } catch (const ParseError& e) {
     std::cerr << "parse error: " << e.what() << "\n";
+    return 3;
+  } catch (const NetworkError& e) {
+    std::cerr << "network error: " << e.what() << "\n";
+    return 4;
+  } catch (const std::exception& e) {
+    std::cerr << "error reading input: " << e.what() << "\n";
     return 1;
   }
 
@@ -189,7 +181,7 @@ int main(int argc, char** argv) {
 
   opt::PassManager pipeline;
   try {
-    pipeline = opt::PassManager::from_script(script);
+    pipeline = opt::PassManager::from_script(script, params);
   } catch (const opt::ScriptError& e) {
     std::cerr << "script error: " << e.what() << "\n";
     return 2;
@@ -217,11 +209,27 @@ int main(int argc, char** argv) {
   } catch (const opt::ScriptError& e) {
     std::cerr << "script error: " << e.what() << "\n";
     return 2;
+  } catch (const BudgetExceeded& e) {
+    // Degradable stages absorb budget trips themselves; reaching this
+    // handler means a stage with no fallback hit the ceiling.
+    std::cerr << "resource budget exhausted ("
+              << BudgetExceeded::resource_name(e.resource())
+              << "): " << e.what() << "\n";
+    return 5;
+  } catch (const NetworkError& e) {
+    std::cerr << "network error: " << e.what() << "\n";
+    return 4;
   }
 
   std::cout << script << ": " << optimized.num_logic_nodes() << " nodes, "
             << optimized.total_literals() << " literals in "
             << pstats.seconds_total << " s\n";
+  if (pstats.degraded_passes > 0) {
+    std::cout << "degraded: " << pstats.degraded_passes
+              << " pass(es) hit the resource budget and fell back "
+              << "(degraded=" << pstats.counter("degraded")
+              << "); the result is still functionally equivalent\n";
+  }
   if (show_stats) std::cout << format_pass_table(pstats);
   if (check) {
     if (pstats.check_failures > 0) {

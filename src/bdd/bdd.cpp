@@ -257,6 +257,16 @@ void Manager::maybe_gc() {
     }
   }
   update_memory_stats();
+  // Handle-level entry is a safe point: no operation is in flight, so a
+  // BudgetExceeded here unwinds with every structure consistent.
+  budget_checkpoint();
+}
+
+void Manager::budget_check_slow() {
+  // live_nodes counts referenced nodes only (ref-0 garbage of an unwound
+  // operation does not count against the ceiling); memory_bytes is the
+  // arena+table footprint maintained by update_memory_stats().
+  budget_->check(stats_.live_nodes, stats_.memory_bytes, budget_ticks_);
 }
 
 void Manager::update_memory_stats() {
@@ -276,6 +286,13 @@ void Manager::update_memory_stats() {
 // ----- computed table ---------------------------------------------------------
 
 Edge Manager::cache_lookup(CacheOp op, Edge f, Edge g, Edge h, bool& hit) {
+  // Every nonterminal apply step (ite/restrict/constrain/compose/exists)
+  // passes through here exactly once, and the recursion holds only raw
+  // edges: aborting leaves ref-0 garbage for the next gc(), nothing else.
+  // That makes this the natural amortized budget check site. Reordering's
+  // swap_levels() never reaches it (it builds through mk() directly), so
+  // the budget cannot fire mid-swap.
+  budget_checkpoint();
   cache_maybe_grow();
   ++stats_.cache_lookups;
   ++stats_.cache_op_lookups[static_cast<std::uint32_t>(op) - 1];

@@ -31,8 +31,11 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "util/budget.hpp"
 
 namespace bds::bdd {
 
@@ -136,16 +139,20 @@ class Manager {
 
   // ----- variables and order ------------------------------------------------
 
-  std::uint32_t num_vars() const { return static_cast<std::uint32_t>(var2level_.size()); }
+  [[nodiscard]] std::uint32_t num_vars() const {
+    return static_cast<std::uint32_t>(var2level_.size());
+  }
   /// Adds a fresh variable at the bottom of the order; returns its id.
   Var new_var();
   /// Ensures at least `n` variables exist.
   void ensure_vars(std::uint32_t n);
 
-  std::uint32_t level_of(Var v) const { return var2level_[v]; }
-  Var var_at_level(std::uint32_t level) const { return level2var_[level]; }
+  [[nodiscard]] std::uint32_t level_of(Var v) const { return var2level_[v]; }
+  [[nodiscard]] Var var_at_level(std::uint32_t level) const {
+    return level2var_[level];
+  }
   /// Level of the node an edge points to (kLevelTerminal for constants).
-  std::uint32_t edge_level(Edge e) const;
+  [[nodiscard]] std::uint32_t edge_level(Edge e) const;
 
   // ----- handle-level API (RAII, GC-safe) -----------------------------------
 
@@ -172,9 +179,9 @@ class Manager {
   /// Positive/negative cofactor with respect to variable v.
   Edge cofactor(Edge f, Var v, bool value);
   /// Shallow cofactors w.r.t. the variable at the edge's own top level.
-  Edge hi_of(Edge e) const;
-  Edge lo_of(Edge e) const;
-  Var top_var(Edge e) const;
+  [[nodiscard]] Edge hi_of(Edge e) const;
+  [[nodiscard]] Edge lo_of(Edge e) const;
+  [[nodiscard]] Var top_var(Edge e) const;
 
   /// Coudert–Madre restrict: minimizes f using !care as don't care.
   /// Guarantees restrict(f, c) & c == f & c. Requires c != 0.
@@ -190,32 +197,60 @@ class Manager {
   Edge compose(Edge f, Var v, Edge g);
 
   /// Number of distinct nodes reachable from e (terminal included).
-  std::size_t size(Edge e) const;
+  [[nodiscard]] std::size_t size(Edge e) const;
   /// Combined size of a set of roots (shared nodes counted once).
-  std::size_t size(const std::vector<Edge>& roots) const;
+  [[nodiscard]] std::size_t size(const std::vector<Edge>& roots) const;
   /// Set of variables the function depends on.
-  std::vector<Var> support(Edge e) const;
+  [[nodiscard]] std::vector<Var> support(Edge e) const;
   /// Number of satisfying assignments over `nvars` variables.
-  double sat_count(Edge e, std::uint32_t nvars) const;
+  [[nodiscard]] double sat_count(Edge e, std::uint32_t nvars) const;
   /// Evaluates the function under a full assignment (indexed by Var).
-  bool eval(Edge e, const std::vector<bool>& assignment) const;
+  [[nodiscard]] bool eval(Edge e, const std::vector<bool>& assignment) const;
 
   // ----- node structure access (read only) ----------------------------------
 
-  Var node_var(std::uint32_t node) const { return nodes_[node].var; }
-  Edge node_hi(std::uint32_t node) const { return nodes_[node].hi; }
-  Edge node_lo(std::uint32_t node) const { return nodes_[node].lo; }
-  bool is_terminal(std::uint32_t node) const { return node == 0; }
+  [[nodiscard]] Var node_var(std::uint32_t node) const {
+    return nodes_[node].var;
+  }
+  [[nodiscard]] Edge node_hi(std::uint32_t node) const {
+    return nodes_[node].hi;
+  }
+  [[nodiscard]] Edge node_lo(std::uint32_t node) const {
+    return nodes_[node].lo;
+  }
+  [[nodiscard]] bool is_terminal(std::uint32_t node) const {
+    return node == 0;
+  }
 
   // ----- reference counting / garbage collection ----------------------------
 
   void ref(Edge e);
   void deref(Edge e);
-  std::uint32_t ref_count(Edge e) const { return nodes_[e.node()].ref; }
+  [[nodiscard]] std::uint32_t ref_count(Edge e) const {
+    return nodes_[e.node()].ref;
+  }
   /// Reclaims all dead nodes. Invalidates the computed table.
   void gc();
   /// Runs gc() if the arena grew past the auto-GC threshold.
   void maybe_gc();
+
+  // ----- resource governance (util/budget.hpp) ------------------------------
+
+  /// Installs (or, with nullptr, removes) a cooperative resource budget.
+  /// The manager polls it at its safe points -- computed-table lookups,
+  /// maybe_gc(), and between reordering sift steps -- and throws
+  /// bds::BudgetExceeded when a ceiling is hit. Node/byte ceilings compare
+  /// against *this* manager's counters; the deadline and cancel flag are
+  /// global to the budget. Checks never fire inside a structural rewrite,
+  /// so the manager and all handles stay valid after the throw.
+  void set_budget(std::shared_ptr<const util::ResourceBudget> budget) {
+    budget_ = std::move(budget);
+    budget_ticks_ = 0;
+  }
+  [[nodiscard]] const std::shared_ptr<const util::ResourceBudget>& budget()
+      const {
+    return budget_;
+  }
 
   // ----- dynamic variable reordering (bdd/reorder.cpp) ----------------------
 
@@ -235,14 +270,14 @@ class Manager {
 
   // ----- diagnostics ---------------------------------------------------------
 
-  const ManagerStats& stats() const { return stats_; }
-  std::size_t live_nodes() const { return stats_.live_nodes; }
+  [[nodiscard]] const ManagerStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t live_nodes() const { return stats_.live_nodes; }
   /// Writes a Graphviz rendering of the functions in `roots` (bdd/dot.cpp).
   void write_dot(std::ostream& os, const std::vector<Edge>& roots,
                  const std::vector<std::string>& root_names = {},
                  const std::vector<std::string>& var_names = {}) const;
   /// Checks internal invariants (canonicity, table consistency). Test-only.
-  bool check_consistency() const;
+  [[nodiscard]] bool check_consistency() const;
 
  private:
   friend class Bdd;
@@ -297,6 +332,15 @@ class Manager {
   void cache_invalidate_dead();
   bool node_is_free(std::uint32_t idx) const;
 
+  /// Budget safe-point poll: one pointer test when no budget is installed.
+  /// Called from cache_lookup() (once per nonterminal apply step) and
+  /// maybe_gc() (handle-level entries) -- never from mk(), so the budget
+  /// cannot fire inside swap_levels()'s in-place node rewrite.
+  void budget_checkpoint() {
+    if (budget_) budget_check_slow();
+  }
+  void budget_check_slow();
+
   Edge ite_rec(Edge f, Edge g, Edge h);
   Edge restrict_rec(Edge f, Edge c);
   Edge constrain_rec(Edge f, Edge c);
@@ -329,6 +373,11 @@ class Manager {
   /// update_memory_stats() stays O(1) on the per-operation hot path.
   std::size_t subtable_bucket_bytes_ = 0;
   ManagerStats stats_;
+
+  /// Optional resource governor (set_budget); shared across managers.
+  std::shared_ptr<const util::ResourceBudget> budget_;
+  /// Amortization counter for the budget's deadline clock reads.
+  std::uint32_t budget_ticks_ = 0;
 
   // Traversal scratch (all logically const; see begin_visit()).
   mutable std::uint32_t visit_epoch_ = 0;
@@ -378,13 +427,13 @@ class Bdd {
     std::swap(e_, o.e_);
   }
 
-  bool valid() const { return mgr_ != nullptr; }
-  Manager& manager() const { return req("Bdd::manager"); }
-  Edge edge() const { return e_; }
+  [[nodiscard]] bool valid() const { return mgr_ != nullptr; }
+  [[nodiscard]] Manager& manager() const { return req("Bdd::manager"); }
+  [[nodiscard]] Edge edge() const { return e_; }
 
-  bool is_one() const { return e_.is_one(); }
-  bool is_zero() const { return e_.is_zero(); }
-  bool is_constant() const { return e_.is_constant(); }
+  [[nodiscard]] bool is_one() const { return e_.is_one(); }
+  [[nodiscard]] bool is_zero() const { return e_.is_zero(); }
+  [[nodiscard]] bool is_constant() const { return e_.is_constant(); }
 
   // Handle-level operators run maybe_gc() first: every live function is
   // pinned by a handle here, so collection is safe, and it bounds the
@@ -445,13 +494,15 @@ class Bdd {
     return Bdd(m, m.exists(e_, v));
   }
 
-  Var top_var() const { return req("Bdd::top_var").top_var(e_); }
-  std::size_t size() const { return req("Bdd::size").size(e_); }
-  std::vector<Var> support() const { return req("Bdd::support").support(e_); }
-  double sat_count(std::uint32_t nvars) const {
+  [[nodiscard]] Var top_var() const { return req("Bdd::top_var").top_var(e_); }
+  [[nodiscard]] std::size_t size() const { return req("Bdd::size").size(e_); }
+  [[nodiscard]] std::vector<Var> support() const {
+    return req("Bdd::support").support(e_);
+  }
+  [[nodiscard]] double sat_count(std::uint32_t nvars) const {
     return req("Bdd::sat_count").sat_count(e_, nvars);
   }
-  bool eval(const std::vector<bool>& assignment) const {
+  [[nodiscard]] bool eval(const std::vector<bool>& assignment) const {
     return req("Bdd::eval").eval(e_, assignment);
   }
 

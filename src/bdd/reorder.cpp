@@ -165,6 +165,14 @@ void Manager::reorder_sift(double max_growth) {
                      [&](Var a, Var b) { return weight[a] > weight[b]; });
     for (Var v : order) {
       if (weight[v] == 0) continue;
+      // Safe point between sifts: each sift_var() completes its restore
+      // walk, so aborting here leaves a canonical manager (in a possibly
+      // suboptimal order). The deadline is checked unamortized -- one
+      // sift can be long, and reordering is where runaway time goes.
+      if (budget_) {
+        budget_->check_deadline();
+        budget_check_slow();
+      }
       sift_var(v, max_growth);
       gc();
     }
@@ -177,21 +185,23 @@ void Manager::reorder_sift(double max_growth) {
 void Manager::set_order(const std::vector<Var>& order) {
   // Validate up front, release builds included: a non-permutation would
   // silently scramble var2level_ mid-way through the bubble swaps, leaving
-  // the manager corrupted far from the misuse site.
+  // the manager corrupted far from the misuse site. Because validation
+  // completes before any swap, rejection is recoverable -- the manager is
+  // untouched -- so it throws a typed error instead of aborting.
   if (order.size() != num_vars()) {
-    detail::invalid_argument("Manager::set_order",
-                             "order must list every variable exactly once "
-                             "(size differs from num_vars)");
+    throw Error(
+        "Manager::set_order: order must list every variable exactly once "
+        "(size differs from num_vars)");
   }
   std::vector<bool> seen(num_vars(), false);
   for (const Var v : order) {
     if (v >= num_vars()) {
-      detail::invalid_argument("Manager::set_order",
-                               "order names a variable that does not exist");
+      throw Error(
+          "Manager::set_order: order names a variable that does not exist");
     }
     if (seen[v]) {
-      detail::invalid_argument("Manager::set_order",
-                               "order repeats a variable (not a permutation)");
+      throw Error(
+          "Manager::set_order: order repeats a variable (not a permutation)");
     }
     seen[v] = true;
   }

@@ -79,70 +79,81 @@ PartitionResult partition_network(const net::Network& net, bdd::Manager& mgr,
   };
 
   bool changed = true;
-  while (changed && result.passes < opts.max_passes) {
-    changed = false;
-    ++result.passes;
-    for (const NodeId id : order) {
-      if (!alive[id] || is_po[id]) continue;
-      std::vector<NodeId> targets;
-      for (const NodeId m : fanout[id]) {
-        if (alive[m] && std::find(targets.begin(), targets.end(), m) ==
-                            targets.end()) {
-          targets.push_back(m);
-        }
-      }
-      if (targets.empty()) {  // no live consumer and not a PO: dead logic
-        alive[id] = false;
-        changed = true;
-        continue;
-      }
-      const Var v = result.var_of[id];
-      const std::size_t own = func[id].size();
-      // Tentatively compose into every live fanout and measure growth.
-      std::vector<Bdd> replacement;
-      replacement.reserve(targets.size());
-      long long delta = -static_cast<long long>(own);
-      bool feasible = true;
-      for (const NodeId m : targets) {
-        const Bdd composed = func[m].compose(v, func[id]);
-        const std::size_t new_size = composed.size();
-        if (new_size > opts.max_bdd) {
-          feasible = false;
-          break;
-        }
-        delta += static_cast<long long>(new_size) -
-                 static_cast<long long>(func[m].size());
-        replacement.push_back(composed);
-      }
-      if (!feasible || delta > opts.threshold) continue;
-
-      // Commit: update fanouts' functions and the fanout graph.
-      const std::vector<Var> own_support = func[id].support();
-      for (std::size_t i = 0; i < targets.size(); ++i) {
-        const NodeId m = targets[i];
-        func[m] = replacement[i];
-        // id's sources may now feed m.
-        for (const Var sv : func[m].support()) {
-          const NodeId src = node_of_var[sv];
-          if (src != net::kNoNode &&
-              net.node(src).kind == net::NodeKind::kLogic &&
-              std::find(fanout[src].begin(), fanout[src].end(), m) ==
-                  fanout[src].end()) {
-            fanout[src].push_back(m);
+  try {
+    while (changed && result.passes < opts.max_passes) {
+      changed = false;
+      ++result.passes;
+      for (const NodeId id : order) {
+        if (!alive[id] || is_po[id]) continue;
+        std::vector<NodeId> targets;
+        for (const NodeId m : fanout[id]) {
+          if (alive[m] && std::find(targets.begin(), targets.end(), m) ==
+                              targets.end()) {
+            targets.push_back(m);
           }
         }
+        if (targets.empty()) {  // no live consumer and not a PO: dead logic
+          alive[id] = false;
+          changed = true;
+          continue;
+        }
+        const Var v = result.var_of[id];
+        const std::size_t own = func[id].size();
+        // Tentatively compose into every live fanout and measure growth.
+        std::vector<Bdd> replacement;
+        replacement.reserve(targets.size());
+        long long delta = -static_cast<long long>(own);
+        bool feasible = true;
+        for (const NodeId m : targets) {
+          const Bdd composed = func[m].compose(v, func[id]);
+          const std::size_t new_size = composed.size();
+          if (new_size > opts.max_bdd) {
+            feasible = false;
+            break;
+          }
+          delta += static_cast<long long>(new_size) -
+                   static_cast<long long>(func[m].size());
+          replacement.push_back(composed);
+        }
+        if (!feasible || delta > opts.threshold) continue;
+
+        // Commit: update fanouts' functions and the fanout graph.
+        const std::vector<Var> own_support = func[id].support();
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+          const NodeId m = targets[i];
+          func[m] = replacement[i];
+          // id's sources may now feed m.
+          for (const Var sv : func[m].support()) {
+            const NodeId src = node_of_var[sv];
+            if (src != net::kNoNode &&
+                net.node(src).kind == net::NodeKind::kLogic &&
+                std::find(fanout[src].begin(), fanout[src].end(), m) ==
+                    fanout[src].end()) {
+              fanout[src].push_back(m);
+            }
+          }
+        }
+        // Only id's own sources can list it as a fanout.
+        for (const Var sv : own_support) {
+          const NodeId src = node_of_var[sv];
+          if (src != net::kNoNode) erase_from(fanout[src], id);
+        }
+        fanout[id].clear();
+        alive[id] = false;
+        func[id] = Bdd();
+        ++result.eliminated;
+        changed = true;
       }
-      // Only id's own sources can list it as a fanout.
-      for (const Var sv : own_support) {
-        const NodeId src = node_of_var[sv];
-        if (src != net::kNoNode) erase_from(fanout[src], id);
-      }
-      fanout[id].clear();
-      alive[id] = false;
-      func[id] = Bdd();
-      ++result.eliminated;
-      changed = true;
+      mgr.gc();
     }
+  } catch (const BudgetExceeded& e) {
+    // Cancellation is a hard stop, not a request for a coarser answer.
+    if (e.resource() == BudgetExceeded::Resource::kCancelled) throw;
+    // The budget tripped between eliminations (composes are tentative: the
+    // committed func[] entries are all complete), so the partition below is
+    // valid -- just coarser than the fixpoint. Reclaim the dropped
+    // tentative results and carry on with what we have.
+    result.budget_stopped = true;
     mgr.gc();
   }
 
@@ -162,6 +173,27 @@ PartitionResult partition_network(const net::Network& net, bdd::Manager& mgr,
     if (!alive[id] && net.node(id).kind == net::NodeKind::kLogic) {
       result.var_of[id] = kNoVar;
     }
+  }
+  return result;
+}
+
+PartitionResult trivial_partition(const net::Network& net, bdd::Manager& mgr) {
+  PartitionResult result;
+  result.degraded = true;
+  result.var_of.assign(net.raw_size(), kNoVar);
+  for (const NodeId pi : net.inputs()) {
+    result.var_of[pi] = mgr.new_var();
+  }
+  const std::vector<NodeId> order = net.topo_order();
+  for (const NodeId id : order) result.var_of[id] = mgr.new_var();
+  for (const NodeId id : order) {
+    Supernode sn;
+    sn.id = id;
+    // func stays an invalid handle: the caller must route this supernode
+    // through a path that never touches BDDs (algebraic factoring of the
+    // node's own SOP). Inputs are the node's fanins verbatim.
+    sn.inputs = net.node(id).fanins;
+    result.supernodes.push_back(std::move(sn));
   }
   return result;
 }

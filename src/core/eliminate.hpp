@@ -42,6 +42,12 @@ struct PartitionResult {
   std::vector<bdd::Var> var_of;
   std::size_t eliminated = 0;
   std::size_t passes = 0;
+  /// The elimination fixpoint was cut short by the resource budget. The
+  /// partition is still valid -- merely coarser than the fixpoint.
+  bool budget_stopped = false;
+  /// Built by trivial_partition(): supernode `func` handles are invalid and
+  /// every supernode must be processed by the non-BDD fallback path.
+  bool degraded = false;
 };
 inline constexpr bdd::Var kNoVar = 0xffffffffu;
 
@@ -50,5 +56,11 @@ inline constexpr bdd::Var kNoVar = 0xffffffffu;
 /// eliminated.
 PartitionResult partition_network(const net::Network& net, bdd::Manager& mgr,
                                   const EliminateOptions& opts = {});
+
+/// Budget-exhaustion fallback: every logic node becomes its own supernode,
+/// in topological order, with *no* BDDs built (the returned supernodes'
+/// `func` handles are invalid and `degraded` is set). Variables are still
+/// assigned in `var_of` so downstream signal bookkeeping works unchanged.
+PartitionResult trivial_partition(const net::Network& net, bdd::Manager& mgr);
 
 }  // namespace bds::core

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "net/network.hpp"
+#include "util/error.hpp"
 
 namespace bds::net {
 
@@ -45,7 +46,7 @@ Network parse_blif(std::istream& is) {
   std::string line;
   std::string logical;
   const auto fail = [&](const std::string& msg) {
-    throw std::runtime_error("blif line " + std::to_string(lineno) + ": " +
+    throw ParseError("blif line " + std::to_string(lineno) + ": " +
                              msg);
   };
 
@@ -165,7 +166,7 @@ Network parse_blif(std::istream& is) {
       }
       sop::Sop func(width);
       if (!offset.cubes().empty() && !onset.cubes().empty()) {
-        throw std::runtime_error("node " + out +
+        throw ParseError("node " + out +
                                  ": mixed onset/offset cover not supported");
       }
       if (!offset.cubes().empty()) {
@@ -184,7 +185,7 @@ Network parse_blif(std::istream& is) {
   if (remaining > 0) {
     for (std::size_t i = 0; i < pending.size(); ++i) {
       if (!done[i]) {
-        throw std::runtime_error(
+        throw ParseError(
             "unresolved or cyclic .names (first at line " +
             std::to_string(pending[i].line) + ": " +
             pending[i].signals.back() + ")");
@@ -195,7 +196,7 @@ Network parse_blif(std::istream& is) {
   for (const std::string& name : declared_outputs) {
     const NodeId driver = net.find(name);
     if (driver == kNoNode) {
-      throw std::runtime_error("output " + name + " is never defined");
+      throw ParseError("output " + name + " is never defined");
     }
     net.set_output(name, driver);
   }

@@ -4,11 +4,13 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace bds::net {
 
 NodeId Network::add_input(const std::string& name) {
   if (by_name_.contains(name)) {
-    throw std::runtime_error("duplicate signal name: " + name);
+    throw NetworkError("duplicate signal name: " + name);
   }
   const NodeId id = static_cast<NodeId>(nodes_.size());
   Node n;
@@ -23,10 +25,10 @@ NodeId Network::add_input(const std::string& name) {
 NodeId Network::add_node(const std::string& name, std::vector<NodeId> fanins,
                          sop::Sop func) {
   if (by_name_.contains(name)) {
-    throw std::runtime_error("duplicate signal name: " + name);
+    throw NetworkError("duplicate signal name: " + name);
   }
   if (func.num_vars() != fanins.size()) {
-    throw std::runtime_error("node " + name + ": SOP width " +
+    throw NetworkError("node " + name + ": SOP width " +
                              std::to_string(func.num_vars()) +
                              " != fanin count " +
                              std::to_string(fanins.size()));
@@ -59,7 +61,7 @@ NodeId Network::find(const std::string& name) const {
 
 void Network::rename(NodeId id, const std::string& name) {
   if (by_name_.contains(name)) {
-    throw std::runtime_error("duplicate signal name: " + name);
+    throw NetworkError("duplicate signal name: " + name);
   }
   by_name_.erase(nodes_[id].name);
   nodes_[id].name = name;
@@ -96,7 +98,7 @@ std::vector<NodeId> Network::topo_order() const {
       if (state[child] == 0) {
         stack.emplace_back(child, 0);
       } else if (state[child] == 1) {
-        throw std::runtime_error("combinational cycle through " +
+        throw NetworkError("combinational cycle through " +
                                  nodes_[child].name);
       }
     }

@@ -1,11 +1,13 @@
 #include "opt/bds_passes.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "opt/registry.hpp"
+#include "sis/factor.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -16,6 +18,96 @@ namespace {
 using bdd::Bdd;
 using bdd::Var;
 using net::NodeId;
+
+// ---- budget-degradation fallback -------------------------------------------
+//
+// When a supernode's BDD work (transfer, reorder, decompose) trips the
+// resource budget, the supernode is rebuilt by algebraically factoring its
+// *original* SOP cone instead (sis::factor -- the same quick-factor the SIS
+// baseline and the technology mapper use). The cone interior is the
+// supernode driver plus every eliminated node reachable through fanins; kept
+// signals (the partition boundary) become kVar leaves over the global signal
+// space, so a fallback tree splices into the forest exactly like a
+// decomposed one and bds_emit needs no special case.
+
+/// Factors one network node's SOP into `st.forest`. Interior fanins (nodes
+/// eliminated by the partition) must already be memoized in `memo`.
+core::FactId fallback_factor_node(const net::Network& net, BdsFlowState& st,
+                                  NodeId id,
+                                  const std::vector<core::FactId>& memo) {
+  const net::Node& n = net.node(id);
+  if (n.func.is_constant_zero()) return st.forest.const0();
+  if (n.func.has_full_cube()) return st.forest.const1();
+  sis::SparseSop sparse;
+  for (const sop::Cube& c : n.func.cubes()) {
+    sis::SparseCube sc;
+    for (unsigned i = 0; i < c.num_vars(); ++i) {
+      const sop::Literal l = c.get(i);
+      if (l == sop::Literal::kAbsent) continue;
+      sc.push_back(sis::lit(i, l == sop::Literal::kNeg));
+    }
+    std::sort(sc.begin(), sc.end());
+    sparse.cubes.push_back(std::move(sc));
+  }
+  sparse.normalize();
+  const sis::FactoredForm form = sis::factor(sparse);
+
+  const std::function<core::FactId(std::int32_t)> expand =
+      [&](std::int32_t fi) -> core::FactId {
+    const sis::FactorNode& fn = form.nodes[static_cast<std::size_t>(fi)];
+    switch (fn.kind) {
+      case sis::FactorKind::kConst0:
+        return st.forest.const0();
+      case sis::FactorKind::kConst1:
+        return st.forest.const1();
+      case sis::FactorKind::kLit: {
+        const unsigned pos = sis::lit_signal(fn.literal);
+        const NodeId src = n.fanins[pos];
+        const core::FactId base = st.part.var_of[src] != core::kNoVar
+                                      ? st.forest.mk_var(st.sig_of[src])
+                                      : memo[src];
+        return sis::lit_negated(fn.literal) ? st.forest.mk_not(base) : base;
+      }
+      case sis::FactorKind::kAnd:
+        return st.forest.mk_and(expand(fn.a), expand(fn.b));
+      case sis::FactorKind::kOr:
+        return st.forest.mk_or(expand(fn.a), expand(fn.b));
+    }
+    return core::kNoFact;
+  };
+  return expand(form.root);
+}
+
+/// Builds the fallback factoring tree for the cone rooted at `target` (a
+/// supernode driver). Dependency-order expansion with an explicit stack, so
+/// the call depth does not grow with the eliminated-chain length. `memo` is
+/// shared across supernodes: an eliminated node composed into several
+/// degraded supernodes is factored once.
+core::FactId fallback_factor_cone(const net::Network& net, BdsFlowState& st,
+                                  NodeId target,
+                                  std::vector<core::FactId>& memo) {
+  std::vector<NodeId> stack{target};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    if (memo[id] != core::kNoFact) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const NodeId f : net.node(id).fanins) {
+      // Interior = eliminated by the partition (no variable of its own);
+      // anything else is a boundary leaf resolved by fallback_factor_node.
+      if (st.part.var_of[f] == core::kNoVar && memo[f] == core::kNoFact) {
+        stack.push_back(f);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    memo[id] = fallback_factor_node(net, st, id, memo);
+  }
+  return memo[target];
+}
 
 class BdsPartitionPass final : public Pass {
  public:
@@ -55,7 +147,21 @@ class BdsPartitionPass final : public Pass {
   void run(net::Network& net, PassContext& ctx) override {
     BdsFlowState& st = ctx.state<BdsFlowState>();
     st.pmgr = std::make_unique<bdd::Manager>();
-    st.part = core::partition_network(net, *st.pmgr, opts_);
+    st.pmgr->set_budget(ctx.budget());
+    try {
+      st.part = core::partition_network(net, *st.pmgr, opts_);
+    } catch (const BudgetExceeded& e) {
+      // Cancellation unwinds; only resource exhaustion degrades.
+      if (e.resource() == BudgetExceeded::Resource::kCancelled) throw;
+      // Even building the initial local BDDs blew the budget (the
+      // elimination loop itself degrades internally, setting
+      // budget_stopped). Fall back to the trivial partition: one supernode
+      // per logic node, no BDDs at all -- downstream passes route every
+      // supernode through the algebraic-factoring fallback. The fresh
+      // manager carries no budget; it only hands out variables.
+      st.pmgr = std::make_unique<bdd::Manager>();
+      st.part = core::trivial_partition(net, *st.pmgr);
+    }
 
     // Global signal space: PIs plus supernode outputs.
     st.sig_of.assign(net.raw_size(), 0xffffffffu);
@@ -67,6 +173,7 @@ class BdsPartitionPass final : public Pass {
 
     ctx.count("eliminated", static_cast<double>(st.part.eliminated));
     ctx.count("supernodes", static_cast<double>(st.part.supernodes.size()));
+    if (st.part.degraded || st.part.budget_stopped) ctx.count("degraded", 1.0);
   }
 
  private:
@@ -154,6 +261,9 @@ class BdsDecomposePass final : public Pass {
       core::FactoringForest forest;
       core::FactId root = core::kNoFact;
       core::DecomposeStats stats;
+      /// Budget tripped on this supernode: stage 3 rebuilds it from its
+      /// original SOP cone instead of the (abandoned) BDD decomposition.
+      bool degraded = false;
     };
 
     // ---- stage 1: serial transfers out of the shared partition manager.
@@ -162,9 +272,19 @@ class BdsDecomposePass final : public Pass {
       const core::Supernode& sn = st.part.supernodes[s];
       Item& item = items[s];
       item.k = static_cast<std::uint32_t>(sn.inputs.size());
+      if (st.part.degraded) {
+        // Trivial partition: the supernode `func` handles are invalid by
+        // contract. Every item goes straight to the fallback path.
+        item.degraded = true;
+        continue;
+      }
       // "BDD mapping": rebuild the supernode function in a compact manager
       // containing only the used variables (Section IV-B).
       item.mgr = std::make_unique<bdd::Manager>(item.k);
+      // The node/byte ceilings are per manager, and each private manager
+      // performs the same operation sequence at any -j, so budget trips --
+      // and therefore degradations -- are deterministic across -j.
+      item.mgr->set_budget(ctx.budget());
       // kNoVar sentinel, not variable 0: an input absent from the partition
       // map must be diagnosed, not silently aliased onto variable 0.
       std::vector<Var> var_map(st.pmgr->num_vars(), core::kNoVar);
@@ -190,8 +310,15 @@ class BdsDecomposePass final : public Pass {
               std::to_string(v) + ")");
         }
       }
-      item.func = item.mgr->wrap(
-          st.pmgr->transfer_to(*item.mgr, sn.func.edge(), var_map));
+      try {
+        item.func = item.mgr->wrap(
+            st.pmgr->transfer_to(*item.mgr, sn.func.edge(), var_map));
+      } catch (const BudgetExceeded& e) {
+        if (e.resource() == BudgetExceeded::Resource::kCancelled) throw;
+        item.degraded = true;
+        item.func = Bdd();
+        item.mgr.reset();
+      }
     }
 
     // ---- stage 2: parallel reorder + decompose on private state.
@@ -202,14 +329,37 @@ class BdsDecomposePass final : public Pass {
         num_supernodes, [&](std::size_t s, unsigned executor) {
           Timer t;
           Item& item = items[s];
-          if (reorder_ && item.k > 1) item.mgr->reorder_sift();
-          core::Decomposer dec(*item.mgr, item.forest, opts_);
-          item.root = dec.decompose(item.func);
-          item.stats = dec.stats();
+          if (!item.degraded) {
+            try {
+              if (reorder_ && item.k > 1) item.mgr->reorder_sift();
+              core::Decomposer dec(*item.mgr, item.forest, opts_);
+              item.root = dec.decompose(item.func);
+              item.stats = dec.stats();
+            } catch (const BudgetExceeded& e) {
+              // Cancellation unwinds through the pool (parallel_for
+              // rethrows the first worker exception after draining).
+              if (e.resource() == BudgetExceeded::Resource::kCancelled) {
+                throw;
+              }
+              // Caught here, inside the worker body: the exception never
+              // crosses the pool, so the other supernodes keep running.
+              // Discard whatever was half-built; stage 3 refactors this
+              // supernode's original SOP cone instead.
+              item.degraded = true;
+              item.forest = core::FactoringForest();
+              item.root = core::kNoFact;
+              item.stats = core::DecomposeStats();
+            }
+          }
           busy_seconds[executor] += t.seconds();
         });
 
-    // ---- stage 3: serial merge in supernode index order.
+    // ---- stage 3: serial merge in supernode index order. Degraded items
+    // are rebuilt by algebraic factoring here, still in index order, so the
+    // emitted network is bit-identical to -j1 whenever the trips themselves
+    // are deterministic (node/byte ceilings; a deadline is inherently not).
+    std::size_t degraded_count = 0;
+    std::vector<core::FactId> fallback_memo(net.raw_size(), core::kNoFact);
     for (std::size_t s = 0; s < num_supernodes; ++s) {
       const core::Supernode& sn = st.part.supernodes[s];
       Item& item = items[s];
@@ -223,19 +373,30 @@ class BdsDecomposePass final : public Pass {
       st.decompose.generalized_xnor += d.generalized_xnor;
       st.decompose.shannon += d.shannon;
 
-      std::vector<core::FactId> leaf_map(item.k);
-      for (std::uint32_t i = 0; i < item.k; ++i) {
-        leaf_map[i] = st.forest.mk_var(st.sig_of[sn.inputs[i]]);
+      if (item.degraded) {
+        ++degraded_count;
+        st.roots.push_back(fallback_factor_cone(net, st, sn.id,
+                                                fallback_memo));
+      } else {
+        std::vector<core::FactId> leaf_map(item.k);
+        for (std::uint32_t i = 0; i < item.k; ++i) {
+          leaf_map[i] = st.forest.mk_var(st.sig_of[sn.inputs[i]]);
+        }
+        st.roots.push_back(
+            item.forest.copy_into(st.forest, item.root, leaf_map));
       }
-      st.roots.push_back(
-          item.forest.copy_into(st.forest, item.root, leaf_map));
-      st.peak_local_nodes =
-          std::max(st.peak_local_nodes, item.mgr->stats().peak_live_nodes);
-      st.peak_local_bytes =
-          std::max(st.peak_local_bytes, item.mgr->stats().peak_memory_bytes);
+      if (item.mgr) {
+        st.peak_local_nodes =
+            std::max(st.peak_local_nodes, item.mgr->stats().peak_live_nodes);
+        st.peak_local_bytes =
+            std::max(st.peak_local_bytes, item.mgr->stats().peak_memory_bytes);
+      }
       item.func = Bdd();  // release before the owning manager
       item.mgr.reset();
       item.forest = core::FactoringForest();
+    }
+    if (degraded_count > 0) {
+      ctx.count("degraded", static_cast<double>(degraded_count));
     }
 
     ctx.count("dominators", static_cast<double>(st.decompose.one_dominator +
@@ -274,7 +435,17 @@ class BdsSharingPass final : public Pass {
     }
     if (st.roots.empty()) return;
     bdd::Manager smgr(st.nsigs);
-    st.sharing = core::extract_sharing(st.forest, st.roots, smgr);
+    smgr.set_budget(ctx.budget());
+    try {
+      st.sharing = core::extract_sharing(st.forest, st.roots, smgr);
+    } catch (const BudgetExceeded& e) {
+      if (e.resource() == BudgetExceeded::Resource::kCancelled) throw;
+      // Sharing extraction rewrites roots in place one at a time and each
+      // completed rewrite is function-preserving, so stopping part-way is
+      // safe: the already-merged trees stay merged, the rest stay as the
+      // decomposer built them.
+      ctx.count("degraded", 1.0);
+    }
     st.peak_sharing_nodes = smgr.stats().peak_live_nodes;
     st.peak_sharing_bytes = smgr.stats().peak_memory_bytes;
     ctx.count("merged", static_cast<double>(st.sharing.merged));

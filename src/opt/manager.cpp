@@ -1,6 +1,8 @@
 #include "opt/manager.hpp"
 
+#include <cstdlib>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 
 #include "opt/registry.hpp"
@@ -29,19 +31,68 @@ PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
 }
 
 PassManager PassManager::from_script(const std::string& script) {
+  return from_script(script, {});
+}
+
+PassManager PassManager::from_script(const std::string& script,
+                                     const ScriptParams& params) {
   std::string text = script;
+  const std::vector<ScriptParamDecl>* decls = nullptr;
   {
-    // A bare registered-script name expands to its text.
+    // A bare registered-script name expands to its text and brings its
+    // parameter declarations into scope.
     const std::vector<ScriptCommand> probe = parse_script(text);
     if (probe.size() == 1 && probe[0].args.empty()) {
       if (const std::string* named =
               PassRegistry::instance().find_script(probe[0].name)) {
         text = *named;
+        decls = &PassRegistry::instance().script_params(probe[0].name);
       }
     }
   }
+  std::vector<ScriptCommand> commands = parse_script(text);
   PassManager pm;
-  for (const ScriptCommand& cmd : parse_script(text)) {
+  for (const auto& [key, value] : params) {
+    // Reserved pipeline-level keys: consumed by the PassManager itself
+    // (they shape the run's default ResourceBudget, not any single pass).
+    if (key == "node_limit") {
+      pm.param_node_limit_ = parse_size_arg("pipeline", value);
+      continue;
+    }
+    if (key == "byte_limit") {
+      pm.param_byte_limit_ = parse_size_arg("pipeline", value);
+      continue;
+    }
+    if (key == "time_limit") {
+      pm.param_time_limit_ = parse_double_arg("pipeline", value);
+      continue;
+    }
+    const ScriptParamDecl* decl = nullptr;
+    if (decls != nullptr) {
+      for (const ScriptParamDecl& d : *decls) {
+        if (d.key == key) {
+          decl = &d;
+          break;
+        }
+      }
+    }
+    if (decl == nullptr) {
+      throw ScriptError("unknown pipeline parameter '" + key + "'");
+    }
+    bool applied = false;
+    for (ScriptCommand& cmd : commands) {
+      if (cmd.name != decl->pass) continue;
+      // Prepend so the binding wins over a same flag already in the text
+      // (flag_value returns the first occurrence).
+      cmd.args.insert(cmd.args.begin(), {decl->flag, value});
+      applied = true;
+    }
+    if (!applied) {
+      throw ScriptError("parameter '" + key + "' targets pass '" + decl->pass +
+                        "', which the script does not contain");
+    }
+  }
+  for (const ScriptCommand& cmd : commands) {
     pm.add(PassRegistry::instance().create(cmd));
   }
   return pm;
@@ -59,6 +110,32 @@ PipelineStats PassManager::run(net::Network& net,
   PipelineStats stats;
   stats.passes.reserve(passes_.size());
   Timer t_total;
+
+  // Resolve the run's budget: an explicit one wins; otherwise assemble one
+  // from explicit ceilings, script-parameter ceilings, or the
+  // BDS_NODE_LIMIT environment variable (the CI safety net), in that order.
+  util::BudgetPtr budget = options.budget;
+  double time_limit = options.time_limit_seconds > 0.0
+                          ? options.time_limit_seconds
+                          : param_time_limit_;
+  if (!budget) {
+    std::size_t node_limit =
+        options.node_limit != 0 ? options.node_limit : param_node_limit_;
+    if (node_limit == 0) {
+      if (const char* env = std::getenv("BDS_NODE_LIMIT")) {
+        node_limit = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+      }
+    }
+    const std::size_t byte_limit =
+        options.byte_limit != 0 ? options.byte_limit : param_byte_limit_;
+    if (node_limit != 0 || byte_limit != 0 || time_limit > 0.0) {
+      budget = std::make_shared<util::ResourceBudget>(node_limit, byte_limit);
+    }
+  }
+  if (budget && time_limit > 0.0 && !budget->has_deadline()) {
+    budget->set_deadline_in(time_limit);
+  }
+  ctx.set_budget(budget);
 
   for (const std::unique_ptr<Pass>& pass : passes_) {
     PassStats ps;
@@ -82,9 +159,16 @@ PipelineStats PassManager::run(net::Network& net,
     ps.lits_after = net.total_literals();
     ps.depth_after = net.depth();
 
+    // A pass reports partial fallback through its "degraded" counter; the
+    // run is still functionally correct, just not fully decomposed.
+    if (ps.counter("degraded") > 0.0) {
+      ps.outcome = PassStats::Outcome::kDegraded;
+      ++stats.degraded_passes;
+    }
+
     if (checkpoint) {
       const verify::CecResult cec = verify::check_equivalence(
-          before_copy, net, options.check_max_live_nodes);
+          before_copy, net, options.check_max_live_nodes, budget);
       switch (cec.status) {
         case verify::CecStatus::kEquivalent:
           ps.check = PassStats::Check::kEquivalent;
@@ -113,8 +197,8 @@ std::string format_pass_table(const PipelineStats& stats) {
   std::ostringstream os;
   os << "  " << std::left << std::setw(28) << "pass" << std::right
      << std::setw(10) << "time [s]" << std::setw(16) << "nodes"
-     << std::setw(16) << "literals" << std::setw(7) << "depth" << "  check  "
-     << "counters\n";
+     << std::setw(16) << "literals" << std::setw(7) << "depth"
+     << std::setw(7) << "check" << std::setw(5) << "run" << "  counters\n";
 
   const auto arrow = [](std::size_t before, std::size_t after) {
     std::ostringstream s;
@@ -132,7 +216,8 @@ std::string format_pass_table(const PipelineStats& stats) {
     os << "  " << std::left << std::setw(28) << head << std::right
        << std::setw(10) << std::fixed << std::setprecision(4) << p.seconds
        << std::setw(16) << arrow(p.nodes_before, p.nodes_after)
-       << std::setw(16) << arrow(p.lits_before, p.lits_after) << std::setw(7)
+       << std::setw(16) << arrow(p.lits_before, p.lits_after)
+       << std::setw(7)
        << arrow(p.depth_before, p.depth_after);
     const char* check = "-";
     switch (p.check) {
@@ -149,7 +234,9 @@ std::string format_pass_table(const PipelineStats& stats) {
         check = "FAIL";
         break;
     }
-    os << std::setw(7) << check << "  ";
+    os << std::setw(7) << check;
+    os << std::setw(5)
+       << (p.outcome == PassStats::Outcome::kDegraded ? "deg" : "-") << "  ";
     bool first = true;
     for (const auto& [key, value] : p.counters) {
       if (!first) os << ' ';

@@ -21,6 +21,15 @@ struct PipelineOptions {
   bool check = false;
   /// Node budget of the checkpoint CEC before it falls back to simulation.
   std::size_t check_max_live_nodes = 2'000'000;
+  /// The resource budget governing the whole run (installed in the
+  /// PassContext; passes put it on every BDD manager they create). When
+  /// null, one is assembled from the ceilings below, script parameters
+  /// (node_limit/byte_limit/time_limit), or the BDS_NODE_LIMIT environment
+  /// variable -- in that precedence order, 0 meaning "unlimited".
+  util::BudgetPtr budget;
+  std::size_t node_limit = 0;
+  std::size_t byte_limit = 0;
+  double time_limit_seconds = 0.0;  ///< arms the budget deadline when > 0
   /// Called after each pass completes with its final measurements.
   std::function<void(const PassStats&)> trace;
 };
@@ -29,12 +38,19 @@ struct PipelineStats {
   std::vector<PassStats> passes;
   double seconds_total = 0.0;
   std::size_t check_failures = 0;
+  /// Passes that completed in degraded form (PassStats::Outcome::kDegraded).
+  std::size_t degraded_passes = 0;
 
   /// Sum of a named counter over all passes.
-  double counter(std::string_view key) const;
+  [[nodiscard]] double counter(std::string_view key) const;
   /// Total seconds spent in passes with the given name.
-  double seconds_in(std::string_view pass_name) const;
+  [[nodiscard]] double seconds_in(std::string_view pass_name) const;
 };
+
+/// `key=value` bindings for PassManager::from_script: script-declared
+/// parameters (PassRegistry ScriptParamDecl) plus the reserved pipeline
+/// keys `node_limit`, `byte_limit` and `time_limit`.
+using ScriptParams = std::vector<std::pair<std::string, std::string>>;
 
 /// Renders the per-pass breakdown as an aligned text table (the `-stats`
 /// output of `optimize_blif`, shared by both flows).
@@ -51,6 +67,13 @@ class PassManager {
   /// expanded to that script's text first. Throws ScriptError on unknown
   /// passes or malformed arguments.
   static PassManager from_script(const std::string& script);
+  /// Same, binding `key=value` parameters: reserved keys (node_limit,
+  /// byte_limit, time_limit) become the pipeline's default budget; other
+  /// keys must be declared by the named script and are routed to their
+  /// pass as flags (a binding wins over a flag already in the text).
+  /// Throws ScriptError on a key the script does not declare.
+  static PassManager from_script(const std::string& script,
+                                 const ScriptParams& params);
 
   /// Runs all passes in order over `net`, in place.
   PipelineStats run(net::Network& net, const PipelineOptions& options = {});
@@ -62,8 +85,22 @@ class PassManager {
   const std::vector<std::unique_ptr<Pass>>& passes() const { return passes_; }
   bool empty() const { return passes_.empty(); }
 
+  /// Budget ceilings bound through from_script() reserved parameters
+  /// (0 / 0.0 = not bound). Used by run() when PipelineOptions carries
+  /// neither a budget nor explicit ceilings.
+  [[nodiscard]] std::size_t param_node_limit() const {
+    return param_node_limit_;
+  }
+  [[nodiscard]] std::size_t param_byte_limit() const {
+    return param_byte_limit_;
+  }
+  [[nodiscard]] double param_time_limit() const { return param_time_limit_; }
+
  private:
   std::vector<std::unique_ptr<Pass>> passes_;
+  std::size_t param_node_limit_ = 0;
+  std::size_t param_byte_limit_ = 0;
+  double param_time_limit_ = 0.0;
 };
 
 }  // namespace bds::opt

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "util/budget.hpp"
 
 namespace bds::opt {
 
@@ -46,20 +47,30 @@ struct PassStats {
   };
   Check check = Check::kSkipped;
 
+  /// How the pass completed with respect to its resource budget. A degraded
+  /// pass still produced a *correct* result, but fell back to a cheaper
+  /// strategy for part of its work (the `degraded` counter says how much:
+  /// e.g. supernodes factored algebraically instead of BDD-decomposed).
+  enum class Outcome {
+    kCompleted,  ///< ran to completion as specified
+    kDegraded,   ///< a resource ceiling forced a fallback for part of it
+  };
+  Outcome outcome = Outcome::kCompleted;
+
   /// Pass-specific counters in report order (e.g. "eliminated", "merged").
   std::vector<std::pair<std::string, double>> counters;
 
-  double counter(std::string_view key) const {
+  [[nodiscard]] double counter(std::string_view key) const {
     for (const auto& [k, v] : counters) {
       if (k == key) return v;
     }
     return 0.0;
   }
-  long long node_delta() const {
+  [[nodiscard]] long long node_delta() const {
     return static_cast<long long>(nodes_after) -
            static_cast<long long>(nodes_before);
   }
-  long long lit_delta() const {
+  [[nodiscard]] long long lit_delta() const {
     return static_cast<long long>(lits_after) -
            static_cast<long long>(lits_before);
   }
@@ -104,9 +115,21 @@ class PassContext {
     sink_ = stats == nullptr ? nullptr : &stats->counters;
   }
 
+  /// The resource budget governing this pipeline run (null = unlimited).
+  /// Passes install it on every bdd::Manager they create and catch
+  /// `bds::BudgetExceeded` at the granularity where they can degrade.
+  void set_budget(std::shared_ptr<const util::ResourceBudget> budget) {
+    budget_ = std::move(budget);
+  }
+  [[nodiscard]] const std::shared_ptr<const util::ResourceBudget>& budget()
+      const {
+    return budget_;
+  }
+
  private:
   std::unordered_map<std::type_index, std::shared_ptr<void>> state_;
   std::vector<std::pair<std::string, double>>* sink_ = nullptr;
+  std::shared_ptr<const util::ResourceBudget> budget_;
 };
 
 /// One step of an optimization pipeline.

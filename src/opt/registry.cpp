@@ -13,7 +13,10 @@ PassRegistry& PassRegistry::instance() {
     register_sis_passes(*r);
     register_bds_passes(*r);
     r->add_script("rugged", rugged_script());
-    r->add_script("bds", default_bds_script());
+    r->add_script("bds", default_bds_script(),
+                  {{"jobs", "bds_decompose", "-j"},
+                   {"max_cuts", "bds_decompose", "-max_cuts"},
+                   {"threshold", "bds_partition", "-t"}});
     return r;
   }();
   return *registry;
@@ -44,21 +47,30 @@ std::vector<std::pair<std::string, std::string>> PassRegistry::list() const {
   return out;
 }
 
-void PassRegistry::add_script(const std::string& name,
-                              const std::string& text) {
-  scripts_[name] = text;
+void PassRegistry::add_script(const std::string& name, const std::string& text,
+                              std::vector<ScriptParamDecl> params) {
+  scripts_[name] = Script{text, std::move(params)};
 }
 
 const std::string* PassRegistry::find_script(const std::string& name) const {
   const auto it = scripts_.find(name);
-  return it == scripts_.end() ? nullptr : &it->second;
+  return it == scripts_.end() ? nullptr : &it->second.text;
+}
+
+const std::vector<ScriptParamDecl>& PassRegistry::script_params(
+    const std::string& name) const {
+  static const std::vector<ScriptParamDecl> kEmpty;
+  const auto it = scripts_.find(name);
+  return it == scripts_.end() ? kEmpty : it->second.params;
 }
 
 std::vector<std::pair<std::string, std::string>> PassRegistry::list_scripts()
     const {
   std::vector<std::pair<std::string, std::string>> out;
   out.reserve(scripts_.size());
-  for (const auto& [name, text] : scripts_) out.emplace_back(name, text);
+  for (const auto& [name, script] : scripts_) {
+    out.emplace_back(name, script.text);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }

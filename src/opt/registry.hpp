@@ -16,6 +16,15 @@
 
 namespace bds::opt {
 
+/// A tunable a registered script declares: binding `key=value` routes the
+/// value to `pass` as the value flag `flag` (e.g. "jobs" -> `bds_decompose
+/// -j N`). Replaces string-patching script text from the outside.
+struct ScriptParamDecl {
+  std::string key;   ///< parameter name exposed to callers
+  std::string pass;  ///< pass that consumes it
+  std::string flag;  ///< value flag the binding becomes
+};
+
 class PassRegistry {
  public:
   using Factory =
@@ -35,9 +44,14 @@ class PassRegistry {
 
   // ---- named scripts ---------------------------------------------------------
 
-  void add_script(const std::string& name, const std::string& text);
+  void add_script(const std::string& name, const std::string& text,
+                  std::vector<ScriptParamDecl> params = {});
   /// Script text for `name`, or nullptr when no such script exists.
   const std::string* find_script(const std::string& name) const;
+  /// Parameter declarations of the named script (empty when none declared
+  /// or the script is unknown).
+  const std::vector<ScriptParamDecl>& script_params(
+      const std::string& name) const;
   std::vector<std::pair<std::string, std::string>> list_scripts() const;
 
  private:
@@ -45,8 +59,12 @@ class PassRegistry {
     std::string help;
     Factory factory;
   };
+  struct Script {
+    std::string text;
+    std::vector<ScriptParamDecl> params;
+  };
   std::unordered_map<std::string, Entry> passes_;
-  std::unordered_map<std::string, std::string> scripts_;
+  std::unordered_map<std::string, Script> scripts_;
 };
 
 /// Validates a command's arguments against the pass's accepted shapes:

@@ -89,6 +89,18 @@ std::size_t parse_size_arg(std::string_view pass, std::string_view value) {
   return static_cast<std::size_t>(v);
 }
 
+double parse_double_arg(std::string_view pass, std::string_view value) {
+  double result = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), result);
+  if (ec != std::errc{} || ptr != value.data() + value.size() || result < 0) {
+    throw ScriptError(std::string(pass) +
+                      ": expected a non-negative number, got '" +
+                      std::string(value) + "'");
+  }
+  return result;
+}
+
 std::string flag_value(std::string_view pass,
                        const std::vector<std::string>& args,
                        std::string_view flag, std::string_view fallback) {

@@ -42,6 +42,8 @@ std::string format_script(const std::vector<ScriptCommand>& commands);
 int parse_int_arg(std::string_view pass, std::string_view value);
 /// Parses a full-string non-negative integer.
 std::size_t parse_size_arg(std::string_view pass, std::string_view value);
+/// Parses a full-string non-negative real (seconds and the like).
+double parse_double_arg(std::string_view pass, std::string_view value);
 
 /// Returns the value following flag `flag` in `args` (e.g. "-passes" "4"),
 /// or `fallback` when absent. Throws when the flag is last with no value.

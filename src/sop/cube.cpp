@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace bds::sop {
 
 Cube::Cube(unsigned num_vars)
@@ -182,7 +184,7 @@ Cube Cube::parse(const std::string& text) {
       case '2':  // some BLIF writers use '2' for don't care
         break;
       default:
-        throw std::invalid_argument("bad cube character in \"" + text + "\"");
+        throw ParseError("bad cube character in \"" + text + "\"");
     }
   }
   return c;

@@ -69,7 +69,7 @@ class Cube {
 
   /// Espresso/BLIF-style text, e.g. "1-0" (v0=1, v1 absent, v2=0).
   std::string to_string() const;
-  /// Parses BLIF cube text ("10-1..."); throws std::invalid_argument.
+  /// Parses BLIF cube text ("10-1..."); throws bds::ParseError.
   static Cube parse(const std::string& text);
 
  private:

@@ -1,0 +1,80 @@
+// Typed error hierarchy of the system.
+//
+// Every recoverable failure thrown across a library boundary derives from
+// `bds::Error`, which itself derives from `std::runtime_error` so existing
+// generic handlers (and tests) keep working. The three categories match the
+// three ways a run can fail for reasons outside the code's control:
+//
+//   * ParseError      -- malformed external input (BLIF text, cube strings);
+//   * NetworkError    -- a structurally invalid network (duplicate signal
+//                        names, SOP width mismatch, combinational cycles);
+//   * BudgetExceeded  -- a resource ceiling of a ResourceBudget
+//                        (util/budget.hpp) was hit: live BDD nodes, bytes,
+//                        the wall-clock deadline, or a cancellation request.
+//
+// Programming-contract violations (an empty Bdd handle, a non-permutation
+// order) are *not* errors in this sense: they abort via the
+// bdd::detail::invalid_* hooks because the process state can no longer be
+// trusted. Everything here unwinds cleanly and leaves all objects valid.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bds {
+
+/// Base of all recoverable, typed errors thrown by the libraries.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed external input text (BLIF files, cube/SOP strings).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A structurally invalid Boolean network: duplicate signal names, a node
+/// whose SOP width disagrees with its fanin count, or a combinational cycle.
+class NetworkError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A ResourceBudget ceiling was exceeded. Carries which resource tripped so
+/// callers can degrade differently per kind (a node ceiling is deterministic
+/// and local; a deadline or cancellation is global and final).
+class BudgetExceeded : public Error {
+ public:
+  enum class Resource {
+    kNodes,      ///< live-BDD-node ceiling of one manager
+    kBytes,      ///< byte ceiling of one manager
+    kDeadline,   ///< the wall-clock deadline passed
+    kCancelled,  ///< cooperative cancellation was requested
+  };
+
+  BudgetExceeded(Resource resource, const std::string& what)
+      : Error(what), resource_(resource) {}
+
+  Resource resource() const { return resource_; }
+
+  static const char* resource_name(Resource r) {
+    switch (r) {
+      case Resource::kNodes:
+        return "nodes";
+      case Resource::kBytes:
+        return "bytes";
+      case Resource::kDeadline:
+        return "deadline";
+      case Resource::kCancelled:
+        return "cancelled";
+    }
+    return "?";
+  }
+
+ private:
+  Resource resource_;
+};
+
+}  // namespace bds

@@ -1,10 +1,10 @@
 #include "verify/cec.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 #include <unordered_map>
 
 #include "bdd/bdd.hpp"
+#include "util/error.hpp"
 
 namespace bds::verify {
 
@@ -14,11 +14,6 @@ using net::Network;
 using net::NodeId;
 
 namespace {
-
-class BudgetExceeded : public std::runtime_error {
- public:
-  BudgetExceeded() : std::runtime_error("global BDD budget exceeded") {}
-};
 
 /// Builds global BDDs for all outputs of a network, with PI variables
 /// assigned through `pi_var` (keyed by PI name).
@@ -51,7 +46,13 @@ std::unordered_map<std::string, Bdd> global_bdds(
       mgr.reorder_sift();
       reorder_at = std::max(reorder_at, mgr.live_nodes() * 4);
     }
-    if (mgr.live_nodes() > max_live_nodes) throw BudgetExceeded();
+    if (mgr.live_nodes() > max_live_nodes) {
+      throw BudgetExceeded(BudgetExceeded::Resource::kNodes,
+                           "global BDD budget exceeded: " +
+                               std::to_string(mgr.live_nodes()) + " > " +
+                               std::to_string(max_live_nodes) +
+                               " live nodes");
+    }
   }
   std::unordered_map<std::string, Bdd> outputs;
   for (const auto& [name, driver] : net.outputs()) {
@@ -82,8 +83,9 @@ std::vector<bool> witness(const Manager& mgr, bdd::Edge e,
 
 }  // namespace
 
-CecResult check_equivalence(const Network& a, const Network& b,
-                            std::size_t max_live_nodes) {
+CecResult check_equivalence(
+    const Network& a, const Network& b, std::size_t max_live_nodes,
+    std::shared_ptr<const util::ResourceBudget> budget) {
   CecResult result;
   // Input/output name sets must match.
   if (a.num_inputs() != b.num_inputs() ||
@@ -94,6 +96,10 @@ CecResult check_equivalence(const Network& a, const Network& b,
   }
 
   Manager mgr;
+  // A caller-supplied budget makes the verifier's own BDD work governable:
+  // its node/byte ceilings and deadline surface as kAborted below, never as
+  // an escaping exception.
+  mgr.set_budget(std::move(budget));
   std::unordered_map<std::string, bdd::Var> pi_var;
   for (const NodeId pi : a.inputs()) {
     pi_var.emplace(a.node(pi).name, mgr.new_var());
@@ -132,7 +138,10 @@ CecResult check_equivalence(const Network& a, const Network& b,
         return result;
       }
     }
-  } catch (const BudgetExceeded&) {
+  } catch (const BudgetExceeded& e) {
+    // Cancellation propagates; everything else degrades to kAborted (the
+    // caller's cue to fall back to random simulation).
+    if (e.resource() == BudgetExceeded::Resource::kCancelled) throw;
     result.status = CecStatus::kAborted;
     return result;
   }

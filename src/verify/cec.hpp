@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/network.hpp"
+#include "util/budget.hpp"
 
 namespace bds::verify {
 
@@ -31,9 +33,14 @@ struct CecResult {
 };
 
 /// Checks a == b. Inputs and outputs are matched by name; both networks
-/// must expose identical input/output name sets.
-CecResult check_equivalence(const net::Network& a, const net::Network& b,
-                            std::size_t max_live_nodes = 2'000'000);
+/// must expose identical input/output name sets. When `budget` is given it
+/// is installed on the verifier's BDD manager, so its ceilings and deadline
+/// also abort to kAborted (the caller's cue to fall back to simulation)
+/// rather than failing the run.
+CecResult check_equivalence(
+    const net::Network& a, const net::Network& b,
+    std::size_t max_live_nodes = 2'000'000,
+    std::shared_ptr<const util::ResourceBudget> budget = nullptr);
 
 /// 64-way parallel random simulation; returns false iff a mismatch was
 /// observed (a sound inequivalence witness, not a proof of equivalence).

@@ -157,29 +157,20 @@ INSTANTIATE_TEST_SUITE_P(Sweep, SiftProperty,
                                            SiftCase{8, 104}, SiftCase{8, 105},
                                            SiftCase{9, 106}));
 
-// ---- set_order input validation (always on, like the Bdd handle guard) ------
+// ---- set_order input validation (always on, recoverable) --------------------
 
-using SetOrderDeathTest = ::testing::Test;
-
-TEST(SetOrderDeathTest, RejectsNonPermutations) {
-  EXPECT_DEATH(
-      {
-        Manager mgr(3);
-        mgr.set_order({0, 1});  // wrong size
-      },
-      "set_order");
-  EXPECT_DEATH(
-      {
-        Manager mgr(3);
-        mgr.set_order({0, 1, 7});  // out-of-range variable
-      },
-      "does not exist");
-  EXPECT_DEATH(
-      {
-        Manager mgr(3);
-        mgr.set_order({0, 1, 1});  // duplicate: not a permutation
-      },
-      "not a permutation");
+TEST(SetOrder, RejectsNonPermutationsWithTypedError) {
+  // Validation completes before any swap, so a bad order is recoverable:
+  // the manager is untouched and usable afterwards.
+  Manager mgr(3);
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  EXPECT_THROW(mgr.set_order({0, 1}), bds::Error);           // wrong size
+  EXPECT_THROW(mgr.set_order({0, 1, 7}), bds::Error);        // out of range
+  EXPECT_THROW(mgr.set_order({0, 1, 1}), bds::Error);        // duplicate
+  EXPECT_TRUE(mgr.check_consistency());
+  EXPECT_TRUE(f.eval({true, true, false}));
+  mgr.set_order({2, 1, 0});  // still accepts a valid permutation
+  EXPECT_TRUE(mgr.check_consistency());
 }
 
 TEST(SetOrder, AcceptsEveryPermutationAndPreservesSemantics) {

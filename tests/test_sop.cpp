@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "oracle.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace bds::sop {
@@ -53,7 +54,7 @@ TEST(Cube, ParseAndPrintRoundTrip) {
 }
 
 TEST(Cube, ParseRejectsGarbage) {
-  EXPECT_THROW(Cube::parse("1x0"), std::invalid_argument);
+  EXPECT_THROW(Cube::parse("1x0"), bds::ParseError);
 }
 
 TEST(Cube, UniversalCubeHasNoLiterals) {
