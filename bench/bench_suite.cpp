@@ -8,11 +8,18 @@
 // every worker count emits byte-identical BLIF. A `budget` section measures
 // the cost of resource governance: the same apply-heavy global-BDD build
 // with and without an installed (never-tripping) ResourceBudget, plus a
-// forced-degradation run whose output is equivalence-checked. Emits one
-// JSON report (default BENCH_pr4.json) that CI uploads as an artifact, so
-// manager regressions show up as a diff in the numbers, not an anecdote.
-// `hardware_concurrency` is recorded alongside: parallel speedups are only
-// meaningful where the host actually has the cores.
+// forced-degradation run whose output is equivalence-checked. A
+// `telemetry` section measures the observability layer the same way: the
+// apply-heavy build with and without an attached GaugeSampler (the only
+// telemetry on the manager's budget path; bar <= 1%), plus the `bds`
+// pipeline with and without a full Telemetry hub. The family flow numbers
+// themselves are read back from an AggregateSink via
+// aggregate_pipeline_stats, so bench numbers and live `-trace-json` traces
+// come from one code path. Emits one JSON report (default BENCH_pr5.json)
+// that CI uploads as an artifact, so manager regressions show up as a diff
+// in the numbers, not an anecdote. `hardware_concurrency` is recorded
+// alongside: parallel speedups are only meaningful where the host actually
+// has the cores.
 //
 // Usage: bench_suite [-out <path>] [-quick]
 #include <algorithm>
@@ -38,6 +45,7 @@
 #include "opt/flows.hpp"
 #include "opt/manager.hpp"
 #include "util/budget.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 #include "verify/cec.hpp"
 
@@ -119,12 +127,14 @@ struct GlobalBuild {
 };
 
 GlobalBuild build_global_bdds(const Network& net, std::size_t max_live_nodes,
-                              bds::util::BudgetPtr budget = nullptr) {
+                              bds::util::BudgetPtr budget = nullptr,
+                              bds::util::GaugeSampler* gauge = nullptr) {
   GlobalBuild gb;
   gb.mgr = std::make_unique<Manager>(
       static_cast<std::uint32_t>(net.num_inputs()));
   Manager& mgr = *gb.mgr;
   mgr.set_budget(std::move(budget));
+  if (gauge != nullptr) mgr.set_gauge_sampler(gauge);
   Timer t;
 
   std::vector<Bdd> value(net.raw_size());
@@ -308,7 +318,19 @@ FlowResult run_flow(const Network& input, const std::string& script) {
   Network net = input;
   bds::opt::PassManager pm = bds::opt::PassManager::from_script(script);
   bds::opt::PassContext ctx;
-  const bds::opt::PipelineStats ps = pm.run(net, {}, ctx);
+  // The bench numbers are read back from the telemetry aggregator rather
+  // than from the directly returned PipelineStats: BENCH_*.json and a live
+  // `-trace-json`/`-profile` run share one instrumentation code path, so a
+  // telemetry regression shows up here too.
+  bds::opt::PipelineOptions popts;
+  const auto telemetry = std::make_shared<bds::util::Telemetry>(script);
+  const auto aggregate = std::make_shared<bds::util::AggregateSink>();
+  telemetry->add_sink(aggregate);
+  popts.telemetry = telemetry;
+  pm.run(net, popts, ctx);
+  telemetry->finish();
+  const bds::opt::PipelineStats ps =
+      bds::opt::aggregate_pipeline_stats(aggregate->events());
   r.seconds = ps.seconds_total;
   r.literals_after = net.total_literals();
   r.depth_after = net.depth();
@@ -462,6 +484,100 @@ BudgetBenchResult run_budget_bench(int reps) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry overhead: the only telemetry touching the manager's budget path
+// is the GaugeSampler hook inside budget_check_slow (sampled when the
+// amortized tick wraps), so the honest measure mirrors run_budget_bench --
+// the same apply-heavy build with a never-tripping budget, with and without
+// an attached sampler, best-of-N. The acceptance bar from the issue is
+// overhead <= 1% (with a small absolute epsilon so sub-millisecond jitter
+// on a fast build cannot fail the run spuriously). A second part runs the
+// `bds` pipeline with a null telemetry pointer vs a full hub (JSONL into a
+// string + aggregator), measuring the end-to-end cost of enabled tracing.
+
+struct TelemetryBenchResult {
+  std::string circuit;
+  int reps = 0;
+  double baseline_seconds = 0.0;   ///< budget installed, no gauge sampler
+  double sampled_seconds = 0.0;    ///< budget + gauge sampler attached
+  double overhead_percent = 0.0;
+  std::size_t gauge_samples = 0;   ///< samples taken in the last sampled run
+  bool within_bar = false;         ///< overhead <= 1% (or below epsilon)
+  std::string pipeline_circuit;
+  double pipeline_off_seconds = 0.0;  ///< bds flow, popts.telemetry == null
+  double pipeline_on_seconds = 0.0;   ///< bds flow, JSONL + aggregate sinks
+  std::size_t pipeline_spans = 0;
+};
+
+TelemetryBenchResult run_telemetry_bench(int reps) {
+  TelemetryBenchResult r;
+  constexpr unsigned kAdderBits = 24;
+  const Network net = bds::gen::ripple_adder(kAdderBits);
+  r.circuit = "ripple_adder(" + std::to_string(kAdderBits) + ")";
+  r.reps = reps;
+
+  const auto budget = std::make_shared<bds::util::ResourceBudget>(
+      1u << 30, std::size_t{1} << 40);
+  budget->set_deadline_in(3600.0);
+
+  for (int rep = 0; rep < reps; ++rep) {
+    const GlobalBuild base = build_global_bdds(net, 2'000'000, budget);
+    bds::util::GaugeSampler gauge;
+    const GlobalBuild sampled =
+        build_global_bdds(net, 2'000'000, budget, &gauge);
+    r.gauge_samples = gauge.samples;
+    if (rep == 0) {
+      r.baseline_seconds = base.seconds;
+      r.sampled_seconds = sampled.seconds;
+    } else {
+      r.baseline_seconds = std::min(r.baseline_seconds, base.seconds);
+      r.sampled_seconds = std::min(r.sampled_seconds, sampled.seconds);
+    }
+  }
+  r.overhead_percent =
+      r.baseline_seconds > 0
+          ? 100.0 * (r.sampled_seconds - r.baseline_seconds) /
+                r.baseline_seconds
+          : 0.0;
+  // <= 1% relative, with a 50ms absolute epsilon: on a build this short,
+  // scheduler noise alone exceeds 1% of wall time.
+  constexpr double kAbsEpsilonSeconds = 0.05;
+  r.within_bar = r.overhead_percent <= 1.0 ||
+                 (r.sampled_seconds - r.baseline_seconds) < kAbsEpsilonSeconds;
+
+  // End-to-end pipeline cost of enabled tracing (informational: enabled
+  // telemetry is allowed to cost something; disabled must not).
+  const Network victim = bds::gen::alu(8);
+  r.pipeline_circuit = "alu(8)";
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      Network work = victim;
+      Timer t;
+      bds::opt::PassManager::from_script("bds").run(work);
+      const double s = t.seconds();
+      r.pipeline_off_seconds =
+          rep == 0 ? s : std::min(r.pipeline_off_seconds, s);
+    }
+    {
+      Network work = victim;
+      bds::opt::PipelineOptions popts;
+      const auto telemetry = std::make_shared<bds::util::Telemetry>("bds");
+      std::ostringstream trace;
+      telemetry->add_sink(std::make_shared<bds::util::JsonlSink>(trace));
+      telemetry->add_sink(std::make_shared<bds::util::AggregateSink>());
+      popts.telemetry = telemetry;
+      Timer t;
+      bds::opt::PassManager::from_script("bds").run(work, popts);
+      const double s = t.seconds();
+      telemetry->finish();
+      r.pipeline_spans = telemetry->events_emitted();
+      r.pipeline_on_seconds =
+          rep == 0 ? s : std::min(r.pipeline_on_seconds, s);
+    }
+  }
+  return r;
+}
+
 void emit_manager_stats(Json& json, const Manager& mgr) {
   const bds::bdd::ManagerStats& ms = mgr.stats();
   json.field("live_nodes", ms.live_nodes);
@@ -491,7 +607,7 @@ void emit_manager_stats(Json& json, const Manager& mgr) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_pr4.json";
+  std::string out_path = "BENCH_pr5.json";
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -527,7 +643,7 @@ int main(int argc, char** argv) {
   Json json(out);
   json.open();
   json.field("schema", "bds-bench/v1");
-  json.field("pr", "pr4");
+  json.field("pr", "pr5");
   json.field("hardware_concurrency", std::thread::hardware_concurrency());
 
   // -- Microbenchmark -------------------------------------------------------
@@ -618,6 +734,41 @@ int main(int argc, char** argv) {
   json.close();
   if (!bb.degraded_equivalent) {
     std::cerr << "bench_suite: forced-degradation output NOT equivalent\n";
+    all_ok = false;
+  }
+
+  // -- Telemetry overhead ----------------------------------------------------
+  std::cout << "== telemetry ==\n";
+  const TelemetryBenchResult tb = run_telemetry_bench(quick ? 1 : 3);
+  std::cout << "  " << tb.circuit << " global build: baseline " << std::fixed
+            << std::setprecision(3) << tb.baseline_seconds << "s   sampled "
+            << tb.sampled_seconds << "s   overhead " << std::setprecision(2)
+            << tb.overhead_percent << "% (" << tb.gauge_samples
+            << " gauge samples)" << (tb.within_bar ? "" : "   OVER 1% BAR!")
+            << "\n"
+            << "  " << tb.pipeline_circuit << " bds flow: telemetry off "
+            << std::setprecision(3) << tb.pipeline_off_seconds << "s   on "
+            << tb.pipeline_on_seconds << "s (" << tb.pipeline_spans
+            << " spans)\n";
+  json.open("telemetry");
+  json.open("gauge_overhead");
+  json.field("circuit", tb.circuit);
+  json.field("reps", tb.reps);
+  json.field("baseline_seconds", tb.baseline_seconds);
+  json.field("sampled_seconds", tb.sampled_seconds);
+  json.field("overhead_percent", tb.overhead_percent);
+  json.field("gauge_samples", tb.gauge_samples);
+  json.field("within_bar", tb.within_bar);
+  json.close();
+  json.open("pipeline_tracing");
+  json.field("circuit", tb.pipeline_circuit);
+  json.field("off_seconds", tb.pipeline_off_seconds);
+  json.field("on_seconds", tb.pipeline_on_seconds);
+  json.field("spans", tb.pipeline_spans);
+  json.close();
+  json.close();
+  if (!tb.within_bar) {
+    std::cerr << "bench_suite: telemetry gauge overhead over the 1% bar\n";
     all_ok = false;
   }
 

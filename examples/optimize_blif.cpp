@@ -6,7 +6,8 @@
 //   optimize_blif <input.blif> [-o out.blif] [-gates out_mapped.blif]
 //                 [-flow bds|sis] [-script "<passes>"] [-j N]
 //                 [-node-limit N] [-time-limit S] [-nomap] [-noverify]
-//                 [-stats] [-trace] [-check] [-list-passes]
+//                 [-stats] [-trace] [-check] [-profile]
+//                 [-trace-json FILE] [-list-passes]
 //
 // The optimization flow is a pass pipeline (src/opt/): `-flow` selects one
 // of the two registered scripts ("bds", "rugged"), `-script` runs an
@@ -16,6 +17,12 @@
 // shared per-pass time/size breakdown table. `-j N` runs the decompose
 // phase on N workers (0 = all hardware threads); the result is
 // bit-identical to a serial run.
+//
+// Telemetry (util/telemetry.hpp): `-trace-json FILE` streams one JSON
+// object per closed span to FILE (schema bds-trace/v1, `-` = stdout;
+// everything outside each line's "exec" object is byte-identical at any
+// -j), and `-profile` prints the in-memory aggregator's summary (top
+// passes/supernodes by time, computed-table hit rates, degradations).
 //
 // `-node-limit N` and `-time-limit S` bound the run's BDD work (live nodes
 // per manager / wall-clock seconds). Exceeding a bound does not fail the
@@ -30,6 +37,7 @@
 // With no input file, a built-in demo circuit is used.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,6 +47,7 @@
 #include "opt/manager.hpp"
 #include "opt/registry.hpp"
 #include "util/error.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 #include "verify/cec.hpp"
 
@@ -66,7 +75,8 @@ int usage() {
                "[-gates out_mapped.blif] [-flow bds|sis] "
                "[-script \"<passes>\"] [-j N] [-node-limit N] "
                "[-time-limit S] [-nomap] [-noverify] [-stats] "
-               "[-trace] [-check] [-list-passes]\n";
+               "[-trace] [-check] [-profile] [-trace-json FILE] "
+               "[-list-passes]\n";
   return 2;
 }
 
@@ -101,6 +111,8 @@ int main(int argc, char** argv) {
   bool show_stats = false;
   bool trace = false;
   bool check = false;
+  bool profile = false;
+  std::string trace_json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -128,6 +140,10 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (arg == "-check") {
       check = true;
+    } else if (arg == "-profile") {
+      profile = true;
+    } else if (arg == "-trace-json" && i + 1 < argc) {
+      trace_json_path = argv[++i];
     } else if (arg == "-list-passes") {
       return list_passes();
     } else if (arg[0] == '-') {
@@ -201,6 +217,33 @@ int main(int argc, char** argv) {
     };
   }
 
+  // Telemetry: one hub, up to two sinks (JSONL stream and/or the profile
+  // aggregator). Left null when neither flag is given -- spans are then
+  // inert and the pipeline pays nothing.
+  std::shared_ptr<util::Telemetry> telemetry;
+  std::shared_ptr<util::AggregateSink> aggregate;
+  std::ofstream trace_json_file;
+  if (profile || !trace_json_path.empty()) {
+    telemetry = std::make_shared<util::Telemetry>(script);
+    if (!trace_json_path.empty()) {
+      std::ostream* os = &std::cout;
+      if (trace_json_path != "-") {
+        trace_json_file.open(trace_json_path);
+        if (!trace_json_file) {
+          std::cerr << "cannot open " << trace_json_path << "\n";
+          return 1;
+        }
+        os = &trace_json_file;
+      }
+      telemetry->add_sink(std::make_shared<util::JsonlSink>(*os));
+    }
+    if (profile) {
+      aggregate = std::make_shared<util::AggregateSink>();
+      telemetry->add_sink(aggregate);
+    }
+    popts.telemetry = telemetry;
+  }
+
   Timer timer;
   net::Network optimized = input;
   opt::PipelineStats pstats;
@@ -230,7 +273,14 @@ int main(int argc, char** argv) {
               << "(degraded=" << pstats.counter("degraded")
               << "); the result is still functionally equivalent\n";
   }
+  if (telemetry) telemetry->finish();
   if (show_stats) std::cout << format_pass_table(pstats);
+  if (aggregate) std::cout << aggregate->format_profile();
+  if (!trace_json_path.empty() && trace_json_path != "-") {
+    std::cout << "wrote trace (" << telemetry->events_emitted()
+              << " spans, " << util::kTraceSchemaName << ") to "
+              << trace_json_path << "\n";
+  }
   if (check) {
     if (pstats.check_failures > 0) {
       std::cerr << "per-pass check: " << pstats.check_failures

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace bds::bdd {
 
@@ -25,6 +26,45 @@ void invalid_argument(const char* op, const char* what) {
   std::abort();
 }
 }  // namespace detail
+
+util::CounterList telemetry_counters(const ManagerStats& stats,
+                                     const ManagerStats* baseline) {
+  util::CounterList out;
+  // Monotonic counters: a baseline turns them into this-phase deltas.
+  const auto delta = [&](const char* key, std::size_t now, std::size_t base) {
+    out.emplace_back(key, static_cast<double>(now - base));
+  };
+  // Level gauges and high-watermarks: always the current snapshot (a
+  // watermark difference has no meaning).
+  const auto gauge = [&](const char* key, std::size_t value) {
+    out.emplace_back(key, static_cast<double>(value));
+  };
+  const ManagerStats zero;
+  const ManagerStats& b = baseline != nullptr ? *baseline : zero;
+  gauge("live_nodes", stats.live_nodes);
+  gauge("peak_live_nodes", stats.peak_live_nodes);
+  delta("gc_runs", stats.gc_runs, b.gc_runs);
+  delta("unique_lookups", stats.unique_lookups, b.unique_lookups);
+  delta("cache_lookups", stats.cache_lookups, b.cache_lookups);
+  delta("cache_hits", stats.cache_hits, b.cache_hits);
+  for (std::size_t op = 0; op < kNumCacheOps; ++op) {
+    const std::string prefix = std::string("cache_") + kCacheOpNames[op];
+    out.emplace_back(prefix + "_lookups",
+                     static_cast<double>(stats.cache_op_lookups[op] -
+                                         b.cache_op_lookups[op]));
+    out.emplace_back(
+        prefix + "_hits",
+        static_cast<double>(stats.cache_op_hits[op] - b.cache_op_hits[op]));
+  }
+  gauge("cache_entries", stats.cache_entries);
+  delta("cache_resizes", stats.cache_resizes, b.cache_resizes);
+  delta("cache_dead_evictions", stats.cache_dead_evictions,
+        b.cache_dead_evictions);
+  delta("reorderings", stats.reorderings, b.reorderings);
+  gauge("memory_bytes", stats.memory_bytes);
+  gauge("peak_memory_bytes", stats.peak_memory_bytes);
+  return out;
+}
 
 namespace {
 constexpr std::size_t kInitialBuckets = 16;
@@ -267,6 +307,12 @@ void Manager::budget_check_slow() {
   // operation does not count against the ceiling); memory_bytes is the
   // arena+table footprint maintained by update_memory_stats().
   budget_->check(stats_.live_nodes, stats_.memory_bytes, budget_ticks_);
+  // The tick is 0 exactly when check() just wrapped its amortization
+  // window (once per kDeadlineCheckInterval checks) -- the agreed
+  // low-frequency moment for telemetry gauge samples.
+  if (gauge_ != nullptr && budget_ticks_ == 0) {
+    gauge_->sample(stats_.live_nodes, stats_.memory_bytes);
+  }
 }
 
 void Manager::update_memory_stats() {

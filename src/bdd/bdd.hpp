@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "util/budget.hpp"
+#include "util/telemetry.hpp"
 
 namespace bds::bdd {
 
@@ -116,6 +117,17 @@ struct ManagerStats {
   std::size_t memory_bytes = 0;
   std::size_t peak_memory_bytes = 0;
 };
+
+/// Flattens a ManagerStats snapshot into telemetry counters under the
+/// canonical names MANUAL.md's glossary documents (live_nodes,
+/// peak_live_nodes, gc_runs, unique_lookups, cache_lookups, cache_hits,
+/// cache_<op>_lookups/hits per kCacheOpNames, cache_entries/resizes/
+/// dead_evictions, reorderings, memory_bytes, peak_memory_bytes). To
+/// attribute one phase of work, diff two snapshots with
+/// `telemetry_counters(after, &before)`: monotonic counters subtract,
+/// level/high-watermark gauges report the `after` value.
+[[nodiscard]] util::CounterList telemetry_counters(
+    const ManagerStats& stats, const ManagerStats* baseline = nullptr);
 
 namespace detail {
 /// Always-on failure hook of the `Bdd` handle guard: prints a diagnostic
@@ -252,6 +264,16 @@ class Manager {
     return budget_;
   }
 
+  /// Installs a low-frequency gauge sampler (null to detach; not owned).
+  /// It observes live-node/byte high-watermarks from inside long operation
+  /// streams, fed from budget_check_slow() exactly when the budget's
+  /// amortized tick wraps (one sample per kDeadlineCheckInterval checks).
+  /// Sampling therefore costs nothing unless a budget is installed, and
+  /// adds no branch to the apply hot path even then -- the poll lives in
+  /// the out-of-line slow path the budget already pays for.
+  void set_gauge_sampler(util::GaugeSampler* sampler) { gauge_ = sampler; }
+  [[nodiscard]] util::GaugeSampler* gauge_sampler() const { return gauge_; }
+
   // ----- dynamic variable reordering (bdd/reorder.cpp) ----------------------
 
   /// Rudell sifting over all variables. External `Bdd` handles stay valid
@@ -378,6 +400,8 @@ class Manager {
   std::shared_ptr<const util::ResourceBudget> budget_;
   /// Amortization counter for the budget's deadline clock reads.
   std::uint32_t budget_ticks_ = 0;
+  /// Optional telemetry gauge sampler (set_gauge_sampler; not owned).
+  util::GaugeSampler* gauge_ = nullptr;
 
   // Traversal scratch (all logically const; see begin_visit()).
   mutable std::uint32_t visit_epoch_ = 0;

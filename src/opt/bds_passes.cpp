@@ -19,6 +19,13 @@ using bdd::Bdd;
 using bdd::Var;
 using net::NodeId;
 
+/// Copies a manager-counter list onto an open telemetry span (no-op for an
+/// inert span).
+void attach_counters(util::TelemetrySpan& span,
+                     const util::CounterList& counters) {
+  for (const auto& [key, value] : counters) span.count(key, value);
+}
+
 // ---- budget-degradation fallback -------------------------------------------
 //
 // When a supernode's BDD work (transfer, reorder, decompose) trips the
@@ -148,6 +155,10 @@ class BdsPartitionPass final : public Pass {
     BdsFlowState& st = ctx.state<BdsFlowState>();
     st.pmgr = std::make_unique<bdd::Manager>();
     st.pmgr->set_budget(ctx.budget());
+    // Low-frequency live-node/byte watermarks, sampled on the budget's
+    // amortized tick (only fires while a budget is installed).
+    util::GaugeSampler gauge;
+    if (ctx.telemetry() != nullptr) st.pmgr->set_gauge_sampler(&gauge);
     try {
       st.part = core::partition_network(net, *st.pmgr, opts_);
     } catch (const BudgetExceeded& e) {
@@ -162,6 +173,9 @@ class BdsPartitionPass final : public Pass {
       st.pmgr = std::make_unique<bdd::Manager>();
       st.part = core::trivial_partition(net, *st.pmgr);
     }
+    // The sampler is a stack local: detach before it goes out of scope
+    // (the manager outlives this pass on the blackboard).
+    st.pmgr->set_gauge_sampler(nullptr);
 
     // Global signal space: PIs plus supernode outputs.
     st.sig_of.assign(net.raw_size(), 0xffffffffu);
@@ -174,6 +188,30 @@ class BdsPartitionPass final : public Pass {
     ctx.count("eliminated", static_cast<double>(st.part.eliminated));
     ctx.count("supernodes", static_cast<double>(st.part.supernodes.size()));
     if (st.part.degraded || st.part.budget_stopped) ctx.count("degraded", 1.0);
+
+    // Snapshot span: the partition manager's counters (cache traffic of
+    // the elimination phase), the sampled watermarks, and the remaining
+    // budget headroom. All tick- or op-driven, so deterministic per input.
+    if (util::Telemetry* tel = ctx.telemetry()) {
+      util::TelemetrySpan span =
+          util::TelemetrySpan::open(tel, "manager:partition");
+      attach_counters(span, bdd::telemetry_counters(st.pmgr->stats()));
+      span.count("gauge_samples", static_cast<double>(gauge.samples));
+      if (gauge.samples > 0) {
+        span.count("gauge_live_nodes_max",
+                   static_cast<double>(gauge.live_nodes_max));
+        span.count("gauge_memory_bytes_max",
+                   static_cast<double>(gauge.memory_bytes_max));
+      }
+      const auto& budget = ctx.budget();
+      if (budget != nullptr && budget->node_limit() > 0) {
+        const std::size_t peak = st.pmgr->stats().peak_live_nodes;
+        span.count("budget_node_headroom",
+                   peak >= budget->node_limit()
+                       ? 0.0
+                       : static_cast<double>(budget->node_limit() - peak));
+      }
+    }
   }
 
  private:
@@ -266,7 +304,11 @@ class BdsDecomposePass final : public Pass {
       bool degraded = false;
     };
 
+    util::Telemetry* tel = ctx.telemetry();
+
     // ---- stage 1: serial transfers out of the shared partition manager.
+    util::TelemetrySpan transfer_span =
+        util::TelemetrySpan::open(tel, "stage:transfer");
     std::vector<Item> items(num_supernodes);
     for (std::size_t s = 0; s < num_supernodes; ++s) {
       const core::Supernode& sn = st.part.supernodes[s];
@@ -320,21 +362,79 @@ class BdsDecomposePass final : public Pass {
         item.mgr.reset();
       }
     }
+    if (transfer_span.active()) {
+      transfer_span.count("supernodes", static_cast<double>(num_supernodes));
+    }
+    transfer_span.close();
 
     // ---- stage 2: parallel reorder + decompose on private state.
     const unsigned workers = util::ThreadPool::resolve(jobs_);
     util::ThreadPool pool(workers);
     std::vector<double> busy_seconds(pool.workers(), 0.0);
+
+    // Telemetry from pool workers: the shared hub is not touched inside
+    // the parallel region. Each supernode records into its own private
+    // TelemetryRecorder (rooted under the open stage:parallel span) and
+    // the recorders are absorbed in supernode index order afterwards --
+    // the same deterministic-merge discipline as the decompose results, so
+    // the event stream is byte-identical at every -j.
+    util::TelemetrySpan par_span =
+        util::TelemetrySpan::open(tel, "stage:parallel");
+    std::vector<util::TelemetryRecorder> recorders;
+    if (tel != nullptr) {
+      const std::string base_path = tel->current_path();
+      const std::uint32_t base_depth = tel->next_depth();
+      recorders.reserve(num_supernodes);
+      for (std::size_t s = 0; s < num_supernodes; ++s) {
+        recorders.emplace_back(base_path, base_depth);
+      }
+    }
+
     pool.parallel_for(
         num_supernodes, [&](std::size_t s, unsigned executor) {
           Timer t;
           Item& item = items[s];
+          util::TelemetrySpan sn_span;
+          if (!recorders.empty()) {
+            sn_span = util::TelemetrySpan::open(
+                &recorders[s], "supernode[" + std::to_string(s) + "]");
+            sn_span.count("inputs", item.k);
+          }
           if (!item.degraded) {
             try {
-              if (reorder_ && item.k > 1) item.mgr->reorder_sift();
-              core::Decomposer dec(*item.mgr, item.forest, opts_);
-              item.root = dec.decompose(item.func);
-              item.stats = dec.stats();
+              if (reorder_ && item.k > 1) {
+                // Manager-op epoch: counters accrued by sifting alone,
+                // observed as a ManagerStats delta at the span boundary
+                // (the manager itself carries no telemetry branches).
+                bdd::ManagerStats before;
+                util::TelemetrySpan epoch;
+                if (sn_span.active()) {
+                  before = item.mgr->stats();
+                  epoch = util::TelemetrySpan::open(&recorders[s],
+                                                    "epoch:reorder");
+                }
+                item.mgr->reorder_sift();
+                if (epoch.active()) {
+                  attach_counters(epoch, bdd::telemetry_counters(
+                                             item.mgr->stats(), &before));
+                }
+              }
+              {
+                bdd::ManagerStats before;
+                util::TelemetrySpan epoch;
+                if (sn_span.active()) {
+                  before = item.mgr->stats();
+                  epoch = util::TelemetrySpan::open(&recorders[s],
+                                                    "epoch:decompose");
+                }
+                core::Decomposer dec(*item.mgr, item.forest, opts_);
+                item.root = dec.decompose(item.func);
+                item.stats = dec.stats();
+                if (epoch.active()) {
+                  attach_counters(epoch, bdd::telemetry_counters(
+                                             item.mgr->stats(), &before));
+                }
+              }
             } catch (const BudgetExceeded& e) {
               // Cancellation unwinds through the pool (parallel_for
               // rethrows the first worker exception after draining).
@@ -351,14 +451,49 @@ class BdsDecomposePass final : public Pass {
               item.stats = core::DecomposeStats();
             }
           }
-          busy_seconds[executor] += t.seconds();
+          const double busy = t.seconds();
+          if (sn_span.active()) {
+            const core::DecomposeStats& d = item.stats;
+            sn_span.count("one_dominator", static_cast<double>(d.one_dominator));
+            sn_span.count("zero_dominator",
+                          static_cast<double>(d.zero_dominator));
+            sn_span.count("x_dominator", static_cast<double>(d.x_dominator));
+            sn_span.count("functional_mux",
+                          static_cast<double>(d.functional_mux));
+            sn_span.count("generalized",
+                          static_cast<double>(d.generalized_and +
+                                              d.generalized_or +
+                                              d.generalized_xnor));
+            sn_span.count("shannon", static_cast<double>(d.shannon));
+            if (item.degraded) sn_span.count("degraded", 1.0);
+            // Execution-dependent: which worker ran it and for how long.
+            sn_span.attr("executor", std::to_string(executor));
+            sn_span.count("busy_seconds", busy);
+          }
+          busy_seconds[executor] += busy;
         });
+
+    // Deterministic merge of the worker-side telemetry, in index order,
+    // while the parent stage:parallel span is still open.
+    for (util::TelemetryRecorder& rec : recorders) {
+      tel->absorb(std::move(rec));
+    }
+    if (par_span.active()) {
+      par_span.count("workers", static_cast<double>(pool.workers()));
+      for (unsigned w = 0; w < pool.workers(); ++w) {
+        par_span.count("busy_seconds[" + std::to_string(w) + "]",
+                       busy_seconds[w]);
+      }
+    }
+    par_span.close();
 
     // ---- stage 3: serial merge in supernode index order. Degraded items
     // are rebuilt by algebraic factoring here, still in index order, so the
     // emitted network is bit-identical to -j1 whenever the trips themselves
     // are deterministic (node/byte ceilings; a deadline is inherently not).
     std::size_t degraded_count = 0;
+    util::TelemetrySpan merge_span =
+        util::TelemetrySpan::open(tel, "stage:merge");
     std::vector<core::FactId> fallback_memo(net.raw_size(), core::kNoFact);
     for (std::size_t s = 0; s < num_supernodes; ++s) {
       const core::Supernode& sn = st.part.supernodes[s];
@@ -395,6 +530,10 @@ class BdsDecomposePass final : public Pass {
       item.mgr.reset();
       item.forest = core::FactoringForest();
     }
+    if (merge_span.active()) {
+      merge_span.count("fallbacks", static_cast<double>(degraded_count));
+    }
+    merge_span.close();
     if (degraded_count > 0) {
       ctx.count("degraded", static_cast<double>(degraded_count));
     }
@@ -450,6 +589,12 @@ class BdsSharingPass final : public Pass {
     st.peak_sharing_bytes = smgr.stats().peak_memory_bytes;
     ctx.count("merged", static_cast<double>(st.sharing.merged));
     ctx.count("merged_neg", static_cast<double>(st.sharing.merged_negated));
+    // Snapshot span: the sharing manager's counters for this phase.
+    if (util::Telemetry* tel = ctx.telemetry()) {
+      util::TelemetrySpan span =
+          util::TelemetrySpan::open(tel, "manager:sharing");
+      attach_counters(span, bdd::telemetry_counters(smgr.stats()));
+    }
   }
 };
 

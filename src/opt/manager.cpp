@@ -137,6 +137,17 @@ PipelineStats PassManager::run(net::Network& net,
   }
   ctx.set_budget(budget);
 
+  // Telemetry: the whole run is one "pipeline" span; each pass gets a
+  // "pass[i]:<name>" child span that mirrors its PassStats (reserved
+  // counter names, see aggregate_pipeline_stats) so a trace alone can
+  // reproduce the -stats table. With no telemetry installed every span
+  // here is inert and free.
+  util::Telemetry* telemetry = options.telemetry.get();
+  ctx.set_telemetry(telemetry);
+  util::TelemetrySpan pipeline_span =
+      util::TelemetrySpan::open(telemetry, "pipeline");
+
+  std::size_t pass_index = 0;
   for (const std::unique_ptr<Pass>& pass : passes_) {
     PassStats ps;
     ps.name = std::string(pass->name());
@@ -144,6 +155,10 @@ PipelineStats PassManager::run(net::Network& net,
     ps.nodes_before = net.num_logic_nodes();
     ps.lits_before = net.total_literals();
     ps.depth_before = net.depth();
+
+    util::TelemetrySpan pass_span = util::TelemetrySpan::open(
+        telemetry,
+        "pass[" + std::to_string(pass_index++) + "]:" + ps.name);
 
     const bool checkpoint = options.check && pass->modifies_network();
     net::Network before_copy("unused");
@@ -185,12 +200,116 @@ PipelineStats PassManager::run(net::Network& net,
       if (ps.check == PassStats::Check::kFailed) ++stats.check_failures;
     }
 
+    if (pass_span.active()) {
+      if (!ps.args.empty()) pass_span.attr("args", ps.args);
+      pass_span.count("nodes_before", static_cast<double>(ps.nodes_before));
+      pass_span.count("nodes_after", static_cast<double>(ps.nodes_after));
+      pass_span.count("lits_before", ps.lits_before);
+      pass_span.count("lits_after", ps.lits_after);
+      pass_span.count("depth_before", ps.depth_before);
+      pass_span.count("depth_after", ps.depth_after);
+      pass_span.count("check", static_cast<double>(ps.check));
+      pass_span.count("outcome", static_cast<double>(ps.outcome));
+      pass_span.count("seconds", ps.seconds);  // exec bucket, feeds -stats
+      for (const auto& [key, value] : ps.counters) {
+        pass_span.count(key, value);
+      }
+    }
+    pass_span.close();
+
     if (options.trace) options.trace(ps);
     stats.passes.push_back(std::move(ps));
   }
 
   stats.seconds_total = t_total.seconds();
+  if (pipeline_span.active()) {
+    pipeline_span.count("passes", static_cast<double>(stats.passes.size()));
+    pipeline_span.count("check_failures",
+                        static_cast<double>(stats.check_failures));
+    pipeline_span.count("degraded_passes",
+                        static_cast<double>(stats.degraded_passes));
+    pipeline_span.count("seconds", stats.seconds_total);
+  }
+  pipeline_span.close();
+  ctx.set_telemetry(nullptr);
   return stats;
+}
+
+namespace {
+
+// Reserved counter keys of a manager-emitted pass span: these mirror
+// PassStats fields and are stripped back out by aggregate_pipeline_stats;
+// everything else in the span is a pass-reported counter. Passes must not
+// report counters under these names (none do).
+bool is_reserved_pass_counter(std::string_view key) {
+  return key == "nodes_before" || key == "nodes_after" ||
+         key == "lits_before" || key == "lits_after" ||
+         key == "depth_before" || key == "depth_after" || key == "check" ||
+         key == "outcome" || key == "seconds";
+}
+
+}  // namespace
+
+PipelineStats aggregate_pipeline_stats(
+    const std::vector<util::SpanEvent>& events) {
+  PipelineStats out;
+  for (const util::SpanEvent& e : events) {
+    if (e.depth == 0) {
+      // The run root ("pipeline"): totals live here.
+      for (const auto& [k, v] : e.counters) {
+        if (k == "check_failures") out.check_failures = static_cast<std::size_t>(v);
+        if (k == "degraded_passes") {
+          out.degraded_passes = static_cast<std::size_t>(v);
+        }
+      }
+      for (const auto& [k, v] : e.exec_counters) {
+        if (k == "seconds") out.seconds_total = v;
+      }
+      continue;
+    }
+    if (e.depth != 1 || e.name.rfind("pass[", 0) != 0) continue;
+    PassStats ps;
+    const std::size_t colon = e.name.find("]:");
+    ps.name = colon == std::string::npos ? e.name : e.name.substr(colon + 2);
+    for (const auto& [k, v] : e.exec_attrs) {
+      if (k == "args") ps.args = v;
+    }
+    // Deterministic counters: reserved names rebuild the PassStats fields,
+    // the rest are the pass's own counters in report order.
+    for (const auto& [k, v] : e.counters) {
+      if (k == "nodes_before") {
+        ps.nodes_before = static_cast<std::size_t>(v);
+      } else if (k == "nodes_after") {
+        ps.nodes_after = static_cast<std::size_t>(v);
+      } else if (k == "lits_before") {
+        ps.lits_before = static_cast<unsigned>(v);
+      } else if (k == "lits_after") {
+        ps.lits_after = static_cast<unsigned>(v);
+      } else if (k == "depth_before") {
+        ps.depth_before = static_cast<unsigned>(v);
+      } else if (k == "depth_after") {
+        ps.depth_after = static_cast<unsigned>(v);
+      } else if (k == "check") {
+        ps.check = static_cast<PassStats::Check>(static_cast<int>(v));
+      } else if (k == "outcome") {
+        ps.outcome = static_cast<PassStats::Outcome>(static_cast<int>(v));
+      } else if (!is_reserved_pass_counter(k)) {
+        ps.counters.emplace_back(k, v);
+      }
+    }
+    // Execution-dependent counters: "seconds" is the pass wall time; the
+    // rest (workers, par_seconds_*) are pass counters that passes report
+    // last, so appending keeps the original report order.
+    for (const auto& [k, v] : e.exec_counters) {
+      if (k == "seconds") {
+        ps.seconds = v;
+      } else {
+        ps.counters.emplace_back(k, v);
+      }
+    }
+    out.passes.push_back(std::move(ps));
+  }
+  return out;
 }
 
 std::string format_pass_table(const PipelineStats& stats) {

@@ -32,6 +32,12 @@ struct PipelineOptions {
   double time_limit_seconds = 0.0;  ///< arms the budget deadline when > 0
   /// Called after each pass completes with its final measurements.
   std::function<void(const PassStats&)> trace;
+  /// Telemetry hub for the run (null = telemetry disabled, zero overhead).
+  /// The manager wraps the whole run in a "pipeline" span and each pass in
+  /// a "pass[i]:<name>" child span carrying every PassStats field as
+  /// counters; passes add their own child spans through
+  /// PassContext::telemetry(). See util/telemetry.hpp and DESIGN.md §5f.
+  std::shared_ptr<util::Telemetry> telemetry;
 };
 
 struct PipelineStats {
@@ -55,6 +61,15 @@ using ScriptParams = std::vector<std::pair<std::string, std::string>>;
 /// Renders the per-pass breakdown as an aligned text table (the `-stats`
 /// output of `optimize_blif`, shared by both flows).
 std::string format_pass_table(const PipelineStats& stats);
+
+/// Rebuilds a PipelineStats from telemetry span events (the depth-1
+/// "pass[i]:<name>" spans an AggregateSink collected), inverting the
+/// counter encoding PassManager::run uses when it mirrors PassStats into
+/// the pass span. `format_pass_table(aggregate_pipeline_stats(events))`
+/// therefore reproduces the `-stats` table from a trace alone --
+/// test_telemetry asserts it matches the directly returned stats exactly.
+[[nodiscard]] PipelineStats aggregate_pipeline_stats(
+    const std::vector<util::SpanEvent>& events);
 
 class PassManager {
  public:

@@ -20,6 +20,7 @@
 
 #include "net/network.hpp"
 #include "util/budget.hpp"
+#include "util/telemetry.hpp"
 
 namespace bds::opt {
 
@@ -27,16 +28,16 @@ namespace bds::opt {
 /// size deltas, the optional equivalence checkpoint verdict, and whatever
 /// named counters the pass itself reported through PassContext::count().
 struct PassStats {
-  std::string name;
+  std::string name;  ///< registry key the pass was created under
   std::string args;  ///< formatted argument string, empty if none
 
-  double seconds = 0.0;
-  std::size_t nodes_before = 0;
-  std::size_t nodes_after = 0;
-  unsigned lits_before = 0;
-  unsigned lits_after = 0;
-  unsigned depth_before = 0;
-  unsigned depth_after = 0;
+  double seconds = 0.0;          ///< wall time of the pass body
+  std::size_t nodes_before = 0;  ///< logic nodes entering the pass
+  std::size_t nodes_after = 0;   ///< logic nodes leaving the pass
+  unsigned lits_before = 0;      ///< factored-form literals entering
+  unsigned lits_after = 0;       ///< factored-form literals leaving
+  unsigned depth_before = 0;     ///< network depth entering
+  unsigned depth_after = 0;      ///< network depth leaving
 
   /// Verdict of the per-pass CEC checkpoint (PipelineOptions::check).
   enum class Check {
@@ -58,18 +59,22 @@ struct PassStats {
   Outcome outcome = Outcome::kCompleted;
 
   /// Pass-specific counters in report order (e.g. "eliminated", "merged").
+  /// MANUAL.md's glossary documents every counter and its healthy range.
   std::vector<std::pair<std::string, double>> counters;
 
+  /// Value of the named counter, 0.0 when the pass never reported it.
   [[nodiscard]] double counter(std::string_view key) const {
     for (const auto& [k, v] : counters) {
       if (k == key) return v;
     }
     return 0.0;
   }
+  /// Signed change in logic-node count (negative = the pass shrank it).
   [[nodiscard]] long long node_delta() const {
     return static_cast<long long>(nodes_after) -
            static_cast<long long>(nodes_before);
   }
+  /// Signed change in factored-literal count.
   [[nodiscard]] long long lit_delta() const {
     return static_cast<long long>(lits_after) -
            static_cast<long long>(lits_before);
@@ -126,10 +131,20 @@ class PassContext {
     return budget_;
   }
 
+  /// PassManager internal: the run's telemetry hub (null when telemetry is
+  /// disabled -- the common case, in which spans opened against it are
+  /// inert and free; see util/telemetry.hpp).
+  void set_telemetry(util::Telemetry* telemetry) { telemetry_ = telemetry; }
+  /// The telemetry hub for the running pipeline, or null. A pass opens
+  /// child spans on it (they nest under the manager's pass span) and
+  /// absorbs per-work-item TelemetryRecorders in deterministic order.
+  [[nodiscard]] util::Telemetry* telemetry() const { return telemetry_; }
+
  private:
   std::unordered_map<std::type_index, std::shared_ptr<void>> state_;
   std::vector<std::pair<std::string, double>>* sink_ = nullptr;
   std::shared_ptr<const util::ResourceBudget> budget_;
+  util::Telemetry* telemetry_ = nullptr;
 };
 
 /// One step of an optimization pipeline.

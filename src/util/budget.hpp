@@ -35,18 +35,24 @@
 
 namespace bds::util {
 
+/// A shared, cooperative resource budget consulted from BDD safe points.
+/// See the file comment for the ceiling semantics and threading contract.
 class ResourceBudget {
  public:
   /// How many budget checks elapse between wall-clock reads (syscalls).
   static constexpr std::uint32_t kDeadlineCheckInterval = 1024;
 
+  /// An unlimited budget (every ceiling 0 = off).
   ResourceBudget() = default;
+  /// A budget with node/byte ceilings armed and no deadline.
   ResourceBudget(std::size_t node_limit, std::size_t byte_limit)
       : node_limit_(node_limit), byte_limit_(byte_limit) {}
 
   // ---- ceilings (0 = unlimited; set before the run starts) -----------------
 
+  /// Live-BDD-node ceiling per manager (0 = unlimited).
   std::size_t node_limit() const { return node_limit_; }
+  /// Approximate resident-byte ceiling per manager (0 = unlimited).
   std::size_t byte_limit() const { return byte_limit_; }
   void set_node_limit(std::size_t n) { node_limit_ = n; }
   void set_byte_limit(std::size_t n) { byte_limit_ = n; }
@@ -63,10 +69,13 @@ class ResourceBudget {
     // steady clock that started in the past.
     deadline_ns_.store(ns == 0 ? 1 : ns, std::memory_order_relaxed);
   }
+  /// Disarms the deadline.
   void clear_deadline() { deadline_ns_.store(0, std::memory_order_relaxed); }
+  /// True while a deadline is armed (tripped or not).
   bool has_deadline() const {
     return deadline_ns_.load(std::memory_order_relaxed) != 0;
   }
+  /// True once an armed deadline has passed (non-throwing poll).
   bool expired() const {
     const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
     if (d == 0) return false;
@@ -77,7 +86,9 @@ class ResourceBudget {
 
   // ---- cooperative cancellation --------------------------------------------
 
+  /// Asks every sharer to stop at its next safe point (thread-safe).
   void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  /// True once request_cancel has been called (non-throwing poll).
   bool cancel_requested() const {
     return cancelled_.load(std::memory_order_relaxed);
   }

@@ -54,11 +54,14 @@ class BudgetExceeded : public Error {
     kCancelled,  ///< cooperative cancellation was requested
   };
 
+  /// `what` should name the ceiling and the value that crossed it.
   BudgetExceeded(Resource resource, const std::string& what)
       : Error(what), resource_(resource) {}
 
+  /// Which resource ceiling tripped.
   Resource resource() const { return resource_; }
 
+  /// Short lowercase name of `r` for log lines and CLI diagnostics.
   static const char* resource_name(Resource r) {
     switch (r) {
       case Resource::kNodes:

@@ -1,0 +1,385 @@
+// Structured observability (util/telemetry.hpp): span nesting and the
+// recorder/absorb merge discipline, the bds-trace/v1 JSONL schema against an
+// embedded golden, byte-identical deterministic output at -j 1 vs -j 4
+// (modulo the exec object), counter unification -- ManagerStats deltas via
+// bdd::telemetry_counters and the -stats table rebuilt from a trace via
+// opt::aggregate_pipeline_stats -- and the zero-allocation contract of a
+// disabled (null-recorder) span.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "gen/gen.hpp"
+#include "net/network.hpp"
+#include "opt/manager.hpp"
+#include "util/telemetry.hpp"
+#include "verify/cec.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator: lets DisabledSpanAllocatesNothing prove the
+// inert-span contract. The default operator new[] forwards to operator new
+// (and delete[] to delete), so overriding the scalar forms counts every
+// allocation in the process.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace bds {
+namespace {
+
+using util::AggregateSink;
+using util::JsonlSink;
+using util::SpanEvent;
+using util::Telemetry;
+using util::TelemetryRecorder;
+using util::TelemetrySpan;
+
+// Strips the execution-dependent `,"exec":{...}` object from one JSONL
+// line. The exec object is flat (no nested braces) and always the last
+// field, so the deterministic remainder is everything before it plus the
+// span object's closing brace.
+std::string strip_exec(const std::string& line) {
+  const std::size_t pos = line.find(",\"exec\":{");
+  if (pos == std::string::npos) return line;
+  return line.substr(0, pos) + "}";
+}
+
+std::vector<std::string> strip_exec_lines(const std::string& jsonl) {
+  std::vector<std::string> lines;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(strip_exec(line));
+  return lines;
+}
+
+// ---- Span nesting and recorder mechanics ------------------------------------
+
+TEST(TelemetrySpans, NestedSpansClosedInnermostFirst) {
+  TelemetryRecorder rec;
+  {
+    TelemetrySpan outer = TelemetrySpan::open(&rec, "pipeline");
+    EXPECT_EQ(rec.current_path(), "pipeline");
+    TelemetrySpan mid = TelemetrySpan::open(&rec, "pass[0]:sweep");
+    TelemetrySpan inner = TelemetrySpan::open(&rec, "stage:transfer");
+    EXPECT_EQ(rec.current_path(), "pipeline/pass[0]:sweep/stage:transfer");
+    EXPECT_EQ(rec.next_depth(), 3u);
+    inner.close();
+    mid.close();
+    outer.close();
+  }
+  const std::vector<SpanEvent>& ev = rec.events();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0].name, "stage:transfer");
+  EXPECT_EQ(ev[0].path, "pipeline/pass[0]:sweep/stage:transfer");
+  EXPECT_EQ(ev[0].depth, 2u);
+  EXPECT_EQ(ev[1].name, "pass[0]:sweep");
+  EXPECT_EQ(ev[1].depth, 1u);
+  EXPECT_EQ(ev[2].name, "pipeline");
+  EXPECT_EQ(ev[2].path, "pipeline");
+  EXPECT_EQ(ev[2].depth, 0u);
+}
+
+TEST(TelemetrySpans, ClosingParentForceClosesForgottenChildren) {
+  TelemetryRecorder rec;
+  TelemetrySpan outer = TelemetrySpan::open(&rec, "outer");
+  TelemetrySpan child = TelemetrySpan::open(&rec, "child");
+  TelemetrySpan grandchild = TelemetrySpan::open(&rec, "grandchild");
+  outer.close();  // child and grandchild were never closed explicitly
+  ASSERT_EQ(rec.events().size(), 3u);
+  EXPECT_EQ(rec.events()[0].name, "grandchild");
+  EXPECT_EQ(rec.events()[1].name, "child");
+  EXPECT_EQ(rec.events()[2].name, "outer");
+  EXPECT_FALSE(rec.has_open_span());
+  // The moved-from handles are inert: closing them again is a no-op.
+  child.close();
+  grandchild.close();
+  EXPECT_EQ(rec.events().size(), 3u);
+}
+
+TEST(TelemetrySpans, CountersAccumulateAndSplitIntoExecBucket) {
+  TelemetryRecorder rec;
+  {
+    TelemetrySpan s = TelemetrySpan::open(&rec, "supernode[3]");
+    s.count("dominators", 2.0);
+    s.count("dominators", 3.0);  // accumulates onto the same key
+    s.count("busy_seconds", 0.25);
+    s.count("workers", 4.0);
+    s.count("transfer_ms", 1.0);
+    s.attr("executor", "pool");
+    s.attr("executor", "serial");  // attr replaces, not accumulates
+  }
+  ASSERT_EQ(rec.events().size(), 1u);
+  const SpanEvent& e = rec.events()[0];
+  ASSERT_EQ(e.counters.size(), 1u);
+  EXPECT_EQ(e.counters[0].first, "dominators");
+  EXPECT_DOUBLE_EQ(e.counters[0].second, 5.0);
+  // Everything execution-dependent landed in the exec bucket.
+  ASSERT_EQ(e.exec_counters.size(), 3u);
+  EXPECT_EQ(e.exec_counters[0].first, "busy_seconds");
+  EXPECT_EQ(e.exec_counters[1].first, "workers");
+  EXPECT_EQ(e.exec_counters[2].first, "transfer_ms");
+  ASSERT_EQ(e.exec_attrs.size(), 1u);
+  EXPECT_EQ(e.exec_attrs[0].second, "serial");
+}
+
+TEST(TelemetrySpans, IsExecCounterConvention) {
+  EXPECT_TRUE(util::is_exec_counter("workers"));
+  EXPECT_TRUE(util::is_exec_counter("seconds"));
+  EXPECT_TRUE(util::is_exec_counter("par_seconds_max"));
+  EXPECT_TRUE(util::is_exec_counter("wall_ms"));
+  EXPECT_FALSE(util::is_exec_counter("nodes_before"));
+  EXPECT_FALSE(util::is_exec_counter("ms_estimate"));  // "_ms" suffix only
+  EXPECT_FALSE(util::is_exec_counter("dominators"));
+}
+
+TEST(TelemetrySpans, DetachedRecorderRootsUnderBasePath) {
+  // The parallel-decompose pattern: a worker records into a private
+  // recorder rooted at the parallel stage's path, and the hub absorbs the
+  // buffer afterwards, renumbering seq in absorb order.
+  Telemetry hub("test");
+  auto sink = std::make_shared<AggregateSink>();
+  hub.add_sink(sink);
+
+  TelemetrySpan stage = TelemetrySpan::open(&hub, "stage:parallel");
+  TelemetryRecorder worker(hub.current_path(), hub.next_depth());
+  {
+    TelemetrySpan sn = TelemetrySpan::open(&worker, "supernode[0]");
+    sn.count("inputs", 7.0);
+  }
+  hub.absorb(std::move(worker));
+  stage.close();
+  hub.finish();
+
+  ASSERT_EQ(sink->events().size(), 2u);
+  const SpanEvent& sn = sink->events()[0];
+  EXPECT_EQ(sn.path, "stage:parallel/supernode[0]");
+  EXPECT_EQ(sn.depth, 1u);
+  EXPECT_EQ(sn.seq, 0u);  // absorbed child emitted before the parent closes
+  EXPECT_EQ(sink->events()[1].name, "stage:parallel");
+  EXPECT_EQ(sink->events()[1].seq, 1u);
+}
+
+// ---- JSONL schema golden ----------------------------------------------------
+
+TEST(TelemetryJsonl, SchemaGolden) {
+  std::ostringstream os;
+  Telemetry hub("golden");
+  hub.add_sink(std::make_shared<JsonlSink>(os));
+  {
+    TelemetrySpan pipeline = TelemetrySpan::open(&hub, "pipeline");
+    pipeline.count("passes", 2.0);
+    {
+      TelemetrySpan pass = TelemetrySpan::open(&hub, "pass[0]:sweep");
+      pass.count("nodes_before", 5.0);
+      pass.count("ratio", 1.5);
+      pass.count("seconds", 0.125);  // exec: must not appear in counters
+      pass.attr("args", "-j 4");
+    }
+  }
+  hub.finish();
+
+  const std::vector<std::string> lines = strip_exec_lines(os.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            R"({"v":1,"kind":"run","schema":"bds-trace/v1","label":"golden"})");
+  EXPECT_EQ(lines[1],
+            R"({"v":1,"kind":"span","seq":0,"path":"pipeline/pass[0]:sweep",)"
+            R"("name":"pass[0]:sweep","depth":1,)"
+            R"("counters":{"nodes_before":5,"ratio":1.5}})");
+  EXPECT_EQ(lines[2],
+            R"({"v":1,"kind":"span","seq":1,"path":"pipeline",)"
+            R"("name":"pipeline","depth":0,"counters":{"passes":2}})");
+
+  // The exec object carries wall time and the exec-bucketed fields.
+  std::vector<std::string> raw;
+  std::istringstream in(os.str());
+  for (std::string line; std::getline(in, line);) raw.push_back(line);
+  EXPECT_NE(raw[1].find("\"exec\":{\"wall_ms\":"), std::string::npos);
+  EXPECT_NE(raw[1].find("\"seconds\":0.125"), std::string::npos);
+  EXPECT_NE(raw[1].find("\"args\":\"-j 4\""), std::string::npos);
+}
+
+TEST(TelemetryJsonl, StringsAreEscaped) {
+  std::ostringstream os;
+  Telemetry hub("a\"b\\c\nd");
+  hub.add_sink(std::make_shared<JsonlSink>(os));
+  hub.finish();
+  EXPECT_EQ(os.str(),
+            "{\"v\":1,\"kind\":\"run\",\"schema\":\"bds-trace/v1\","
+            "\"label\":\"a\\\"b\\\\c\\nd\"}\n");
+}
+
+// ---- Determinism across worker counts ---------------------------------------
+
+TEST(TelemetryDeterminism, TraceIsByteIdenticalAcrossJobsModuloExec) {
+  const net::Network input = gen::ripple_adder(16);
+  std::vector<std::string> traces;
+  for (const char* jobs : {"1", "4"}) {
+    opt::ScriptParams params;
+    params.emplace_back("jobs", jobs);
+    opt::PassManager pm = opt::PassManager::from_script("bds", params);
+    net::Network net = input;
+    opt::PipelineOptions popts;
+    std::ostringstream os;
+    auto telemetry = std::make_shared<Telemetry>("bds");
+    telemetry->add_sink(std::make_shared<JsonlSink>(os));
+    popts.telemetry = telemetry;
+    pm.run(net, popts);
+    telemetry->finish();
+    traces.push_back(os.str());
+  }
+  const std::vector<std::string> a = strip_exec_lines(traces[0]);
+  const std::vector<std::string> b = strip_exec_lines(traces[1]);
+  ASSERT_GT(a.size(), 2u);  // run header + at least pipeline and pass spans
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "trace line " << i << " differs between -j 1 "
+                          << "and -j 4";
+  }
+  // Sanity: the raw traces do differ (the pass args encode -j), so the
+  // comparison above is not vacuous.
+  EXPECT_NE(traces[0], traces[1]);
+}
+
+// ---- Counter unification ----------------------------------------------------
+
+TEST(TelemetryCounters, ManagerStatsDeltasViaTelemetryCounters) {
+  bdd::Manager mgr(8);
+  bdd::Bdd f = mgr.one();
+  for (std::uint32_t v = 0; v < 8; ++v) f = f & mgr.var(v);
+  const bdd::ManagerStats before = mgr.stats();
+  bdd::Bdd g = mgr.zero();
+  for (std::uint32_t v = 0; v < 8; ++v) g = g | (mgr.var(v) & !f);
+  const bdd::ManagerStats after = mgr.stats();
+
+  const util::CounterList counters = bdd::telemetry_counters(after, &before);
+  auto value = [&](std::string_view key) -> double {
+    for (const auto& [k, v] : counters) {
+      if (k == key) return v;
+    }
+    ADD_FAILURE() << "missing counter " << key;
+    return -1.0;
+  };
+  // Monotonic counters are reported as deltas against the baseline...
+  EXPECT_EQ(value("cache_lookups"),
+            static_cast<double>(after.cache_lookups - before.cache_lookups));
+  EXPECT_EQ(value("cache_hits"),
+            static_cast<double>(after.cache_hits - before.cache_hits));
+  EXPECT_EQ(value("unique_lookups"),
+            static_cast<double>(after.unique_lookups - before.unique_lookups));
+  EXPECT_EQ(value("gc_runs"),
+            static_cast<double>(after.gc_runs - before.gc_runs));
+  // ...while gauges and watermarks report the current value.
+  EXPECT_EQ(value("live_nodes"), static_cast<double>(after.live_nodes));
+  EXPECT_EQ(value("peak_live_nodes"),
+            static_cast<double>(after.peak_live_nodes));
+  EXPECT_EQ(value("memory_bytes"), static_cast<double>(after.memory_bytes));
+  // Per-op cache counters cover every registered operation.
+  for (std::size_t i = 0; i < bdd::kNumCacheOps; ++i) {
+    const std::string op(bdd::kCacheOpNames[i]);
+    EXPECT_EQ(value("cache_" + op + "_lookups"),
+              static_cast<double>(after.cache_op_lookups[i] -
+                                  before.cache_op_lookups[i]));
+  }
+  // Without a baseline the counters are absolute.
+  const util::CounterList absolute = bdd::telemetry_counters(after);
+  for (const auto& [k, v] : absolute) {
+    if (k == "cache_lookups") {
+      EXPECT_EQ(v, static_cast<double>(after.cache_lookups));
+    }
+  }
+}
+
+TEST(TelemetryCounters, StatsTableRebuiltFromTraceMatchesDirectStats) {
+  const net::Network input = gen::alu(4);
+  net::Network net = input;
+  opt::PassManager pm = opt::PassManager::from_script("bds");
+  opt::PipelineOptions popts;
+  auto telemetry = std::make_shared<Telemetry>("bds");
+  auto aggregate = std::make_shared<AggregateSink>();
+  telemetry->add_sink(aggregate);
+  popts.telemetry = telemetry;
+  const opt::PipelineStats direct = pm.run(net, popts);
+  telemetry->finish();
+
+  const opt::PipelineStats rebuilt =
+      opt::aggregate_pipeline_stats(aggregate->events());
+  ASSERT_EQ(rebuilt.passes.size(), direct.passes.size());
+  for (std::size_t i = 0; i < direct.passes.size(); ++i) {
+    const opt::PassStats& d = direct.passes[i];
+    const opt::PassStats& r = rebuilt.passes[i];
+    EXPECT_EQ(r.name, d.name);
+    EXPECT_EQ(r.args, d.args);
+    EXPECT_EQ(r.nodes_before, d.nodes_before);
+    EXPECT_EQ(r.nodes_after, d.nodes_after);
+    EXPECT_EQ(r.lits_before, d.lits_before);
+    EXPECT_EQ(r.lits_after, d.lits_after);
+    EXPECT_EQ(r.depth_before, d.depth_before);
+    EXPECT_EQ(r.depth_after, d.depth_after);
+    EXPECT_EQ(r.check, d.check);
+    EXPECT_EQ(r.outcome, d.outcome);
+    EXPECT_EQ(r.counters, d.counters) << "pass " << d.name;
+  }
+  EXPECT_EQ(rebuilt.check_failures, direct.check_failures);
+  EXPECT_EQ(rebuilt.degraded_passes, direct.degraded_passes);
+  // The seconds fields travel through the trace as plain doubles (the
+  // AggregateSink keeps SpanEvents in memory, no serialization loss), so
+  // even the rendered -stats table matches byte for byte.
+  EXPECT_EQ(opt::format_pass_table(rebuilt), opt::format_pass_table(direct));
+  // And the optimized network is unaffected by observation.
+  EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, net)));
+}
+
+TEST(TelemetryCounters, ProfileReportsPassesAndHitRates) {
+  net::Network net = gen::alu(4);
+  opt::PassManager pm = opt::PassManager::from_script("bds");
+  opt::PipelineOptions popts;
+  auto telemetry = std::make_shared<Telemetry>("bds");
+  auto aggregate = std::make_shared<AggregateSink>();
+  telemetry->add_sink(aggregate);
+  popts.telemetry = telemetry;
+  pm.run(net, popts);
+  telemetry->finish();
+
+  const std::string profile = aggregate->format_profile();
+  EXPECT_NE(profile.find("top passes by time:"), std::string::npos);
+  EXPECT_NE(profile.find("bds_decompose"), std::string::npos);
+  EXPECT_NE(profile.find("computed-table hit rate by phase:"),
+            std::string::npos);
+  EXPECT_NE(profile.find("degradation events: none"), std::string::npos);
+  EXPECT_GT(aggregate->total("supernodes"), 0.0);
+}
+
+// ---- Zero-allocation contract of disabled telemetry -------------------------
+
+TEST(TelemetryOverhead, DisabledSpanAllocatesNothing) {
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    TelemetrySpan span = TelemetrySpan::open(nullptr, "supernode[0]");
+    span.count("inputs", 12.0);
+    span.attr("executor", "pool");
+    TelemetrySpan moved = std::move(span);
+    moved.close();
+    EXPECT_FALSE(moved.active());
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "an inert span must not allocate";
+}
+
+}  // namespace
+}  // namespace bds
