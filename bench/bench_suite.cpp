@@ -15,7 +15,12 @@
 // pipeline with and without a full Telemetry hub. The family flow numbers
 // themselves are read back from an AggregateSink via
 // aggregate_pipeline_stats, so bench numbers and live `-trace-json` traces
-// come from one code path. Emits one JSON report (default BENCH_pr5.json)
+// come from one code path. A `node_store` section reports the SoA layout's
+// sizeof-derived bytes/node, the unique-table load factor of a
+// representative build, the structural-query speedup normalized against
+// the recorded BENCH_pr2 baseline, and a timed serialize/deserialize
+// round-trip; every family's global forest is round-tripped too and must
+// come back lossless. Emits one JSON report (default BENCH_pr6.json)
 // that CI uploads as an artifact, so manager regressions show up as a diff
 // in the numbers, not an anecdote. `hardware_concurrency` is recorded
 // alongside: parallel speedups are only meaningful where the host actually
@@ -25,7 +30,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <functional>
 #include <iomanip>
 #include <iostream>
@@ -578,6 +585,110 @@ TelemetryBenchResult run_telemetry_bench(int reps) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Node-store section: the layout constants as the compiler sees them, the
+// unique-table density of a representative build, the structural-query
+// speedup normalized against the BENCH_pr2 recorded baseline, and a timed
+// serialize -> deserialize -> re-query round-trip.
+//
+// Cross-PR speedup comparison: both PRs measured current-vs-legacy on their
+// own machine, against the *same* legacy reimplementation above. The ratio
+// of the two speedups therefore cancels the machine and measures only the
+// query implementations -- that ratio is what the >= 1.5x bar applies to.
+
+struct NodeStoreResult {
+  std::string circuit;
+  std::size_t unique_buckets = 0;
+  std::size_t unique_entries = 0;
+  double load_factor = 0.0;
+  double pr2_speedup = 0.0;  ///< recorded BENCH_pr2 microbench speedup
+  bool baseline_found = false;
+  double speedup_vs_pr2 = 0.0;  ///< current speedup / pr2 speedup
+  std::size_t image_bytes = 0;
+  double serialize_seconds = 0.0;
+  double deserialize_seconds = 0.0;
+  bool roundtrip_lossless = false;
+};
+
+// Pulls "microbench"."structural_queries"."speedup" out of a BENCH_pr2.json
+// with a plain string scan (the writer above controls the format; no JSON
+// dependency). Returns 0.0 if the file or the field is missing.
+double read_pr2_speedup() {
+  for (const char* path :
+       {"BENCH_pr2.json", "../BENCH_pr2.json", "../../BENCH_pr2.json"}) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::size_t section = text.find("\"structural_queries\"");
+    if (section == std::string::npos) continue;
+    const std::size_t key = text.find("\"speedup\"", section);
+    if (key == std::string::npos) continue;
+    const std::size_t colon = text.find(':', key);
+    if (colon == std::string::npos) continue;
+    return std::strtod(text.c_str() + colon + 1, nullptr);
+  }
+  return 0.0;
+}
+
+// Serialize `mgr` with `roots`, load the image into a fresh manager, and
+// re-run every structural query on both sides. Returns true iff the
+// round-trip is lossless (sizes, supports and sat counts all agree).
+bool verify_roundtrip(const Manager& mgr, const std::vector<Edge>& roots,
+                      NodeStoreResult* timing = nullptr) {
+  std::stringstream image;
+  Timer ts;
+  mgr.serialize(image, roots);
+  const double ser_s = ts.seconds();
+  Manager loaded;
+  Timer td;
+  const std::vector<Edge> loaded_roots = loaded.deserialize(image);
+  const double de_s = td.seconds();
+  if (timing != nullptr) {
+    timing->image_bytes = image.str().size();
+    timing->serialize_seconds = ser_s;
+    timing->deserialize_seconds = de_s;
+  }
+  if (loaded_roots.size() != roots.size()) return false;
+  if (loaded.num_vars() != mgr.num_vars()) return false;
+  if (!loaded.check_consistency()) return false;
+  const std::uint32_t nvars = mgr.num_vars();
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    // Indices survive the trip verbatim, so the roots must match as Lits,
+    // not merely as functions.
+    if (!(loaded_roots[i] == roots[i])) return false;
+    if (loaded.size(roots[i]) != mgr.size(roots[i])) return false;
+    if (loaded.support(roots[i]) != mgr.support(roots[i])) return false;
+    const double a = mgr.sat_count(roots[i], nvars);
+    const double b = loaded.sat_count(roots[i], nvars);
+    if (std::abs(a - b) > 1e-9 * std::max(std::abs(a), 1.0)) return false;
+  }
+  if (loaded.size(roots) != mgr.size(roots)) return false;
+  return true;
+}
+
+NodeStoreResult run_node_store_bench(const MicrobenchResult& mb) {
+  NodeStoreResult r;
+  constexpr unsigned kAdderBits = 24;
+  const Network net = bds::gen::ripple_adder(kAdderBits);
+  GlobalBuild gb = build_global_bdds(net, 2'000'000);
+  r.circuit = "ripple_adder(" + std::to_string(kAdderBits) + ")";
+  r.unique_buckets = gb.mgr->unique_table_buckets();
+  r.unique_entries = gb.mgr->unique_table_entries();
+  r.load_factor = r.unique_buckets > 0
+                      ? static_cast<double>(r.unique_entries) /
+                            static_cast<double>(r.unique_buckets)
+                      : 0.0;
+  r.pr2_speedup = read_pr2_speedup();
+  r.baseline_found = r.pr2_speedup > 0.0;
+  r.speedup_vs_pr2 = r.baseline_found ? mb.speedup / r.pr2_speedup : 0.0;
+
+  std::vector<Edge> roots;
+  for (const Bdd& f : gb.outputs) roots.push_back(f.edge());
+  r.roundtrip_lossless = verify_roundtrip(*gb.mgr, roots, &r);
+  return r;
+}
+
 void emit_manager_stats(Json& json, const Manager& mgr) {
   const bds::bdd::ManagerStats& ms = mgr.stats();
   json.field("live_nodes", ms.live_nodes);
@@ -607,7 +718,7 @@ void emit_manager_stats(Json& json, const Manager& mgr) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_pr5.json";
+  std::string out_path = "BENCH_pr6.json";
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -643,7 +754,7 @@ int main(int argc, char** argv) {
   Json json(out);
   json.open();
   json.field("schema", "bds-bench/v1");
-  json.field("pr", "pr5");
+  json.field("pr", "pr6");
   json.field("hardware_concurrency", std::thread::hardware_concurrency());
 
   // -- Microbenchmark -------------------------------------------------------
@@ -669,6 +780,52 @@ int main(int argc, char** argv) {
   json.close();
   json.close();
   bool all_ok = mb.results_match;
+
+  // -- Node store: layout, table density, serialization ---------------------
+  std::cout << "== node store ==\n";
+  const NodeStoreResult ns = run_node_store_bench(mb);
+  std::cout << "  store " << bds::bdd::kNodeStoreBytesPerNode
+            << " B/node + refs " << bds::bdd::kNodeRefBytesPerNode
+            << " B/node (sizeof-derived; was 24 hand-maintained)\n"
+            << "  " << ns.circuit << ": unique table " << ns.unique_entries
+            << " entries / " << ns.unique_buckets << " buckets, load "
+            << std::fixed << std::setprecision(2) << ns.load_factor << "\n";
+  if (ns.baseline_found) {
+    std::cout << "  query speedup vs BENCH_pr2 baseline: " << std::fixed
+              << std::setprecision(2) << ns.speedup_vs_pr2 << "x ("
+              << mb.speedup << "x now / " << ns.pr2_speedup
+              << "x recorded)\n";
+  } else {
+    std::cout << "  BENCH_pr2.json not found; speedup-vs-pr2 unavailable\n";
+  }
+  std::cout << "  round-trip " << ns.image_bytes << " B image: serialize "
+            << std::fixed << std::setprecision(3) << ns.serialize_seconds
+            << "s  deserialize " << ns.deserialize_seconds << "s  "
+            << (ns.roundtrip_lossless ? "LOSSLESS" : "LOSSY!") << "\n";
+  json.open("node_store");
+  json.field("store_bytes_per_node", bds::bdd::kNodeStoreBytesPerNode);
+  json.field("ref_bytes_per_node", bds::bdd::kNodeRefBytesPerNode);
+  json.field("scratch_bytes_per_node", bds::bdd::kNodeScratchBytesPerNode);
+  json.field("total_bytes_per_node", bds::bdd::kBytesPerNode);
+  json.field("circuit", ns.circuit);
+  json.field("unique_table_buckets", ns.unique_buckets);
+  json.field("unique_table_entries", ns.unique_entries);
+  json.field("unique_table_load_factor", ns.load_factor);
+  json.field("speedup_current", mb.speedup);
+  json.field("pr2_baseline_found", ns.baseline_found);
+  json.field("pr2_baseline_speedup", ns.pr2_speedup);
+  json.field("speedup_vs_pr2", ns.speedup_vs_pr2);
+  json.open("serialization");
+  json.field("image_bytes", ns.image_bytes);
+  json.field("serialize_seconds", ns.serialize_seconds);
+  json.field("deserialize_seconds", ns.deserialize_seconds);
+  json.field("roundtrip_lossless", ns.roundtrip_lossless);
+  json.close();
+  json.close();
+  if (!ns.roundtrip_lossless) {
+    std::cerr << "bench_suite: serialize round-trip was NOT lossless\n";
+    all_ok = false;
+  }
 
   // -- Serial vs parallel decompose -----------------------------------------
   std::cout << "== parallel decompose (adder forest) ==\n";
@@ -807,8 +964,21 @@ int main(int argc, char** argv) {
     json.field("aborted", gb.aborted);
     if (!gb.aborted) emit_manager_stats(json, *gb.mgr);
     json.close();
+    // Every family's global forest must survive the serialization
+    // round-trip losslessly (the acceptance bar for the image format).
+    bool lossless = false;
+    if (!gb.aborted) {
+      std::vector<Edge> roots;
+      for (const Bdd& f : gb.outputs) roots.push_back(f.edge());
+      lossless = verify_roundtrip(*gb.mgr, roots);
+    }
+    json.field("roundtrip_lossless", lossless);
     json.close();
-    if (gb.aborted) all_ok = false;
+    if (gb.aborted || !lossless) all_ok = false;
+    if (!gb.aborted && !lossless) {
+      std::cerr << "bench_suite: " << fam.name
+                << " serialize round-trip was NOT lossless\n";
+    }
   }
   json.close_list();
   json.close();

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "bdd/bdd.hpp"
 #include "core/bds.hpp"
 #include "map/mapper.hpp"
 #include "net/network.hpp"
@@ -53,11 +54,13 @@ inline FlowMetrics finish(const net::Network& input,
   return m;
 }
 
-// Memory columns compare peak *live BDD nodes* (at 24 bytes per node, the
-// arena entry size including the traversal stamp) -- the quantity the
-// paper's partitioned-vs-global comparison is about, independent of fixed
-// table allocations.
-inline constexpr double kBytesPerNode = 24.0;
+// Memory columns compare peak *live BDD nodes* -- the quantity the paper's
+// partitioned-vs-global comparison is about, independent of fixed table
+// allocations. The per-node byte cost is derived from the store's element
+// types (bdd.hpp), not hand-maintained: its predecessor (a literal 24.0)
+// went stale the moment the node layout changed.
+inline constexpr double kBytesPerNode =
+    static_cast<double>(bdd::kBytesPerNode);
 
 inline FlowMetrics run_bds_flow(const net::Network& input) {
   Timer t;

@@ -1,5 +1,6 @@
-// Manager core: node arena, unique tables, reference counting, GC,
-// structural queries, and inter-manager transfer ("BDD mapping").
+// Manager core: struct-of-arrays node store, mask-based unique subtables,
+// reference counting, GC, structural queries, and inter-manager transfer
+// ("BDD mapping").
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
@@ -67,10 +68,8 @@ util::CounterList telemetry_counters(const ManagerStats& stats,
 }
 
 namespace {
-constexpr std::size_t kInitialBuckets = 16;
-// Computed-table sizing: start small, double while the lookup stream runs
-// hot (cache_maybe_grow), never past the ceiling. Power-of-two throughout.
-constexpr std::size_t kCacheInitialEntries = 1u << 14;
+// Computed-table growth ceiling; the start size and subtable sizing
+// constants live in the class (serialize.cpp needs them too).
 constexpr std::size_t kCacheMaxEntries = 1u << 20;
 
 std::uint64_t cache_hash(std::uint64_t key_lo, std::uint64_t key_hi) {
@@ -81,16 +80,21 @@ std::uint64_t cache_hash(std::uint64_t key_lo, std::uint64_t key_hi) {
 }  // namespace
 
 Manager::Manager(std::uint32_t num_vars) {
-  nodes_.reserve(1024);
-  // Node 0 is the terminal 1.
-  Node terminal;
-  terminal.var = kVarTerminal;
-  terminal.hi = Edge::one();
-  terminal.lo = Edge::one();
-  terminal.ref = 1;  // pinned forever
-  nodes_.push_back(terminal);
+  constexpr std::size_t kReserve = 1024;
+  vars_.reserve(kReserve);
+  thens_.reserve(kReserve);
+  elses_.reserve(kReserve);
+  nexts_.reserve(kReserve);
+  refs_.reserve(kReserve);
+  // Slot 0 is the terminal 1, pinned forever.
+  vars_.push_back(kVarTerminal);
+  thens_.push_back(Edge::one());
+  elses_.push_back(Edge::one());
+  nexts_.push_back(kNil);
+  refs_.push_back(1);
   stats_.live_nodes = 1;
   stats_.peak_live_nodes = 1;
+  stats_.allocated_nodes = 1;
   cache_.resize(kCacheInitialEntries);
   stats_.cache_entries = cache_.size();
   ensure_vars(num_vars);
@@ -104,6 +108,7 @@ Var Manager::new_var() {
   level2var_.push_back(v);
   Subtable st;
   st.buckets.assign(kInitialBuckets, kNil);
+  st.mask = kInitialBuckets - 1;
   subtable_bucket_bytes_ += kInitialBuckets * sizeof(std::uint32_t);
   subtables_.push_back(std::move(st));
   return v;
@@ -114,7 +119,7 @@ void Manager::ensure_vars(std::uint32_t n) {
 }
 
 std::uint32_t Manager::edge_level(Edge e) const {
-  const Var v = nodes_[e.node()].var;
+  const Var v = vars_[e.node()];
   return v == kVarTerminal ? kLevelTerminal : var2level_[v];
 }
 
@@ -136,12 +141,13 @@ Bdd Manager::wrap(Edge e) { return Bdd(*this, e); }
 
 // ----- unique table ----------------------------------------------------------
 
-std::size_t Manager::hash_triple(Var v, Edge hi, Edge lo, std::size_t buckets) {
+std::uint32_t Manager::hash_triple(Var v, Edge hi, Edge lo,
+                                   std::uint32_t mask) {
   std::uint64_t h = (static_cast<std::uint64_t>(hi.bits()) << 32) | lo.bits();
   h ^= static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
   h *= 0xff51afd7ed558ccdULL;
   h ^= h >> 33;
-  return static_cast<std::size_t>(h) & (buckets - 1);
+  return static_cast<std::uint32_t>(h) & mask;
 }
 
 std::uint32_t Manager::alloc_node(Var v, Edge hi, Edge lo) {
@@ -150,16 +156,19 @@ std::uint32_t Manager::alloc_node(Var v, Edge hi, Edge lo) {
     idx = free_list_.back();
     free_list_.pop_back();
   } else {
-    idx = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.emplace_back();
-    stats_.allocated_nodes = nodes_.size();
+    idx = arena_size();
+    vars_.emplace_back();
+    thens_.emplace_back();
+    elses_.emplace_back();
+    nexts_.emplace_back();
+    refs_.emplace_back();
+    stats_.allocated_nodes = vars_.size();
   }
-  Node& n = nodes_[idx];
-  n.var = v;
-  n.hi = hi;
-  n.lo = lo;
-  n.next = kNil;
-  n.ref = 0;
+  vars_[idx] = v;
+  thens_[idx] = hi;
+  elses_[idx] = lo;
+  nexts_[idx] = kNil;
+  refs_[idx] = 0;
   // The node holds references to its children for its whole lifetime.
   ref(hi);
   ref(lo);
@@ -167,22 +176,22 @@ std::uint32_t Manager::alloc_node(Var v, Edge hi, Edge lo) {
 }
 
 void Manager::free_node(std::uint32_t idx) {
-  Node& n = nodes_[idx];
-  n.var = kVarTerminal;
-  n.next = kNil;
+  vars_[idx] = kVarTerminal;
+  nexts_[idx] = kNil;
   free_list_.push_back(idx);
 }
 
 void Manager::grow_subtable(Subtable& st) {
   std::vector<std::uint32_t> old = std::move(st.buckets);
   st.buckets.assign(old.size() * 2, kNil);
+  st.mask = static_cast<std::uint32_t>(st.buckets.size()) - 1;
   subtable_bucket_bytes_ += old.size() * sizeof(std::uint32_t);
   for (std::uint32_t head : old) {
     while (head != kNil) {
-      Node& n = nodes_[head];
-      const std::uint32_t next = n.next;
-      const std::size_t b = hash_triple(n.var, n.hi, n.lo, st.buckets.size());
-      n.next = st.buckets[b];
+      const std::uint32_t next = nexts_[head];
+      const std::uint32_t b =
+          hash_triple(vars_[head], thens_[head], elses_[head], st.mask);
+      nexts_[head] = st.buckets[b];
       st.buckets[b] = head;
       head = next;
     }
@@ -190,26 +199,26 @@ void Manager::grow_subtable(Subtable& st) {
 }
 
 void Manager::unique_insert(std::uint32_t idx) {
-  Node& n = nodes_[idx];
-  Subtable& st = subtables_[n.var];
+  Subtable& st = subtables_[vars_[idx]];
   if (st.count + 1 > st.buckets.size() * 4) grow_subtable(st);
-  const std::size_t b = hash_triple(n.var, n.hi, n.lo, st.buckets.size());
-  n.next = st.buckets[b];
+  const std::uint32_t b =
+      hash_triple(vars_[idx], thens_[idx], elses_[idx], st.mask);
+  nexts_[idx] = st.buckets[b];
   st.buckets[b] = idx;
   ++st.count;
 }
 
 void Manager::unique_remove(std::uint32_t idx) {
-  Node& n = nodes_[idx];
-  Subtable& st = subtables_[n.var];
-  const std::size_t b = hash_triple(n.var, n.hi, n.lo, st.buckets.size());
+  Subtable& st = subtables_[vars_[idx]];
+  const std::uint32_t b =
+      hash_triple(vars_[idx], thens_[idx], elses_[idx], st.mask);
   std::uint32_t* link = &st.buckets[b];
   while (*link != idx) {
     assert(*link != kNil && "node missing from unique table");
-    link = &nodes_[*link].next;
+    link = &nexts_[*link];
   }
-  *link = n.next;
-  n.next = kNil;
+  *link = nexts_[idx];
+  nexts_[idx] = kNil;
   --st.count;
 }
 
@@ -225,11 +234,10 @@ Edge Manager::mk(Var v, Edge hi, Edge lo) {
     lo = !lo;
   }
   ++stats_.unique_lookups;
-  Subtable& st = subtables_[v];
-  const std::size_t b = hash_triple(v, hi, lo, st.buckets.size());
-  for (std::uint32_t i = st.buckets[b]; i != kNil; i = nodes_[i].next) {
-    const Node& n = nodes_[i];
-    if (n.hi == hi && n.lo == lo) {
+  const Subtable& st = subtables_[v];
+  const std::uint32_t b = hash_triple(v, hi, lo, st.mask);
+  for (std::uint32_t i = st.buckets[b]; i != kNil; i = nexts_[i]) {
+    if (thens_[i] == hi && elses_[i] == lo) {
       return Edge(i, out_complement);
     }
   }
@@ -241,19 +249,19 @@ Edge Manager::mk(Var v, Edge hi, Edge lo) {
 // ----- reference counting / GC ----------------------------------------------
 
 void Manager::ref(Edge e) {
-  Node& n = nodes_[e.node()];
-  if (n.ref == 0xffffffffu) return;  // saturated
-  if (n.ref++ == 0) {
+  std::uint16_t& r = refs_[e.node()];
+  if (r == kRefSaturated) return;  // pinned
+  if (r++ == 0) {
     ++stats_.live_nodes;
     stats_.peak_live_nodes = std::max(stats_.peak_live_nodes, stats_.live_nodes);
   }
 }
 
 void Manager::deref(Edge e) {
-  Node& n = nodes_[e.node()];
-  if (n.ref == 0xffffffffu) return;
-  assert(n.ref > 0 && "deref of dead node");
-  if (--n.ref == 0) --stats_.live_nodes;
+  std::uint16_t& r = refs_[e.node()];
+  if (r == kRefSaturated) return;
+  assert(r > 0 && "deref of dead node");
+  if (--r == 0) --stats_.live_nodes;
 }
 
 void Manager::gc() {
@@ -262,24 +270,25 @@ void Manager::gc() {
   // fixed point. A worklist seeded from all currently-dead nodes suffices
   // because deref() on a child only ever transitions live -> dead here.
   std::vector<std::uint32_t> dead;
-  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    if (nodes_[i].var != kVarTerminal && nodes_[i].ref == 0) dead.push_back(i);
+  for (std::uint32_t i = 1; i < arena_size(); ++i) {
+    if (vars_[i] != kVarTerminal && refs_[i] == 0) dead.push_back(i);
   }
   std::size_t freed = 0;
   while (!dead.empty()) {
     const std::uint32_t idx = dead.back();
     dead.pop_back();
-    Node& n = nodes_[idx];
-    if (n.var == kVarTerminal || n.ref != 0) continue;  // already freed/revived
-    const Edge hi = n.hi;
-    const Edge lo = n.lo;
+    if (vars_[idx] == kVarTerminal || refs_[idx] != 0) {
+      continue;  // already freed/revived
+    }
+    const Edge hi = thens_[idx];
+    const Edge lo = elses_[idx];
     unique_remove(idx);
     free_node(idx);
     ++freed;
     deref(hi);
     deref(lo);
-    if (!hi.is_constant() && nodes_[hi.node()].ref == 0) dead.push_back(hi.node());
-    if (!lo.is_constant() && nodes_[lo.node()].ref == 0) dead.push_back(lo.node());
+    if (!hi.is_constant() && refs_[hi.node()] == 0) dead.push_back(hi.node());
+    if (!lo.is_constant() && refs_[lo.node()] == 0) dead.push_back(lo.node());
   }
   // Evict only the computed-table entries that reference reclaimed nodes;
   // hot results over the surviving graph stay warm across collections.
@@ -288,12 +297,12 @@ void Manager::gc() {
 }
 
 void Manager::maybe_gc() {
-  const std::size_t in_tables = nodes_.size() - free_list_.size();
+  const std::size_t in_tables = arena_size() - free_list_.size();
   if (in_tables > gc_threshold_ && in_tables > stats_.live_nodes * 2) {
     gc();
     // If the arena is still mostly live, raise the bar to avoid thrashing.
-    if (nodes_.size() - free_list_.size() > gc_threshold_) {
-      gc_threshold_ = (nodes_.size() - free_list_.size()) * 2;
+    if (arena_size() - free_list_.size() > gc_threshold_) {
+      gc_threshold_ = (arena_size() - free_list_.size()) * 2;
     }
   }
   update_memory_stats();
@@ -320,11 +329,14 @@ void Manager::update_memory_stats() {
   // not walk the subtables: with n variables that turns every op into O(n)
   // and long operation streams quadratic. The bucket footprint is tracked
   // incrementally at the two sites that allocate buckets (new_var,
-  // grow_subtable) instead.
-  const std::size_t bytes = nodes_.capacity() * sizeof(Node) +
-                            free_list_.capacity() * sizeof(std::uint32_t) +
-                            cache_.capacity() * sizeof(CacheEntry) +
-                            subtable_bucket_bytes_;
+  // grow_subtable) instead. The SoA arrays grow in lockstep, so their
+  // footprint is one capacity times the per-slot constants plus the
+  // demand-grown traversal scratch.
+  const std::size_t bytes =
+      vars_.capacity() * (kNodeStoreBytesPerNode + kNodeRefBytesPerNode) +
+      visits_.capacity() * kNodeScratchBytesPerNode +
+      free_list_.capacity() * sizeof(std::uint32_t) +
+      cache_.capacity() * sizeof(CacheEntry) + subtable_bucket_bytes_;
   stats_.memory_bytes = bytes;
   stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, bytes);
 }
@@ -401,14 +413,13 @@ bool Manager::node_is_free(std::uint32_t idx) const {
   // pinned terminal. Indices past the arena cannot name a live node either
   // (they come from Var-encoded cache keys, which this check may treat as
   // node references -- a conservative eviction, never an unsafe keep).
-  return idx != 0 &&
-         (idx >= nodes_.size() || nodes_[idx].var == kVarTerminal);
+  return idx != 0 && (idx >= arena_size() || vars_[idx] == kVarTerminal);
 }
 
 void Manager::cache_invalidate_dead() {
   for (CacheEntry& e : cache_) {
     if (e.key_lo == ~0ULL && e.key_hi == ~0ULL) continue;
-    // Keys pack (op, f) and (g, h); edge bits hold the node index << 1.
+    // Keys pack (op, f) and (g, h); each Lit holds the node index << 1.
     const auto f = static_cast<std::uint32_t>(e.key_lo) >> 1;
     const auto g = static_cast<std::uint32_t>(e.key_hi >> 32) >> 1;
     const auto h = static_cast<std::uint32_t>(e.key_hi) >> 1;
@@ -422,10 +433,10 @@ void Manager::cache_invalidate_dead() {
 
 // ----- structural queries ------------------------------------------------------
 
-Var Manager::top_var(Edge e) const { return nodes_[e.node()].var; }
+Var Manager::top_var(Edge e) const { return vars_[e.node()]; }
 
-Edge Manager::hi_of(Edge e) const { return nodes_[e.node()].hi ^ e.complemented(); }
-Edge Manager::lo_of(Edge e) const { return nodes_[e.node()].lo ^ e.complemented(); }
+Edge Manager::hi_of(Edge e) const { return thens_[e.node()] ^ e.complemented(); }
+Edge Manager::lo_of(Edge e) const { return elses_[e.node()] ^ e.complemented(); }
 
 Edge Manager::cofactor(Edge f, Var v, bool value) {
   // Cofactor by composing with a constant; cheap dedicated recursion.
@@ -437,10 +448,14 @@ Edge Manager::cofactor(Edge f, Var v, bool value) {
 
 std::uint32_t Manager::begin_visit() const {
   // A node is "seen" in the current traversal iff its stamp equals the
-  // epoch; bumping the epoch unmarks every node at once. On the (rare)
-  // 32-bit wrap, reset all stamps so stale marks cannot alias.
+  // epoch; bumping the epoch unmarks every node at once. The stamp array is
+  // demand-grown here (new slots start at 0, which can never equal a live
+  // epoch). On the (rare) 32-bit wrap, reset all stamps so stale marks
+  // cannot alias.
+  if (visits_.size() < vars_.size()) visits_.resize(vars_.size(), 0);
   if (++visit_epoch_ == 0) {
-    for (const Node& n : nodes_) n.visit = 0;
+    std::fill(visits_.begin(), visits_.end(), 0);
+    std::fill(var_visit_.begin(), var_visit_.end(), 0);
     visit_epoch_ = 1;
   }
   return visit_epoch_;
@@ -449,25 +464,34 @@ std::uint32_t Manager::begin_visit() const {
 std::size_t Manager::count_nodes(Edge e, std::uint32_t epoch) const {
   // Stamped DFS; cost is proportional to the function's size, not the
   // arena's (eliminate calls this in a tight loop on large managers), and
-  // no per-call containers are allocated.
+  // no per-call containers are allocated. Hot loads go through raw array
+  // pointers: only thens_/elses_/visits_ are touched per node.
   std::size_t n = 0;
+  const Edge* thens = thens_.data();
+  const Edge* elses = elses_.data();
+  std::uint32_t* visits = visits_.data();
   std::vector<std::uint32_t>& stack = visit_stack_;
   stack.clear();
   const std::uint32_t root = e.node();
-  if (nodes_[root].visit != epoch) {
-    nodes_[root].visit = epoch;
+  if (visits[root] != epoch) {
+    visits[root] = epoch;
     ++n;
     if (root != 0) stack.push_back(root);
   }
   while (!stack.empty()) {
     const std::uint32_t idx = stack.back();
     stack.pop_back();
-    for (const Edge child : {nodes_[idx].hi, nodes_[idx].lo}) {
-      const std::uint32_t c = child.node();
-      if (nodes_[c].visit == epoch) continue;
-      nodes_[c].visit = epoch;
+    const std::uint32_t hi = thens[idx].node();
+    const std::uint32_t lo = elses[idx].node();
+    if (visits[hi] != epoch) {
+      visits[hi] = epoch;
       ++n;
-      if (c != 0) stack.push_back(c);
+      if (hi != 0) stack.push_back(hi);
+    }
+    if (visits[lo] != epoch) {
+      visits[lo] = epoch;
+      ++n;
+      if (lo != 0) stack.push_back(lo);
     }
   }
   return n;
@@ -486,28 +510,44 @@ std::size_t Manager::size(const std::vector<Edge>& roots) const {
 
 std::vector<Var> Manager::support(Edge e) const {
   const std::uint32_t epoch = begin_visit();
+  // Per-var stamps dedupe variables during the walk, so the result holds
+  // one entry per support variable (not per node) and the final sort is
+  // over the support, which is tiny next to the node count.
+  var_visit_.resize(var2level_.size(), 0);
+  const Edge* thens = thens_.data();
+  const Edge* elses = elses_.data();
+  const Var* vars = vars_.data();
+  std::uint32_t* visits = visits_.data();
+  std::uint32_t* var_seen = var_visit_.data();
   std::vector<std::uint32_t>& stack = visit_stack_;
   stack.clear();
   std::vector<Var> result;
-  nodes_[0].visit = epoch;  // never record the terminal
+  visits[0] = epoch;  // never record the terminal
   const std::uint32_t root = e.node();
-  if (nodes_[root].visit != epoch) {
-    nodes_[root].visit = epoch;
+  if (visits[root] != epoch) {
+    visits[root] = epoch;
     stack.push_back(root);
   }
   while (!stack.empty()) {
     const std::uint32_t idx = stack.back();
     stack.pop_back();
-    result.push_back(nodes_[idx].var);
-    for (const Edge child : {nodes_[idx].hi, nodes_[idx].lo}) {
-      const std::uint32_t c = child.node();
-      if (nodes_[c].visit == epoch) continue;
-      nodes_[c].visit = epoch;
-      stack.push_back(c);
+    const Var v = vars[idx];
+    if (var_seen[v] != epoch) {
+      var_seen[v] = epoch;
+      result.push_back(v);
+    }
+    const std::uint32_t hi = thens[idx].node();
+    const std::uint32_t lo = elses[idx].node();
+    if (visits[hi] != epoch) {
+      visits[hi] = epoch;
+      stack.push_back(hi);
+    }
+    if (visits[lo] != epoch) {
+      visits[lo] = epoch;
+      stack.push_back(lo);
     }
   }
   std::sort(result.begin(), result.end());
-  result.erase(std::unique(result.begin(), result.end()), result.end());
   return result;
 }
 
@@ -540,51 +580,105 @@ ScaledDensity complement1(ScaledDensity d) {
   if (d.m == 0.0 || d.e < -60) return {0.5, 1};
   return normalize(1.0 - std::ldexp(d.m, d.e), 0);
 }
+
+// Post-order DFS marker: node indices occupy at most 31 bits (a Lit packs
+// index << 1 | complement in 32), so the stack reuses the top bit to tag
+// "children done, compute this node" entries.
+constexpr std::uint32_t kComputeBit = 0x80000000u;
 }  // namespace
 
-double Manager::sat_count(Edge e, std::uint32_t nvars) const {
-  // Fraction of the Boolean space mapped to 1, memoized per regular node in
-  // scaled form; the final count is one ldexp, not nvars doublings.
+double Manager::sat_count_plain(Edge e, std::uint32_t nvars) const {
+  // Same post-order as the scaled path below, with per-node densities as
+  // plain doubles: every density is >= 2^-nvars, so for small supports no
+  // normalization is needed and the frexp/ldexp per node disappears.
   const std::uint32_t epoch = begin_visit();
-  scratch_mant_.resize(nodes_.size());
-  scratch_exp_.resize(nodes_.size());
-  nodes_[0].visit = epoch;
-  scratch_mant_[0] = 0.5;  // terminal 1: density 1.0
-  scratch_exp_[0] = 1;
+  scratch_mant_.resize(vars_.size());
+  const Edge* thens = thens_.data();
+  const Edge* elses = elses_.data();
+  std::uint32_t* visits = visits_.data();
+  double* dens = scratch_mant_.data();
+  visits[0] = epoch;
+  dens[0] = 1.0;
   const std::uint32_t root = e.regular().node();
+  const auto read = [&](Edge c) {
+    const double d = dens[c.node()];
+    return c.complemented() ? 1.0 - d : d;
+  };
   std::vector<std::uint32_t>& stack = visit_stack_;
   stack.clear();
-  if (nodes_[root].visit != epoch) stack.push_back(root);
-  // Post-order over stamps: a node is computed once both children carry the
-  // current epoch; until then it stays on the stack below them.
+  if (visits[root] != epoch) stack.push_back(root);
   while (!stack.empty()) {
-    const std::uint32_t idx = stack.back();
-    if (nodes_[idx].visit == epoch) {  // finished via another path
-      stack.pop_back();
+    const std::uint32_t entry = stack.back();
+    stack.pop_back();
+    const std::uint32_t idx = entry & ~kComputeBit;
+    if ((entry & kComputeBit) != 0) {
+      dens[idx] = 0.5 * (read(thens[idx]) + read(elses[idx]));
       continue;
     }
-    const Node& n = nodes_[idx];
-    bool ready = true;
-    if (nodes_[n.hi.node()].visit != epoch) {
-      stack.push_back(n.hi.node());
-      ready = false;
-    }
-    if (nodes_[n.lo.node()].visit != epoch) {
-      stack.push_back(n.lo.node());
-      ready = false;
-    }
-    if (!ready) continue;
-    const auto read = [&](Edge c) {
-      const ScaledDensity d{scratch_mant_[c.node()], scratch_exp_[c.node()]};
-      return c.complemented() ? complement1(d) : d;
-    };
-    const ScaledDensity d = half_sum(read(n.hi), read(n.lo));
-    scratch_mant_[idx] = d.m;
-    scratch_exp_[idx] = d.e;
-    n.visit = epoch;
-    stack.pop_back();
+    if (visits[idx] == epoch) continue;  // discovered via another path
+    visits[idx] = epoch;
+    stack.push_back(idx | kComputeBit);
+    const std::uint32_t hi = thens[idx].node();
+    const std::uint32_t lo = elses[idx].node();
+    if (visits[hi] != epoch) stack.push_back(hi);
+    if (visits[lo] != epoch) stack.push_back(lo);
   }
-  ScaledDensity frac{scratch_mant_[root], scratch_exp_[root]};
+  const double frac = e.complemented() ? 1.0 - dens[root] : dens[root];
+  return std::ldexp(frac, static_cast<std::int32_t>(nvars));
+}
+
+double Manager::sat_count(Edge e, std::uint32_t nvars) const {
+  // Fraction of the Boolean space mapped to 1, memoized per regular node.
+  // Densities live in [2^-nvars, 1]: up to ~1000 variables that range
+  // cannot underflow a plain double (min normal 2^-1022) and the fast path
+  // applies; wider supports take the scaled mantissa/exponent path, whose
+  // final count is one ldexp, not nvars doublings.
+  if (nvars <= 1000) return sat_count_plain(e, nvars);
+  //
+  // Post-order via compute markers: discovering a node stamps it and pushes
+  // a marked copy below its (unstamped) children, so each node is popped at
+  // most twice -- once to expand, once to compute. A previously-stamped
+  // child is always computed before any later parent's marker pops: the
+  // levels are strictly decreasing along edges, so a stamped child's own
+  // marker can never sit below a parent discovered later.
+  const std::uint32_t epoch = begin_visit();
+  scratch_mant_.resize(vars_.size());
+  scratch_exp_.resize(vars_.size());
+  const Edge* thens = thens_.data();
+  const Edge* elses = elses_.data();
+  std::uint32_t* visits = visits_.data();
+  double* mant = scratch_mant_.data();
+  std::int32_t* expo = scratch_exp_.data();
+  visits[0] = epoch;
+  mant[0] = 0.5;  // terminal 1: density 1.0
+  expo[0] = 1;
+  const std::uint32_t root = e.regular().node();
+  const auto read = [&](Edge c) {
+    const ScaledDensity d{mant[c.node()], expo[c.node()]};
+    return c.complemented() ? complement1(d) : d;
+  };
+  std::vector<std::uint32_t>& stack = visit_stack_;
+  stack.clear();
+  if (visits[root] != epoch) stack.push_back(root);
+  while (!stack.empty()) {
+    const std::uint32_t entry = stack.back();
+    stack.pop_back();
+    const std::uint32_t idx = entry & ~kComputeBit;
+    if ((entry & kComputeBit) != 0) {
+      const ScaledDensity d = half_sum(read(thens[idx]), read(elses[idx]));
+      mant[idx] = d.m;
+      expo[idx] = d.e;
+      continue;
+    }
+    if (visits[idx] == epoch) continue;  // discovered via another path
+    visits[idx] = epoch;
+    stack.push_back(idx | kComputeBit);
+    const std::uint32_t hi = thens[idx].node();
+    const std::uint32_t lo = elses[idx].node();
+    if (visits[hi] != epoch) stack.push_back(hi);
+    if (visits[lo] != epoch) stack.push_back(lo);
+  }
+  ScaledDensity frac{mant[root], expo[root]};
   if (e.complemented()) frac = complement1(frac);
   return std::ldexp(frac.m, frac.e + static_cast<std::int32_t>(nvars));
 }
@@ -593,9 +687,8 @@ bool Manager::eval(Edge e, const std::vector<bool>& assignment) const {
   bool phase = e.complemented();
   std::uint32_t idx = e.node();
   while (idx != 0) {
-    const Node& n = nodes_[idx];
-    assert(n.var < assignment.size());
-    const Edge next = assignment[n.var] ? n.hi : n.lo;
+    assert(vars_[idx] < assignment.size());
+    const Edge next = assignment[vars_[idx]] ? thens_[idx] : elses_[idx];
     phase ^= next.complemented();
     idx = next.node();
   }
@@ -608,43 +701,44 @@ Edge Manager::transfer_to(Manager& dst, Edge e,
                           const std::vector<Var>& var_map) const {
   assert(&dst != this && "transfer_to needs a distinct destination manager");
   if (e.is_constant()) return e;
-  // Stamped post-order with the per-node memo in scratch_edge_ (this-node ->
-  // dst regular edge); no recursion, so arbitrarily deep chains transfer.
-  // No GC can run in dst because only raw operations are used here.
+  // Stamped post-order (same compute-marker scheme as sat_count) with the
+  // per-node memo in scratch_edge_ (this-node -> dst regular edge); no
+  // recursion, so arbitrarily deep chains transfer. No GC can run in dst
+  // because only raw operations are used here. All node identity here is
+  // index-based: the memo is indexed by this manager's node index, and dst
+  // literals are compared as values, never as addresses.
   const std::uint32_t epoch = begin_visit();
-  scratch_edge_.resize(nodes_.size());
-  nodes_[0].visit = epoch;
+  scratch_edge_.resize(vars_.size());
+  std::uint32_t* visits = visits_.data();
+  visits[0] = epoch;
   scratch_edge_[0] = Edge::one();
   const std::uint32_t root = e.regular().node();
   std::vector<std::uint32_t>& stack = visit_stack_;
   stack.clear();
-  stack.push_back(root);
+  if (visits[root] != epoch) stack.push_back(root);
   while (!stack.empty()) {
-    const std::uint32_t idx = stack.back();
-    if (nodes_[idx].visit == epoch) {
-      stack.pop_back();
+    const std::uint32_t entry = stack.back();
+    stack.pop_back();
+    const std::uint32_t idx = entry & ~kComputeBit;
+    if ((entry & kComputeBit) != 0) {
+      const Edge nhi = thens_[idx];
+      const Edge nlo = elses_[idx];
+      const Edge hi = scratch_edge_[nhi.node()] ^ nhi.complemented();
+      const Edge lo = scratch_edge_[nlo.node()] ^ nlo.complemented();
+      assert(vars_[idx] < var_map.size());
+      // The map may reorder variables relative to dst's order, so rebuild
+      // through ITE (Shannon expansion) rather than raw mk.
+      const Edge v = dst.mk(var_map[vars_[idx]], Edge::one(), Edge::zero());
+      scratch_edge_[idx] = dst.ite(v, hi, lo);
       continue;
     }
-    const Node& n = nodes_[idx];
-    bool ready = true;
-    if (nodes_[n.hi.node()].visit != epoch) {
-      stack.push_back(n.hi.node());
-      ready = false;
-    }
-    if (nodes_[n.lo.node()].visit != epoch) {
-      stack.push_back(n.lo.node());
-      ready = false;
-    }
-    if (!ready) continue;
-    const Edge hi = scratch_edge_[n.hi.node()] ^ n.hi.complemented();
-    const Edge lo = scratch_edge_[n.lo.node()] ^ n.lo.complemented();
-    assert(n.var < var_map.size());
-    // The map may reorder variables relative to dst's order, so rebuild
-    // through ITE (Shannon expansion) rather than raw mk.
-    const Edge v = dst.mk(var_map[n.var], Edge::one(), Edge::zero());
-    scratch_edge_[idx] = dst.ite(v, hi, lo);
-    n.visit = epoch;
-    stack.pop_back();
+    if (visits[idx] == epoch) continue;
+    visits[idx] = epoch;
+    stack.push_back(idx | kComputeBit);
+    const std::uint32_t hi = thens_[idx].node();
+    const std::uint32_t lo = elses_[idx].node();
+    if (visits[hi] != epoch) stack.push_back(hi);
+    if (visits[lo] != epoch) stack.push_back(lo);
   }
   return scratch_edge_[root] ^ e.complemented();
 }
@@ -656,30 +750,47 @@ bool Manager::check_consistency() const {
   std::size_t chained = 0;
   for (Var v = 0; v < num_vars(); ++v) {
     const Subtable& st = subtables_[v];
+    if (st.mask != st.buckets.size() - 1) return false;
     std::size_t in_table = 0;
-    for (std::size_t b = 0; b < st.buckets.size(); ++b) {
-      for (std::uint32_t i = st.buckets[b]; i != kNil; i = nodes_[i].next) {
-        const Node& n = nodes_[i];
-        if (n.var != v) return false;
-        if (n.hi.complemented()) return false;
-        if (n.hi == n.lo) return false;
-        if (edge_level(n.hi) <= var2level_[v]) return false;
-        if (edge_level(n.lo) <= var2level_[v]) return false;
-        if (hash_triple(v, n.hi, n.lo, st.buckets.size()) != b) return false;
+    for (std::uint32_t b = 0; b < st.buckets.size(); ++b) {
+      for (std::uint32_t i = st.buckets[b]; i != kNil; i = nexts_[i]) {
+        if (vars_[i] != v) return false;
+        if (thens_[i].complemented()) return false;
+        if (thens_[i] == elses_[i]) return false;
+        if (edge_level(thens_[i]) <= var2level_[v]) return false;
+        if (edge_level(elses_[i]) <= var2level_[v]) return false;
+        if (hash_triple(v, thens_[i], elses_[i], st.mask) != b) return false;
         ++in_table;
       }
     }
     if (in_table != st.count) return false;
     chained += in_table;
   }
-  // Arena bookkeeping: every non-free node is chained.
-  const std::size_t in_arena = nodes_.size() - 1 - free_list_.size();
+  // Arena bookkeeping: the SoA arrays stay in lockstep, and every non-free
+  // node is chained.
+  if (thens_.size() != vars_.size() || elses_.size() != vars_.size() ||
+      nexts_.size() != vars_.size() || refs_.size() != vars_.size()) {
+    return false;
+  }
+  const std::size_t in_arena = arena_size() - 1 - free_list_.size();
   if (chained != in_arena) return false;
   // Level maps are inverse permutations.
   for (Var v = 0; v < num_vars(); ++v) {
     if (level2var_[var2level_[v]] != v) return false;
   }
   return true;
+}
+
+std::size_t Manager::unique_table_buckets() const {
+  std::size_t buckets = 0;
+  for (const Subtable& st : subtables_) buckets += st.buckets.size();
+  return buckets;
+}
+
+std::size_t Manager::unique_table_entries() const {
+  std::size_t entries = 0;
+  for (const Subtable& st : subtables_) entries += st.count;
+  return entries;
 }
 
 }  // namespace bds::bdd

@@ -2,25 +2,37 @@
 //
 // This is the substrate the BDS decomposition engine is built on; it plays
 // the role CUDD played for the original system. Design follows the classic
-// Brace–Rudell–Bryant package:
+// Brace–Rudell–Bryant package over an index-based struct-of-arrays store
+// (the ABC "NewBdd" layout):
 //
-//  * Nodes live in a single arena (`std::vector<Node>`) addressed by 32-bit
-//    indices; an `Edge` is a node index plus a complement bit.
-//  * Canonical form: the 1-edge (`hi`) of every node is a regular
+//  * Nodes are 32-bit indices into parallel arrays (`vars_` / `thens_` /
+//    `elses_` / `nexts_`, plus a 16-bit `refs_` side array); a `Lit` is the
+//    raw 32-bit literal `(node_index << 1) | complement`, and `Edge` is its
+//    typed wrapper. There are no per-node heap objects and no pointers:
+//    node identity is the index, which is stable across GC and reordering.
+//  * Canonical form: the 1-edge (`then`) of every node is a regular
 //    (non-complemented) edge; complement is pushed onto incoming edges.
 //    There is a single terminal node representing constant 1; constant 0 is
 //    its complement edge.
-//  * A per-variable unique table guarantees structural canonicity and makes
+//  * A mask-based per-variable unique subtable (power-of-two buckets,
+//    `hash & mask`) guarantees structural canonicity and makes
 //    Rudell-style in-place adjacent-variable swap (and hence sifting
 //    reordering) possible.
-//  * A lossy computed table caches ITE/restrict/compose results. It is
-//    direct-mapped, sized adaptively (doubling while the lookup stream runs
-//    hot, as CUDD does), and survives garbage collection: gc() drops only
-//    the entries that reference reclaimed nodes.
+//  * A lossy computed table caches ITE/restrict/compose results, keyed on
+//    `Lit` pairs. It is direct-mapped, sized adaptively (doubling while the
+//    lookup stream runs hot, as CUDD does), and survives garbage
+//    collection: gc() drops only the entries that reference reclaimed
+//    nodes.
 //  * Reference counting with deferred reclamation: external references are
 //    held through the RAII `Bdd` handle; dead nodes are reclaimed by
 //    explicit or threshold-triggered garbage collection, which only runs at
-//    handle-level API entry points (never mid-recursion).
+//    handle-level API entry points (never mid-recursion). Counts are
+//    16-bit and saturate (CUDD-style): a node with 65535+ parents is
+//    pinned for the manager's lifetime.
+//  * The whole store is trivially serializable: `serialize()` /
+//    `deserialize()` write and restore a manager byte-exactly (order,
+//    arena, free list, reference counts), and `reset()` returns a manager
+//    to its freshly-constructed state while keeping allocated capacity.
 //
 // The decomposition engine needs read access to raw structure (levels,
 // children, complement bits), which `Manager` exposes through the
@@ -43,7 +55,13 @@ namespace bds::bdd {
 class Manager;
 class Bdd;
 
-/// A directed edge in the BDD: target node index plus a complement bit.
+/// Raw 32-bit literal: `(node_index << 1) | complement`. This is the wire
+/// format of an edge -- the element type the SoA store, the unique/computed
+/// tables and the serializer traffic in. `Edge` wraps one `Lit`.
+using Lit = std::uint32_t;
+
+/// A directed edge in the BDD: target node index plus a complement bit,
+/// packed into one `Lit`.
 class Edge {
  public:
   constexpr Edge() : bits_(0) {}
@@ -71,16 +89,20 @@ class Edge {
   constexpr bool is_zero() const { return *this == zero(); }
   constexpr bool is_constant() const { return node() == 0; }
 
-  constexpr std::uint32_t bits() const { return bits_; }
-
- private:
-  static constexpr Edge from_bits(std::uint32_t b) {
+  constexpr Lit bits() const { return bits_; }
+  /// Rehydrates an Edge from its raw literal (serialization, tests).
+  static constexpr Edge from_bits(Lit b) {
     Edge e;
     e.bits_ = b;
     return e;
   }
-  std::uint32_t bits_;
+
+ private:
+  Lit bits_;
 };
+
+static_assert(sizeof(Edge) == sizeof(Lit) && alignof(Edge) == alignof(Lit),
+              "Edge must be a transparent Lit wrapper (SoA store layout)");
 
 /// Variable identifier. Variables keep their identity across reordering;
 /// the manager maps them to levels (positions in the current order).
@@ -88,6 +110,30 @@ using Var = std::uint32_t;
 inline constexpr Var kVarTerminal = 0xffffffffu;
 /// Level of the terminal node: below every variable.
 inline constexpr std::uint32_t kLevelTerminal = 0xffffffffu;
+
+/// Saturated 16-bit reference count: once a node accumulates this many
+/// parents it is pinned for the manager's lifetime (CUDD's half-word refs).
+inline constexpr std::uint16_t kRefSaturated = 0xffffu;
+
+// Per-node byte footprint, derived from the element types of the parallel
+// arrays so accounting cannot drift from the real layout (the predecessor
+// of these constants was hand-maintained and went stale).
+/// Bytes per slot of the four permanent node-store arrays
+/// (var, then-literal, else-literal, unique-chain next).
+inline constexpr std::size_t kNodeStoreBytesPerNode =
+    sizeof(Var) + 2 * sizeof(Lit) + sizeof(std::uint32_t);
+/// Bytes per slot of the reference-count side array.
+inline constexpr std::size_t kNodeRefBytesPerNode = sizeof(std::uint16_t);
+/// Bytes per slot of the traversal-stamp scratch array. Demand-grown on the
+/// first structural query and shared by all of them; not part of the
+/// permanent store.
+inline constexpr std::size_t kNodeScratchBytesPerNode = sizeof(std::uint32_t);
+/// Total permanent bytes per node (store + refs), the constant the
+/// benchmark memory columns are computed from.
+inline constexpr std::size_t kBytesPerNode =
+    kNodeStoreBytesPerNode + kNodeRefBytesPerNode;
+static_assert(kNodeStoreBytesPerNode <= 16,
+              "node store regressed past 16 bytes/node (was 24 pre-SoA)");
 
 /// Cached operation kinds of the computed table, in the order used by the
 /// per-op counters of `ManagerStats` (and by `kCacheOpNames`).
@@ -148,6 +194,32 @@ class Manager {
 
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
+
+  // ----- lifecycle: reset and serialization (bdd/serialize.cpp) -------------
+
+  /// Returns the manager to its freshly-constructed (0-variable) state
+  /// while keeping the node arrays' and computed table's allocated
+  /// capacity -- the manager-pool primitive: a reset manager replays an
+  /// operation sequence byte-identically to a fresh one, without paying
+  /// the allocations again. All outstanding `Bdd` handles and raw edges
+  /// are invalidated; the installed budget and gauge sampler survive.
+  void reset();
+
+  /// Writes the whole manager -- variable order, node arena (free slots
+  /// included, so every outstanding `Lit` keeps its meaning), reference
+  /// counts and the free list -- as a versioned, checksummed binary image.
+  /// `roots` is an optional set of edges stored alongside for the loader
+  /// to re-wrap. The computed table and statistics are not serialized.
+  void serialize(std::ostream& os, const std::vector<Edge>& roots = {}) const;
+
+  /// Restores a manager image written by serialize() into this manager,
+  /// which must be freshly constructed or reset() (aborts otherwise: a
+  /// populated manager has live handles the image would invalidate).
+  /// Returns the roots stored by the writer, un-wrapped: their reference
+  /// counts are already part of the image, so wrap each in a `Bdd` handle
+  /// (adding one count) or use them raw. Throws bds::SerializeError on a
+  /// malformed, truncated, version-mismatched or corrupted image.
+  std::vector<Edge> deserialize(std::istream& is);
 
   // ----- variables and order ------------------------------------------------
 
@@ -221,15 +293,9 @@ class Manager {
 
   // ----- node structure access (read only) ----------------------------------
 
-  [[nodiscard]] Var node_var(std::uint32_t node) const {
-    return nodes_[node].var;
-  }
-  [[nodiscard]] Edge node_hi(std::uint32_t node) const {
-    return nodes_[node].hi;
-  }
-  [[nodiscard]] Edge node_lo(std::uint32_t node) const {
-    return nodes_[node].lo;
-  }
+  [[nodiscard]] Var node_var(std::uint32_t node) const { return vars_[node]; }
+  [[nodiscard]] Edge node_hi(std::uint32_t node) const { return thens_[node]; }
+  [[nodiscard]] Edge node_lo(std::uint32_t node) const { return elses_[node]; }
   [[nodiscard]] bool is_terminal(std::uint32_t node) const {
     return node == 0;
   }
@@ -239,7 +305,7 @@ class Manager {
   void ref(Edge e);
   void deref(Edge e);
   [[nodiscard]] std::uint32_t ref_count(Edge e) const {
-    return nodes_[e.node()].ref;
+    return refs_[e.node()];
   }
   /// Reclaims all dead nodes. Invalidates the computed table.
   void gc();
@@ -294,6 +360,11 @@ class Manager {
 
   [[nodiscard]] const ManagerStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t live_nodes() const { return stats_.live_nodes; }
+  /// Total bucket count across all unique subtables (O(num_vars)).
+  [[nodiscard]] std::size_t unique_table_buckets() const;
+  /// Total nodes chained in the unique subtables, live and dead
+  /// (O(num_vars)); entries / buckets is the unique-table load factor.
+  [[nodiscard]] std::size_t unique_table_entries() const;
   /// Writes a Graphviz rendering of the functions in `roots` (bdd/dot.cpp).
   void write_dot(std::ostream& os, const std::vector<Edge>& roots,
                  const std::vector<std::string>& root_names = {},
@@ -304,25 +375,23 @@ class Manager {
  private:
   friend class Bdd;
 
-  struct Node {
-    Var var = kVarTerminal;
-    Edge hi{};
-    Edge lo{};
-    std::uint32_t next = kNil;  ///< Unique-table chain.
-    std::uint32_t ref = 0;
-    /// Generation stamp of the last traversal that touched this node
-    /// (begin_visit()); lets the structural queries run without per-call
-    /// hash containers. Mutable: marking is not an observable mutation.
-    mutable std::uint32_t visit = 0;
-  };
   static constexpr std::uint32_t kNil = 0xffffffffu;
+  /// Starting bucket count of a fresh unique subtable (power of two).
+  static constexpr std::uint32_t kInitialBuckets = 16;
+  /// Computed-table capacity of a fresh (or reset) manager; grows
+  /// adaptively from here (cache_maybe_grow), never past its ceiling.
+  static constexpr std::size_t kCacheInitialEntries = 1u << 14;
 
+  /// Mask-based unique subtable: power-of-two bucket array of chain heads
+  /// (kNil-terminated, chained through `nexts_`), indexed by `hash & mask`.
   struct Subtable {
-    std::vector<std::uint32_t> buckets;  ///< Heads of hash chains (kNil-terminated).
-    std::uint32_t count = 0;             ///< Nodes currently chained (live + dead).
+    std::vector<std::uint32_t> buckets;
+    std::uint32_t mask = 0;   ///< buckets.size() - 1.
+    std::uint32_t count = 0;  ///< Nodes currently chained (live + dead).
   };
 
-  // Computed-table entry; op tags distinguish cached operations.
+  // Computed-table entry, keyed on Lit pairs packed two to a word; op tags
+  // distinguish cached operations.
   struct CacheEntry {
     std::uint64_t key_lo = ~0ULL;  // (op, f)
     std::uint64_t key_hi = ~0ULL;  // (g, h)
@@ -341,7 +410,12 @@ class Manager {
   void unique_insert(std::uint32_t idx);
   void unique_remove(std::uint32_t idx);
   void grow_subtable(Subtable& st);
-  static std::size_t hash_triple(Var v, Edge hi, Edge lo, std::size_t buckets);
+  static std::uint32_t hash_triple(Var v, Edge hi, Edge lo,
+                                   std::uint32_t mask);
+  /// Number of node slots ever allocated (live + free), terminal included.
+  [[nodiscard]] std::uint32_t arena_size() const {
+    return static_cast<std::uint32_t>(vars_.size());
+  }
 
   Edge cache_lookup(CacheOp op, Edge f, Edge g, Edge h, bool& hit);
   void cache_store(CacheOp op, Edge f, Edge g, Edge h, Edge result);
@@ -376,13 +450,24 @@ class Manager {
   std::uint32_t begin_visit() const;
   /// Marks and counts the nodes reachable from `e` not yet stamped `epoch`.
   std::size_t count_nodes(Edge e, std::uint32_t epoch) const;
+  /// sat_count over plain doubles -- the fast path when `nvars` is small
+  /// enough that per-node densities (>= 2^-nvars) cannot underflow.
+  double sat_count_plain(Edge e, std::uint32_t nvars) const;
   void update_memory_stats();
 
   // Reordering internals (bdd/reorder.cpp).
   std::uint32_t subtable_live(Var v) const;
   void sift_var(Var v, double max_growth);
 
-  std::vector<Node> nodes_;
+  // Struct-of-arrays node store, indexed by node index. The four permanent
+  // arrays total kNodeStoreBytesPerNode (16) bytes per slot; `refs_` adds
+  // kNodeRefBytesPerNode. Free slots are stamped kVarTerminal in `vars_`
+  // and linked through `free_list_`.
+  std::vector<Var> vars_;             ///< Branch variable (kVarTerminal = free/terminal).
+  std::vector<Edge> thens_;           ///< 1-edges; regular by canonical form.
+  std::vector<Edge> elses_;           ///< 0-edges.
+  std::vector<std::uint32_t> nexts_;  ///< Unique-table chains (kNil-terminated).
+  std::vector<std::uint16_t> refs_;   ///< Saturating reference counts.
   std::vector<std::uint32_t> free_list_;
   std::vector<Subtable> subtables_;  ///< Indexed by Var.
   std::vector<std::uint32_t> var2level_;
@@ -403,9 +488,15 @@ class Manager {
   /// Optional telemetry gauge sampler (set_gauge_sampler; not owned).
   util::GaugeSampler* gauge_ = nullptr;
 
-  // Traversal scratch (all logically const; see begin_visit()).
+  // Traversal scratch (all logically const; see begin_visit()). `visits_`
+  // holds the per-node generation stamps: a node is "seen" in the current
+  // query iff its stamp equals the epoch. It is demand-grown to the arena
+  // size by begin_visit(), so managers that never run a structural query
+  // never pay its kNodeScratchBytesPerNode.
   mutable std::uint32_t visit_epoch_ = 0;
+  mutable std::vector<std::uint32_t> visits_;      ///< per-node epoch stamps
   mutable std::vector<std::uint32_t> visit_stack_;
+  mutable std::vector<std::uint32_t> var_visit_;   ///< per-var epoch stamps
   mutable std::vector<double> scratch_mant_;       ///< sat_count densities
   mutable std::vector<std::int32_t> scratch_exp_;  ///< (mantissa, exponent)
   mutable std::vector<Edge> scratch_edge_;         ///< transfer_to memo

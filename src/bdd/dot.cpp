@@ -1,5 +1,11 @@
 // Graphviz export, in the style of the paper's figures: solid 1-edges,
-// dashed 0-edges, dotted edges with a dot marker for complement edges.
+// dashed 0-edges, dotted edges with an odot arrowhead for complement edges.
+//
+// Under the canonical form only 0-edges and root edges can carry the
+// complement bit (every stored 1-edge is regular), so the three styles are
+// mutually exclusive: solid = 1-edge, dashed = regular 0-edge, dotted+odot
+// = complemented edge. Complemented edges are never materialized as
+// negated nodes -- the complement lives on the edge, as in the store.
 #include <ostream>
 
 #include "bdd/bdd.hpp"
@@ -18,14 +24,15 @@ void Manager::write_dot(std::ostream& os, const std::vector<Edge>& roots,
     return "x" + std::to_string(v);
   };
   const auto edge_attr = [](Edge e, bool is_hi) -> std::string {
-    std::string attr = is_hi ? "[style=solid" : "[style=dashed";
-    if (e.complemented()) attr += ",arrowhead=odot";
-    return attr + "]";
+    if (e.complemented()) return "[style=dotted,arrowhead=odot]";
+    return is_hi ? "[style=solid]" : "[style=dashed]";
   };
 
-  // Stamped DFS (begin_visit): no per-call hash set, no recursion.
+  // Stamped DFS (begin_visit): no per-call hash set, no recursion. All
+  // node identity is the index decoded from the edge's Lit; nothing here
+  // depends on where the arrays live in memory.
   const std::uint32_t epoch = begin_visit();
-  nodes_[0].visit = epoch;
+  visits_[0] = epoch;
   std::vector<std::uint32_t> stack;
   const auto target = [](Edge e) -> std::string {
     return e.is_constant() ? "terminal" : "n" + std::to_string(e.node());
@@ -42,16 +49,17 @@ void Manager::write_dot(std::ostream& os, const std::vector<Edge>& roots,
   while (!stack.empty()) {
     const std::uint32_t idx = stack.back();
     stack.pop_back();
-    if (nodes_[idx].visit == epoch) continue;
-    nodes_[idx].visit = epoch;
-    const Node& n = nodes_[idx];
-    os << "  n" << idx << " [label=\"" << var_label(n.var) << "\"];\n";
-    os << "  n" << idx << " -> " << target(n.hi) << ' ' << edge_attr(n.hi, true)
+    if (visits_[idx] == epoch) continue;
+    visits_[idx] = epoch;
+    const Edge hi = thens_[idx];
+    const Edge lo = elses_[idx];
+    os << "  n" << idx << " [label=\"" << var_label(vars_[idx]) << "\"];\n";
+    os << "  n" << idx << " -> " << target(hi) << ' ' << edge_attr(hi, true)
        << ";\n";
-    os << "  n" << idx << " -> " << target(n.lo) << ' '
-       << edge_attr(n.lo, false) << ";\n";
-    stack.push_back(n.hi.node());
-    stack.push_back(n.lo.node());
+    os << "  n" << idx << " -> " << target(lo) << ' ' << edge_attr(lo, false)
+       << ";\n";
+    stack.push_back(hi.node());
+    stack.push_back(lo.node());
   }
   os << "}\n";
 }

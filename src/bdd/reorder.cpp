@@ -18,8 +18,8 @@ std::uint32_t Manager::subtable_live(Var v) const {
   std::uint32_t live = 0;
   const Subtable& st = subtables_[v];
   for (std::uint32_t head : st.buckets) {
-    for (std::uint32_t i = head; i != kNil; i = nodes_[i].next) {
-      if (nodes_[i].ref > 0) ++live;
+    for (std::uint32_t i = head; i != kNil; i = nexts_[i]) {
+      if (refs_[i] > 0) ++live;
     }
   }
   return live;
@@ -38,8 +38,8 @@ void Manager::swap_levels(std::uint32_t level) {
     Subtable& st = subtables_[x];
     for (std::uint32_t& head : st.buckets) {
       for (std::uint32_t i = head; i != kNil;) {
-        const std::uint32_t next = nodes_[i].next;
-        nodes_[i].next = kNil;
+        const std::uint32_t next = nexts_[i];
+        nexts_[i] = kNil;
         xs.push_back(i);
         i = next;
       }
@@ -52,8 +52,7 @@ void Manager::swap_levels(std::uint32_t level) {
   // below y. Reinsert them first so mk() can find them during pass 2.
   std::vector<std::uint32_t> moving;
   for (const std::uint32_t i : xs) {
-    const Node& n = nodes_[i];
-    if (top_var(n.hi) == y || top_var(n.lo) == y) {
+    if (top_var(thens_[i]) == y || top_var(elses_[i]) == y) {
       moving.push_back(i);
     } else {
       unique_insert(i);
@@ -63,8 +62,8 @@ void Manager::swap_levels(std::uint32_t level) {
   // Pass 2: rewrite each dependent node (x, F1, F0) into
   // (y, mk(x, F11, F01), mk(x, F10, F00)) in place.
   for (const std::uint32_t i : moving) {
-    const Edge hi = nodes_[i].hi;  // regular by canonical form
-    const Edge lo = nodes_[i].lo;
+    const Edge hi = thens_[i];  // regular by canonical form
+    const Edge lo = elses_[i];
     Edge f11, f10, f01, f00;
     if (top_var(hi) == y) {
       f11 = hi_of(hi);
@@ -87,12 +86,11 @@ void Manager::swap_levels(std::uint32_t level) {
     assert(!(new_hi == new_lo) && "swap produced a redundant node");
     ref(new_hi);
     ref(new_lo);
-    Node& n = nodes_[i];
-    deref(n.hi);
-    deref(n.lo);
-    n.var = y;
-    n.hi = new_hi;
-    n.lo = new_lo;
+    deref(thens_[i]);
+    deref(elses_[i]);
+    vars_[i] = y;
+    thens_[i] = new_hi;
+    elses_[i] = new_lo;
     unique_insert(i);
   }
 

@@ -2,12 +2,14 @@
 //
 // Every recoverable failure thrown across a library boundary derives from
 // `bds::Error`, which itself derives from `std::runtime_error` so existing
-// generic handlers (and tests) keep working. The three categories match the
-// three ways a run can fail for reasons outside the code's control:
+// generic handlers (and tests) keep working. The categories match the ways
+// a run can fail for reasons outside the code's control:
 //
 //   * ParseError      -- malformed external input (BLIF text, cube strings);
 //   * NetworkError    -- a structurally invalid network (duplicate signal
 //                        names, SOP width mismatch, combinational cycles);
+//   * SerializeError  -- a malformed or corrupted binary BDD-manager image
+//                        (bdd::Manager::deserialize);
 //   * BudgetExceeded  -- a resource ceiling of a ResourceBudget
 //                        (util/budget.hpp) was hit: live BDD nodes, bytes,
 //                        the wall-clock deadline, or a cancellation request.
@@ -38,6 +40,15 @@ class ParseError : public Error {
 /// A structurally invalid Boolean network: duplicate signal names, a node
 /// whose SOP width disagrees with its fanin count, or a combinational cycle.
 class NetworkError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A malformed, truncated, version-mismatched or checksum-corrupted binary
+/// manager image handed to bdd::Manager::deserialize. Like ParseError this
+/// is external input failing validation, not a programming error: the
+/// target manager is left in a valid (reset) state.
+class SerializeError : public Error {
  public:
   using Error::Error;
 };
