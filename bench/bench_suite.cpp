@@ -20,7 +20,14 @@
 // representative build, the structural-query speedup normalized against
 // the recorded BENCH_pr2 baseline, and a timed serialize/deserialize
 // round-trip; every family's global forest is round-tripped too and must
-// come back lossless. Emits one JSON report (default BENCH_pr6.json)
+// come back lossless. Each family's computed-table hit rate is compared
+// against the direct-mapped-era rate recorded in BENCH_pr6.json (the
+// baseline predates the 2-way set-associative table, so the delta is the
+// associativity win). A `service` section drives the bdsd daemon's
+// request path in-process (Server::handle(), no socket) over a repeated
+// family workload: the cold batch pays reorder+decompose, the warm batch
+// is served from the content-addressed result cache and must come back
+// byte-identical at >= 2x. Emits one JSON report (default BENCH_pr7.json)
 // that CI uploads as an artifact, so manager regressions show up as a diff
 // in the numbers, not an anecdote. `hardware_concurrency` is recorded
 // alongside: parallel speedups are only meaningful where the host actually
@@ -51,6 +58,8 @@
 #include "opt/bds_passes.hpp"
 #include "opt/flows.hpp"
 #include "opt/manager.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "util/budget.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -631,6 +640,29 @@ double read_pr2_speedup() {
   return 0.0;
 }
 
+// Pulls the named family's "cache_hit_rate" out of a BENCH_pr6.json with
+// the same plain string scan. That baseline was recorded while the
+// computed table was still direct-mapped, so current-minus-recorded is the
+// hit-rate delta bought by 2-way set associativity. Returns a negative
+// value if the file or the family is missing.
+double read_pr6_hit_rate(const std::string& family) {
+  for (const char* path :
+       {"BENCH_pr6.json", "../BENCH_pr6.json", "../../BENCH_pr6.json"}) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::size_t name = text.find("\"name\": \"" + family + "\"");
+    if (name == std::string::npos) continue;
+    const std::size_t key = text.find("\"cache_hit_rate\"", name);
+    if (key == std::string::npos) continue;
+    const std::size_t colon = text.find(':', key);
+    if (colon == std::string::npos) continue;
+    return std::strtod(text.c_str() + colon + 1, nullptr);
+  }
+  return -1.0;
+}
+
 // Serialize `mgr` with `roots`, load the image into a fresh manager, and
 // re-run every structural query on both sides. Returns true iff the
 // round-trip is lossless (sizes, supports and sat counts all agree).
@@ -689,6 +721,90 @@ NodeStoreResult run_node_store_bench(const MicrobenchResult& mb) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Service: the bdsd request path driven in-process through Server::handle()
+// (exposed for exactly this -- no socket, no extra thread, so the numbers
+// are the daemon's compute cost, not loopback I/O). Each rep constructs a
+// fresh Server, pays the cold batch (result cache empty, every supernode
+// goes through reorder+decompose), then replays the identical batch warm
+// (every cone served from the content-addressed cache). Warm output must
+// be byte-identical to cold; the acceptance bar is >= 2x on the aggregate.
+
+struct ServicePoint {
+  std::string circuit;
+  double cold_seconds = 0.0;  ///< best of `reps` cache-cold requests
+  double warm_seconds = 0.0;  ///< best of `reps` cache-warm requests
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_misses = 0;
+  bool byte_identical = true;
+  bool ok = true;  ///< every request returned Status::kOk
+};
+
+struct ServiceBenchResult {
+  int reps = 0;
+  std::vector<ServicePoint> points;
+  double cold_total = 0.0;  ///< sum of best-of-reps cold latencies
+  double warm_total = 0.0;
+  double speedup = 0.0;  ///< aggregate: cold_total / warm_total
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
+};
+
+ServiceBenchResult run_service_bench(const std::vector<Family>& workload,
+                                     int reps) {
+  namespace svc = bds::service;
+  ServiceBenchResult r;
+  r.reps = reps;
+  r.points.resize(workload.size());
+
+  std::vector<svc::OptimizeRequest> requests(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    r.points[i].circuit = workload[i].name;
+    requests[i].blif = bds::net::to_blif_string(workload[i].net);
+    // Single-threaded on purpose: the cache, not the pool, is under test.
+    requests[i].jobs = 1;
+  }
+
+  for (int rep = 0; rep < reps; ++rep) {
+    svc::ServerOptions options;
+    options.socket_path = "/tmp/bench-bdsd-inprocess.sock";  // never bound
+    svc::Server server(std::move(options));
+    std::vector<std::string> cold_blif(workload.size());
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+      ServicePoint& p = r.points[i];
+      Timer tc;
+      const svc::OptimizeResponse cold = server.handle(requests[i]);
+      const double cold_s = tc.seconds();
+      if (cold.status != svc::Status::kOk) p.ok = false;
+      cold_blif[i] = cold.blif;
+      if (rep == 0 || cold_s < p.cold_seconds) p.cold_seconds = cold_s;
+    }
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+      ServicePoint& p = r.points[i];
+      Timer tw;
+      const svc::OptimizeResponse warm = server.handle(requests[i]);
+      const double warm_s = tw.seconds();
+      if (warm.status != svc::Status::kOk) p.ok = false;
+      if (warm.blif != cold_blif[i]) p.byte_identical = false;
+      if (rep == 0 || warm_s < p.warm_seconds) {
+        p.warm_seconds = warm_s;
+        p.warm_hits = warm.cache_hits;
+        p.warm_misses = warm.cache_misses;
+      }
+    }
+    const svc::ServerStats stats = server.stats();
+    r.cache_entries = stats.cache_entries;
+    r.cache_bytes = stats.cache_bytes;
+  }
+
+  for (const ServicePoint& p : r.points) {
+    r.cold_total += p.cold_seconds;
+    r.warm_total += p.warm_seconds;
+  }
+  r.speedup = r.warm_total > 0 ? r.cold_total / r.warm_total : 0.0;
+  return r;
+}
+
 void emit_manager_stats(Json& json, const Manager& mgr) {
   const bds::bdd::ManagerStats& ms = mgr.stats();
   json.field("live_nodes", ms.live_nodes);
@@ -718,7 +834,7 @@ void emit_manager_stats(Json& json, const Manager& mgr) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_pr6.json";
+  std::string out_path = "BENCH_pr7.json";
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -754,7 +870,7 @@ int main(int argc, char** argv) {
   Json json(out);
   json.open();
   json.field("schema", "bds-bench/v1");
-  json.field("pr", "pr6");
+  json.field("pr", "pr7");
   json.field("hardware_concurrency", std::thread::hardware_concurrency());
 
   // -- Microbenchmark -------------------------------------------------------
@@ -929,6 +1045,62 @@ int main(int argc, char** argv) {
     all_ok = false;
   }
 
+  // -- Service: bdsd request path, cold vs warm -----------------------------
+  std::cout << "== service (bdsd result cache, cold vs warm) ==\n";
+  std::vector<Family> workload(families.begin(),
+                               families.begin() + std::min<std::size_t>(
+                                                      families.size(), 3));
+  const ServiceBenchResult sb = run_service_bench(workload, quick ? 1 : 3);
+  json.open("service");
+  json.field("reps", sb.reps);
+  json.open_list("circuits");
+  bool service_ok = true;
+  for (const ServicePoint& p : sb.points) {
+    json.open();
+    json.field("circuit", p.circuit);
+    json.field("cold_seconds", p.cold_seconds);
+    json.field("warm_seconds", p.warm_seconds);
+    json.field("speedup",
+               p.warm_seconds > 0 ? p.cold_seconds / p.warm_seconds : 0.0);
+    json.field("warm_cache_hits", p.warm_hits);
+    json.field("warm_cache_misses", p.warm_misses);
+    json.field("byte_identical", p.byte_identical);
+    json.close();
+    std::cout << "  " << std::left << std::setw(12) << p.circuit << std::right
+              << "  cold " << std::fixed << std::setprecision(4)
+              << p.cold_seconds << "s   warm " << p.warm_seconds << "s   "
+              << std::setprecision(2)
+              << (p.warm_seconds > 0 ? p.cold_seconds / p.warm_seconds : 0.0)
+              << "x   " << p.warm_hits << " hit(s)"
+              << (p.byte_identical ? "" : "   WARM BLIF DIFFERS!") << "\n";
+    if (!p.ok || !p.byte_identical || p.warm_hits == 0 ||
+        p.warm_misses != 0) {
+      service_ok = false;
+    }
+  }
+  json.close_list();
+  json.field("cold_total_seconds", sb.cold_total);
+  json.field("warm_total_seconds", sb.warm_total);
+  json.field("speedup", sb.speedup);
+  json.field("cache_entries", sb.cache_entries);
+  json.field("cache_bytes", sb.cache_bytes);
+  const bool service_fast_enough = sb.speedup >= 2.0;
+  json.field("meets_2x_bar", service_fast_enough);
+  json.close();
+  std::cout << "  aggregate: cold " << std::fixed << std::setprecision(4)
+            << sb.cold_total << "s   warm " << sb.warm_total << "s   "
+            << std::setprecision(2) << sb.speedup << "x"
+            << (service_fast_enough ? "" : "   UNDER THE 2x BAR!") << "\n";
+  if (!service_ok) {
+    std::cerr << "bench_suite: warm service replay missed the cache or "
+                 "changed the output\n";
+    all_ok = false;
+  }
+  if (!service_fast_enough) {
+    std::cerr << "bench_suite: warm service speedup under the 2x bar\n";
+    all_ok = false;
+  }
+
   // -- Families -------------------------------------------------------------
   std::cout << "== circuit families ==\n";
   json.open_list("families");
@@ -962,7 +1134,28 @@ int main(int argc, char** argv) {
     json.open("global_bdd");
     json.field("seconds", gb.seconds);
     json.field("aborted", gb.aborted);
-    if (!gb.aborted) emit_manager_stats(json, *gb.mgr);
+    if (!gb.aborted) {
+      emit_manager_stats(json, *gb.mgr);
+      // Hit-rate delta vs the direct-mapped table recorded in BENCH_pr6:
+      // the same build with 2-way sets should lose fewer hot pairs to
+      // slot collisions, so the delta is the associativity win.
+      const bds::bdd::ManagerStats& ms = gb.mgr->stats();
+      const double hit_rate =
+          ms.cache_lookups > 0 ? static_cast<double>(ms.cache_hits) /
+                                     static_cast<double>(ms.cache_lookups)
+                               : 0.0;
+      const double pr6_rate = read_pr6_hit_rate(fam.name);
+      json.field("pr6_direct_mapped_hit_rate", pr6_rate);
+      json.field("hit_rate_delta_vs_pr6",
+                 pr6_rate >= 0.0 ? hit_rate - pr6_rate : 0.0);
+      if (pr6_rate >= 0.0) {
+        std::cout << "  " << std::left << std::setw(12) << fam.name
+                  << std::right << "  computed-table hit rate " << std::fixed
+                  << std::setprecision(3) << hit_rate << " (direct-mapped "
+                  << pr6_rate << ", delta " << std::showpos
+                  << hit_rate - pr6_rate << std::noshowpos << ")\n";
+      }
+    }
     json.close();
     // Every family's global forest must survive the serialization
     // round-trip losslessly (the acceptance bar for the image format).

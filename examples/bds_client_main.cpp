@@ -1,0 +1,174 @@
+// bds-client: submits a BLIF to a running bdsd daemon.
+//
+//   bds-client -socket /tmp/bds.sock circuit.blif [-o out.blif]
+//              [-script TEXT] [-j N] [-node-limit N] [-byte-limit N]
+//              [-time-limit SECONDS] [-check] [-no-cache] [-stats]
+//   bds-client -socket /tmp/bds.sock -server-stats
+//
+// Exit codes mirror optimize_blif where the failure modes overlap:
+//   0 optimized (possibly degraded under a budget)
+//   1 I/O failure, or the daemon reported a checkpoint mismatch
+//   2 usage error or script rejected by the daemon
+//   3 the daemon could not parse the BLIF
+//   4 structurally invalid network
+//   5 the request's resource budget ended the run
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "service/client.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: bds-client -socket PATH circuit.blif [options]\n"
+         "       bds-client -socket PATH -server-stats\n"
+         "  -o FILE           write the optimized BLIF here (default stdout)\n"
+         "  -script TEXT      script text or name (default: bds)\n"
+         "  -j N              intra-request workers (default: hardware)\n"
+         "  -node-limit N     live-BDD-node ceiling (0 = unlimited)\n"
+         "  -byte-limit N     BDD byte ceiling (0 = unlimited)\n"
+         "  -time-limit SECS  wall-clock deadline (0 = none)\n"
+         "  -check            per-pass equivalence checkpoints\n"
+         "  -no-cache         bypass the daemon's result cache\n"
+         "  -stats            print the per-pass table and cache counters\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bds::service;
+
+  std::string socket_path;
+  std::string input_path;
+  std::string output_path;
+  bool server_stats = false;
+  bool show_stats = false;
+  OptimizeRequest request;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "-o" && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (arg == "-script" && i + 1 < argc) {
+      request.script = argv[++i];
+    } else if (arg == "-j" && i + 1 < argc) {
+      request.jobs =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "-node-limit" && i + 1 < argc) {
+      request.node_limit = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "-byte-limit" && i + 1 < argc) {
+      request.byte_limit = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "-time-limit" && i + 1 < argc) {
+      request.time_limit_ms =
+          static_cast<std::uint64_t>(std::strtod(argv[++i], nullptr) * 1000.0);
+    } else if (arg == "-check") {
+      request.flags |= kFlagCheck;
+    } else if (arg == "-no-cache") {
+      request.flags |= kFlagBypassCache;
+    } else if (arg == "-stats") {
+      show_stats = true;
+    } else if (arg == "-server-stats") {
+      server_stats = true;
+    } else if (arg == "-h" || arg == "-help" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bds-client: unknown argument: " << arg << "\n";
+      return usage();
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (socket_path.empty() || (input_path.empty() && !server_stats)) {
+    return usage();
+  }
+
+  try {
+    Client client(socket_path);
+    client.connect();
+
+    if (server_stats) {
+      const ServerStats s = client.server_stats();
+      std::cout << "requests          " << s.requests << "\n"
+                << "cache hits        " << s.cache_hits << "\n"
+                << "cache misses      " << s.cache_misses << "\n"
+                << "cache insertions  " << s.cache_insertions << "\n"
+                << "cache evictions   " << s.cache_evictions << "\n"
+                << "cache entries     " << s.cache_entries << "\n"
+                << "cache bytes       " << s.cache_bytes << "\n"
+                << "pool idle         " << s.pool_idle << "\n"
+                << "pool constructed  " << s.pool_constructed << "\n";
+      return 0;
+    }
+
+    std::ifstream in(input_path);
+    if (!in) {
+      std::cerr << "bds-client: cannot open " << input_path << "\n";
+      return 1;
+    }
+    std::ostringstream blif;
+    blif << in.rdbuf();
+    request.blif = blif.str();
+
+    const OptimizeResponse response = client.optimize(request);
+
+    switch (response.status) {
+      case Status::kOk:
+      case Status::kDegraded:
+        break;
+      case Status::kCheckFailed:
+        std::cerr << "bds-client: " << response.error << "\n";
+        return 1;
+      case Status::kScriptError:
+        std::cerr << "bds-client: script error: " << response.error << "\n";
+        return 2;
+      case Status::kParseError:
+        std::cerr << "bds-client: parse error: " << response.error << "\n";
+        return 3;
+      case Status::kNetworkError:
+        std::cerr << "bds-client: network error: " << response.error << "\n";
+        return 4;
+      case Status::kBudgetExceeded:
+        std::cerr << "bds-client: budget exceeded: " << response.error << "\n";
+        return 5;
+      case Status::kInternalError:
+        std::cerr << "bds-client: daemon error: " << response.error << "\n";
+        return 1;
+    }
+
+    if (response.status == Status::kDegraded) {
+      std::cerr << "bds-client: degraded result (a resource ceiling forced "
+                   "fallbacks)\n";
+    }
+    if (show_stats) {
+      std::cerr << response.stats_table;
+      std::cerr << "request " << response.request_id << ": cache "
+                << response.cache_hits << " hit(s), " << response.cache_misses
+                << " miss(es)\n";
+    }
+
+    if (output_path.empty()) {
+      std::cout << response.blif;
+    } else {
+      std::ofstream out(output_path);
+      if (!out) {
+        std::cerr << "bds-client: cannot write " << output_path << "\n";
+        return 1;
+      }
+      out << response.blif;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bds-client: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -62,6 +62,7 @@ util::CounterList telemetry_counters(const ManagerStats& stats,
   delta("cache_dead_evictions", stats.cache_dead_evictions,
         b.cache_dead_evictions);
   delta("reorderings", stats.reorderings, b.reorderings);
+  gauge("saturated_refs", stats.saturated_refs);
   gauge("memory_bytes", stats.memory_bytes);
   gauge("peak_memory_bytes", stats.peak_memory_bytes);
   return out;
@@ -79,13 +80,20 @@ std::uint64_t cache_hash(std::uint64_t key_lo, std::uint64_t key_hi) {
 }
 }  // namespace
 
+std::size_t Manager::cache_set_base(std::uint64_t key_lo,
+                                    std::uint64_t key_hi) const {
+  // cache_.size() is a power of two >= kCacheInitialEntries, so size()/2
+  // is the (power-of-two) set count and the mask selects a set; << 1 turns
+  // the set index into the index of its MRU way.
+  return (cache_hash(key_lo, key_hi) & (cache_.size() / 2 - 1)) << 1;
+}
+
 Manager::Manager(std::uint32_t num_vars) {
-  constexpr std::size_t kReserve = 1024;
-  vars_.reserve(kReserve);
-  thens_.reserve(kReserve);
-  elses_.reserve(kReserve);
-  nexts_.reserve(kReserve);
-  refs_.reserve(kReserve);
+  vars_.reserve(kArenaReserve);
+  thens_.reserve(kArenaReserve);
+  elses_.reserve(kArenaReserve);
+  nexts_.reserve(kArenaReserve);
+  refs_.reserve(kArenaReserve);
   // Slot 0 is the terminal 1, pinned forever.
   vars_.push_back(kVarTerminal);
   thens_.push_back(Edge::one());
@@ -98,6 +106,10 @@ Manager::Manager(std::uint32_t num_vars) {
   cache_.resize(kCacheInitialEntries);
   stats_.cache_entries = cache_.size();
   ensure_vars(num_vars);
+  // Publish the pristine footprint immediately (reset() does the same), so
+  // a fresh and a pool-recycled manager report identical gauges from the
+  // first stats() read on, not just after the first operation.
+  update_memory_stats();
 }
 
 Manager::~Manager() = default;
@@ -111,6 +123,10 @@ Var Manager::new_var() {
   st.mask = kInitialBuckets - 1;
   subtable_bucket_bytes_ += kInitialBuckets * sizeof(std::uint32_t);
   subtables_.push_back(std::move(st));
+  // Keep the footprint gauge current across variable growth, so a pooled
+  // manager re-widened by ensure_vars reports the same memory_bytes as a
+  // fresh Manager(n) before any operation runs.
+  update_memory_stats();
   return v;
 }
 
@@ -255,6 +271,10 @@ void Manager::ref(Edge e) {
     ++stats_.live_nodes;
     stats_.peak_live_nodes = std::max(stats_.peak_live_nodes, stats_.live_nodes);
   }
+  // Count the saturation transition exactly once per node: deref() never
+  // touches a saturated count, so the counter is sticky by construction and
+  // names the nodes gc() can never reclaim.
+  if (r == kRefSaturated) ++stats_.saturated_refs;
 }
 
 void Manager::deref(Edge e) {
@@ -269,10 +289,22 @@ void Manager::gc() {
   // Sweep dead nodes; freeing one may kill its children, so iterate to a
   // fixed point. A worklist seeded from all currently-dead nodes suffices
   // because deref() on a child only ever transitions live -> dead here.
+  //
+  // Seed by walking the unique-subtable chains: every allocated node is
+  // chained, so the chains are exactly the free-list complement, and a
+  // churned arena (mostly free slots) no longer pays a full-arena scan.
+  // Sorting the candidates ascending reproduces the index-order seeding of
+  // the old arena scan, so the reclamation order -- and with it the free
+  // list and every subsequent allocation -- is byte-identical.
   std::vector<std::uint32_t> dead;
-  for (std::uint32_t i = 1; i < arena_size(); ++i) {
-    if (vars_[i] != kVarTerminal && refs_[i] == 0) dead.push_back(i);
+  for (const Subtable& st : subtables_) {
+    for (std::uint32_t head : st.buckets) {
+      for (std::uint32_t i = head; i != kNil; i = nexts_[i]) {
+        if (refs_[i] == 0) dead.push_back(i);
+      }
+    }
   }
+  std::sort(dead.begin(), dead.end());
   std::size_t freed = 0;
   while (!dead.empty()) {
     const std::uint32_t idx = dead.back();
@@ -342,6 +374,12 @@ void Manager::update_memory_stats() {
 }
 
 // ----- computed table ---------------------------------------------------------
+// The table is 2-way set-associative: `cache_` is viewed as size()/2 sets of
+// two adjacent entries. Slot 0 of a set is the MRU way -- lookups probe it
+// first and promote a slot-1 hit by swapping, stores shift slot 0 down and
+// claim it -- so two hot operations that collide on one set coexist instead
+// of evicting each other on every apply step (the direct-mapped failure
+// mode). All indexing below goes through cache_set_base().
 
 Edge Manager::cache_lookup(CacheOp op, Edge f, Edge g, Edge h, bool& hit) {
   // Every nonterminal apply step (ite/restrict/constrain/compose/exists)
@@ -359,13 +397,19 @@ Edge Manager::cache_lookup(CacheOp op, Edge f, Edge g, Edge h, bool& hit) {
       f.bits();
   const std::uint64_t key_hi =
       (static_cast<std::uint64_t>(g.bits()) << 32) | h.bits();
-  const CacheEntry& e =
-      cache_[cache_hash(key_lo, key_hi) & (cache_.size() - 1)];
-  if (e.key_lo == key_lo && e.key_hi == key_hi) {
+  CacheEntry* set = &cache_[cache_set_base(key_lo, key_hi)];
+  if (set[0].key_lo == key_lo && set[0].key_hi == key_hi) {
     ++stats_.cache_hits;
     ++stats_.cache_op_hits[static_cast<std::uint32_t>(op) - 1];
     hit = true;
-    return e.result;
+    return set[0].result;
+  }
+  if (set[1].key_lo == key_lo && set[1].key_hi == key_hi) {
+    ++stats_.cache_hits;
+    ++stats_.cache_op_hits[static_cast<std::uint32_t>(op) - 1];
+    hit = true;
+    std::swap(set[0], set[1]);  // promote to the MRU way
+    return set[0].result;
   }
   hit = false;
   return Edge::one();
@@ -377,10 +421,13 @@ void Manager::cache_store(CacheOp op, Edge f, Edge g, Edge h, Edge result) {
       f.bits();
   const std::uint64_t key_hi =
       (static_cast<std::uint64_t>(g.bits()) << 32) | h.bits();
-  CacheEntry& e = cache_[cache_hash(key_lo, key_hi) & (cache_.size() - 1)];
-  e.key_lo = key_lo;
-  e.key_hi = key_hi;
-  e.result = result;
+  CacheEntry* set = &cache_[cache_set_base(key_lo, key_hi)];
+  // Replace LRU-of-2: demote the MRU way unless it already holds this key
+  // (re-store after a recomputation), then claim the MRU slot.
+  if (!(set[0].key_lo == key_lo && set[0].key_hi == key_hi)) set[1] = set[0];
+  set[0].key_lo = key_lo;
+  set[0].key_hi = key_hi;
+  set[0].result = result;
 }
 
 void Manager::cache_clear() {
@@ -399,9 +446,20 @@ void Manager::cache_maybe_grow() {
   if (cache_.size() >= kCacheMaxEntries || hits * 4 < lookups) return;
   std::vector<CacheEntry> old = std::move(cache_);
   cache_.assign(old.size() * 2, CacheEntry{});
-  for (const CacheEntry& e : old) {
-    if (e.key_lo == ~0ULL && e.key_hi == ~0ULL) continue;
-    cache_[cache_hash(e.key_lo, e.key_hi) & (cache_.size() - 1)] = e;
+  // Rehash the survivors into their new sets. Walking the old ways in MRU
+  // order per set (slot 0 before slot 1) and inserting store-style keeps
+  // each new set's MRU/LRU ordering consistent with access recency.
+  for (std::size_t base = 0; base < old.size(); base += 2) {
+    for (std::size_t way = 0; way < 2; ++way) {
+      const CacheEntry& e = old[base + way];
+      if (e.key_lo == ~0ULL && e.key_hi == ~0ULL) continue;
+      CacheEntry* set = &cache_[cache_set_base(e.key_lo, e.key_hi)];
+      if (set[0].key_lo == ~0ULL && set[0].key_hi == ~0ULL) {
+        set[0] = e;
+      } else {
+        set[1] = e;
+      }
+    }
   }
   ++stats_.cache_resizes;
   stats_.cache_entries = cache_.size();

@@ -19,10 +19,11 @@
 //    Rudell-style in-place adjacent-variable swap (and hence sifting
 //    reordering) possible.
 //  * A lossy computed table caches ITE/restrict/compose results, keyed on
-//    `Lit` pairs. It is direct-mapped, sized adaptively (doubling while the
-//    lookup stream runs hot, as CUDD does), and survives garbage
-//    collection: gc() drops only the entries that reference reclaimed
-//    nodes.
+//    `Lit` pairs. It is 2-way set-associative with LRU-of-2 replacement
+//    (two hot operations that collide on one set no longer evict each
+//    other every apply), sized adaptively (doubling while the lookup
+//    stream runs hot, as CUDD does), and survives garbage collection:
+//    gc() drops only the entries that reference reclaimed nodes.
 //  * Reference counting with deferred reclamation: external references are
 //    held through the RAII `Bdd` handle; dead nodes are reclaimed by
 //    explicit or threshold-triggered garbage collection, which only runs at
@@ -159,6 +160,11 @@ struct ManagerStats {
   /// (the rest of the table survives collection).
   std::size_t cache_dead_evictions = 0;
   std::size_t reorderings = 0;
+  /// Nodes whose 16-bit reference count has saturated (kRefSaturated):
+  /// they are pinned for the manager's lifetime -- gc() can never reclaim
+  /// them -- so a nonzero value explains live-node floors that budgets and
+  /// collection cannot push down. Sticky: saturation is irreversible.
+  std::size_t saturated_refs = 0;
   /// Approximate resident bytes of the node arena plus tables.
   std::size_t memory_bytes = 0;
   std::size_t peak_memory_bytes = 0;
@@ -168,7 +174,8 @@ struct ManagerStats {
 /// canonical names MANUAL.md's glossary documents (live_nodes,
 /// peak_live_nodes, gc_runs, unique_lookups, cache_lookups, cache_hits,
 /// cache_<op>_lookups/hits per kCacheOpNames, cache_entries/resizes/
-/// dead_evictions, reorderings, memory_bytes, peak_memory_bytes). To
+/// dead_evictions, reorderings, saturated_refs, memory_bytes,
+/// peak_memory_bytes). To
 /// attribute one phase of work, diff two snapshots with
 /// `telemetry_counters(after, &before)`: monotonic counters subtract,
 /// level/high-watermark gauges report the `after` value.
@@ -197,12 +204,15 @@ class Manager {
 
   // ----- lifecycle: reset and serialization (bdd/serialize.cpp) -------------
 
-  /// Returns the manager to its freshly-constructed (0-variable) state
-  /// while keeping the node arrays' and computed table's allocated
-  /// capacity -- the manager-pool primitive: a reset manager replays an
-  /// operation sequence byte-identically to a fresh one, without paying
-  /// the allocations again. All outstanding `Bdd` handles and raw edges
-  /// are invalidated; the installed budget and gauge sampler survive.
+  /// Returns the manager to its freshly-constructed (0-variable) state --
+  /// the manager-pool primitive: a reset manager replays an operation
+  /// sequence byte-identically to a fresh one, *including* the
+  /// capacity-derived memory_bytes gauge, because every buffer is restored
+  /// to the constructor's exact footprint (buffers already at that
+  /// footprint are reused in place, so the common recycling path still
+  /// skips the big computed-table allocation). All outstanding `Bdd`
+  /// handles and raw edges are invalidated; the installed budget and
+  /// gauge sampler survive.
   void reset();
 
   /// Writes the whole manager -- variable order, node arena (free slots
@@ -381,6 +391,10 @@ class Manager {
   /// Computed-table capacity of a fresh (or reset) manager; grows
   /// adaptively from here (cache_maybe_grow), never past its ceiling.
   static constexpr std::size_t kCacheInitialEntries = 1u << 14;
+  /// SoA-column slots reserved by the constructor -- and restored exactly
+  /// by reset(), so the capacity-derived memory_bytes gauge of a recycled
+  /// manager matches a fresh one byte for byte.
+  static constexpr std::size_t kArenaReserve = 1024;
 
   /// Mask-based unique subtable: power-of-two bucket array of chain heads
   /// (kNil-terminated, chained through `nexts_`), indexed by `hash & mask`.
@@ -419,6 +433,10 @@ class Manager {
 
   Edge cache_lookup(CacheOp op, Edge f, Edge g, Edge h, bool& hit);
   void cache_store(CacheOp op, Edge f, Edge g, Edge h, Edge result);
+  /// Index of slot 0 (the MRU way) of the 2-way set a key maps to; the set
+  /// count is cache_.size() / 2 and slot 1 sits at the next index.
+  [[nodiscard]] std::size_t cache_set_base(std::uint64_t key_lo,
+                                           std::uint64_t key_hi) const;
   void cache_clear();
   /// Doubles the computed table when the recent lookup window ran hot
   /// (CUDD-style adaptive sizing); existing entries are rehashed, not lost.
@@ -472,7 +490,9 @@ class Manager {
   std::vector<Subtable> subtables_;  ///< Indexed by Var.
   std::vector<std::uint32_t> var2level_;
   std::vector<Var> level2var_;
-  std::vector<CacheEntry> cache_;  ///< Power-of-two size, adaptively grown.
+  /// Computed table: power-of-two size, adaptively grown, viewed as
+  /// size()/2 sets of two adjacent ways (slot 0 = MRU; cache_set_base()).
+  std::vector<CacheEntry> cache_;
   std::size_t cache_lookups_at_resize_ = 0;  ///< Window start (growth policy).
   std::size_t cache_hits_at_resize_ = 0;
   std::size_t gc_threshold_ = 1u << 14;

@@ -3,10 +3,18 @@
 //
 // The SoA store makes the image trivial: node identity is the index, so
 // dumping the raw arrays (free slots included) preserves the meaning of
-// every outstanding Lit. Layout, all fields native-endian:
+// every outstanding Lit. The arrays are written in the host's native byte
+// order, so the header carries an endianness tag and the element widths:
+// a reader on a host with a different byte order (or a build whose
+// Lit/Var/ref types changed width) rejects the image with a typed
+// SerializeError instead of silently misreading the arena -- the daemon's
+// content-addressed cache makes cross-host images a normal event, not an
+// exotic one. Layout:
 //
 //   u32 magic 'BDSM'   u32 version
 //   --- FNV-1a-hashed payload ---
+//   u32 endian tag 0x01020304  (reads back reversed on a foreign host)
+//   u8 lit_width   u8 var_width   u8 ref_width   u8 reserved(0)
 //   u32 num_vars   u32 arena   u32 free_count   u32 root_count
 //   var2level [num_vars x u32]         (level2var is its inverse)
 //   vars      [arena x u32]            (kVarTerminal = free slot/terminal)
@@ -32,6 +40,7 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <type_traits>
 
 #include "bdd/bdd.hpp"
 #include "util/error.hpp"
@@ -40,7 +49,13 @@ namespace bds::bdd {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x4D534442u;  // "BDSM" little-endian
-constexpr std::uint32_t kFormatVersion = 1;
+// Version 2 added the endianness tag and element-width fields to the
+// hashed payload; version-1 images predate them and are rejected.
+constexpr std::uint32_t kFormatVersion = 2;
+// Written natively; a foreign-endian reader sees the bytes reversed
+// (0x04030201) and can diagnose the byte order precisely.
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::uint32_t kEndianTagSwapped = 0x04030201u;
 // Counts above this are rejected before any allocation: a corrupt header
 // must not drive a multi-gigabyte resize. Node indices are 31-bit (one
 // Lit bit holds the complement), so the cap loses no real image.
@@ -98,35 +113,61 @@ std::vector<T> read_vec(std::istream& is, Fnv1a& sum, std::uint32_t count) {
 }  // namespace
 
 void Manager::reset() {
-  // clear() keeps each vector's capacity, so a reset manager replays an
-  // operation sequence without re-paying the arena/cache allocations; the
-  // bucket arrays are owned by the subtables and go with them.
-  vars_.clear();
-  thens_.clear();
-  elses_.clear();
-  nexts_.clear();
-  refs_.clear();
-  free_list_.clear();
+  // A reset manager must be indistinguishable from a freshly constructed
+  // one -- including the capacity-derived memory_bytes gauge, because the
+  // ManagerPool hands reset managers to pipelines whose telemetry traces
+  // are guaranteed byte-identical across -j and across runs. The
+  // capacity-tracked buffers (the SoA columns, scratch, free list; see
+  // update_memory_stats) are therefore shrunk back to their pristine
+  // footprint, not just cleared.
+  const auto shrink = [](auto& v) {
+    v.clear();
+    v.shrink_to_fit();
+  };
+  // The columns get the constructor's exact reservation back; a column
+  // still at that capacity is reused in place.
+  const auto shrink_column = [](auto& v) {
+    if (v.capacity() != kArenaReserve) {
+      std::decay_t<decltype(v)> fresh;
+      fresh.reserve(kArenaReserve);
+      v.swap(fresh);
+    } else {
+      v.clear();
+    }
+  };
+  shrink_column(vars_);
+  shrink_column(thens_);
+  shrink_column(elses_);
+  shrink_column(nexts_);
+  shrink_column(refs_);
+  shrink(free_list_);
   subtables_.clear();
   subtable_bucket_bytes_ = 0;
   var2level_.clear();
   level2var_.clear();
-  // Same capacity as a fresh manager: the adaptive-growth and GC state
-  // below is everything that feeds back into operation behavior, so
+  // Same size AND capacity as a fresh manager: the adaptive-growth and GC
+  // state below is everything that feeds back into operation behavior, so
   // matching a fresh manager's values makes the replay byte-identical.
-  cache_.assign(kCacheInitialEntries, CacheEntry{});
+  // When the table never grew past its initial size (the common case for
+  // pooled cone-sized managers), assign() reuses the existing allocation;
+  // a grown table is reallocated back down.
+  if (cache_.capacity() > kCacheInitialEntries) {
+    std::vector<CacheEntry>(kCacheInitialEntries).swap(cache_);
+  } else {
+    cache_.assign(kCacheInitialEntries, CacheEntry{});
+  }
   cache_lookups_at_resize_ = 0;
   cache_hits_at_resize_ = 0;
   gc_threshold_ = 1u << 14;
   stats_ = ManagerStats{};
   budget_ticks_ = 0;
   visit_epoch_ = 0;
-  visits_.clear();
-  visit_stack_.clear();
-  var_visit_.clear();
-  scratch_mant_.clear();
-  scratch_exp_.clear();
-  scratch_edge_.clear();
+  shrink(visits_);
+  shrink(visit_stack_);
+  shrink(var_visit_);
+  shrink(scratch_mant_);
+  shrink(scratch_exp_);
+  shrink(scratch_edge_);
   // Re-seed the pinned terminal, exactly as the constructor does.
   vars_.push_back(kVarTerminal);
   thens_.push_back(Edge::one());
@@ -148,6 +189,11 @@ void Manager::serialize(std::ostream& os,
   os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
   os.write(reinterpret_cast<const char*>(&kFormatVersion),
            sizeof(kFormatVersion));
+  write_pod(os, sum, kEndianTag);
+  write_pod(os, sum, static_cast<std::uint8_t>(sizeof(Lit)));
+  write_pod(os, sum, static_cast<std::uint8_t>(sizeof(Var)));
+  write_pod(os, sum, static_cast<std::uint8_t>(sizeof(std::uint16_t)));
+  write_pod(os, sum, std::uint8_t{0});  // reserved
   write_pod(os, sum, num_vars());
   write_pod(os, sum, arena_size());
   write_pod(os, sum, static_cast<std::uint32_t>(free_list_.size()));
@@ -178,6 +224,22 @@ std::vector<Edge> Manager::deserialize(std::istream& is) {
   if (version != kFormatVersion) fail("unsupported format version");
 
   Fnv1a sum;
+  // Portability header: the arrays that follow are raw native-endian
+  // element dumps, so an image written on a host with a different byte
+  // order or different element widths must be rejected, not misread.
+  const auto endian = read_pod<std::uint32_t>(is, sum);
+  if (endian == kEndianTagSwapped) {
+    fail("image was written on a host with the opposite byte order");
+  }
+  if (endian != kEndianTag) fail("unrecognized endianness tag");
+  const auto lit_width = read_pod<std::uint8_t>(is, sum);
+  const auto var_width = read_pod<std::uint8_t>(is, sum);
+  const auto ref_width = read_pod<std::uint8_t>(is, sum);
+  (void)read_pod<std::uint8_t>(is, sum);  // reserved
+  if (lit_width != sizeof(Lit) || var_width != sizeof(Var) ||
+      ref_width != sizeof(std::uint16_t)) {
+    fail("image element widths do not match this build");
+  }
   const auto nvars = read_pod<std::uint32_t>(is, sum);
   const auto arena = read_pod<std::uint32_t>(is, sum);
   const auto free_count = read_pod<std::uint32_t>(is, sum);
@@ -296,11 +358,17 @@ std::vector<Edge> Manager::deserialize(std::istream& is) {
   }
 
   std::size_t live = 0;
+  std::size_t saturated = 0;
   for (std::uint32_t i = 0; i < arena; ++i) {
-    if (refs_[i] > 0 && (i == 0 || vars_[i] != kVarTerminal)) ++live;
+    if (i != 0 && vars_[i] == kVarTerminal) continue;  // free slot
+    if (refs_[i] > 0) ++live;
+    // Saturation is a property of the count itself, so the pinned set --
+    // and the counter naming it -- survives the serialization round trip.
+    if (refs_[i] == kRefSaturated) ++saturated;
   }
   stats_.live_nodes = live;
   stats_.peak_live_nodes = live;
+  stats_.saturated_refs = saturated;
   stats_.allocated_nodes = arena;
   update_memory_stats();
   return roots;

@@ -79,6 +79,15 @@ class FactoringForest {
   FactId copy_into(FactoringForest& dst, FactId root,
                    const std::vector<FactId>& leaf_map) const;
 
+  /// Replaces the whole arena with `nodes` (which must start with the
+  /// kConst0/kConst1 slots, as every forest does) and rebuilds the
+  /// structural-hash index over it. This is the decode half of the result
+  /// cache's forest-fragment serialization: restoring the exact node vector
+  /// a cold decomposition produced makes every later copy_into splice --
+  /// and therefore the emitted network -- byte-identical to the cold run.
+  /// The caller validates the node vector (opt/result_cache.cpp does).
+  void restore_nodes(std::vector<FactNode> nodes);
+
  private:
   FactId intern(FactNode n);
   std::vector<FactNode> nodes_;

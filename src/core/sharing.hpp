@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -22,5 +23,16 @@ struct SharingStats {
 /// forest. New nodes may be appended to the forest.
 SharingStats extract_sharing(FactoringForest& forest,
                              std::vector<FactId>& roots, bdd::Manager& mgr);
+
+/// Content address of the function `root` computes: an FNV-1a-64 digest of
+/// the BDD's structure under a discovery-order dense renumbering, so the
+/// value is independent of the manager's node indices (which depend on
+/// allocation history) yet fully determined by the function and the
+/// variable numbering. Two managers holding the same function over the
+/// same Var ids -- the supernode managers of different requests, each
+/// freshly built over inputs 0..k-1 -- produce the same digest, which is
+/// what keys the optimization service's cross-request result cache.
+[[nodiscard]] std::uint64_t canonical_function_hash(const bdd::Manager& mgr,
+                                                    bdd::Edge root);
 
 }  // namespace bds::core

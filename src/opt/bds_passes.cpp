@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "opt/manager_pool.hpp"
 #include "opt/registry.hpp"
+#include "opt/result_cache.hpp"
 #include "sis/factor.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -291,9 +293,11 @@ class BdsDecomposePass final : public Pass {
     st.roots.reserve(num_supernodes);
 
     // Per-supernode work unit. `func` must be declared after `mgr`: the
-    // handle has to die before the manager that owns its nodes.
+    // handle has to die before the manager that owns its nodes. The manager
+    // is a pool lease, not a fresh construction -- recycled arenas skip the
+    // allocation cost a long-lived daemon would otherwise pay per cone.
     struct Item {
-      std::unique_ptr<bdd::Manager> mgr;
+      ManagerPool::Lease mgr;
       Bdd func;
       std::uint32_t k = 0;
       core::FactoringForest forest;
@@ -302,9 +306,17 @@ class BdsDecomposePass final : public Pass {
       /// Budget tripped on this supernode: stage 3 rebuilds it from its
       /// original SOP cone instead of the (abandoned) BDD decomposition.
       bool degraded = false;
+      /// Served from the content-addressed result cache: forest/root/stats
+      /// were decoded from an earlier request's decomposition of the same
+      /// canonical function, and stage 2 skips this item entirely.
+      bool cached = false;
+      std::uint64_t cache_key = 0;
     };
 
     util::Telemetry* tel = ctx.telemetry();
+    ResultCache* cache = ctx.result_cache().get();
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
 
     // ---- stage 1: serial transfers out of the shared partition manager.
     util::TelemetrySpan transfer_span =
@@ -322,7 +334,7 @@ class BdsDecomposePass final : public Pass {
       }
       // "BDD mapping": rebuild the supernode function in a compact manager
       // containing only the used variables (Section IV-B).
-      item.mgr = std::make_unique<bdd::Manager>(item.k);
+      item.mgr = ManagerPool::global().acquire(item.k);
       // The node/byte ceilings are per manager, and each private manager
       // performs the same operation sequence at any -j, so budget trips --
       // and therefore degradations -- are deterministic across -j.
@@ -359,7 +371,27 @@ class BdsDecomposePass final : public Pass {
         if (e.resource() == BudgetExceeded::Resource::kCancelled) throw;
         item.degraded = true;
         item.func = Bdd();
-        item.mgr.reset();
+        item.mgr.release();
+        continue;
+      }
+      // Content-addressed lookup: the freshly transferred function in a
+      // compact identity-ordered manager hashes the same for the same cone
+      // in any request, so a hit replays an earlier decomposition of it --
+      // forest bytes, root and stats -- and stage 2 never sees this item.
+      if (cache != nullptr) {
+        item.cache_key = decompose_cache_key(
+            core::canonical_function_hash(*item.mgr, item.func.edge()),
+            opts_, reorder_, item.k);
+        std::string bytes;
+        if (cache->lookup(item.cache_key, bytes) &&
+            decode_fragment(bytes, item.forest, item.root, item.stats)) {
+          item.cached = true;
+          ++cache_hits;
+          item.func = Bdd();
+          item.mgr.release();
+        } else {
+          ++cache_misses;
+        }
       }
     }
     if (transfer_span.active()) {
@@ -400,7 +432,7 @@ class BdsDecomposePass final : public Pass {
                 &recorders[s], "supernode[" + std::to_string(s) + "]");
             sn_span.count("inputs", item.k);
           }
-          if (!item.degraded) {
+          if (!item.degraded && !item.cached) {
             try {
               if (reorder_ && item.k > 1) {
                 // Manager-op epoch: counters accrued by sifting alone,
@@ -466,6 +498,7 @@ class BdsDecomposePass final : public Pass {
                                               d.generalized_xnor));
             sn_span.count("shannon", static_cast<double>(d.shannon));
             if (item.degraded) sn_span.count("degraded", 1.0);
+            if (item.cached) sn_span.count("cache_hit", 1.0);
             // Execution-dependent: which worker ran it and for how long.
             sn_span.attr("executor", std::to_string(executor));
             sn_span.count("busy_seconds", busy);
@@ -513,6 +546,13 @@ class BdsDecomposePass final : public Pass {
         st.roots.push_back(fallback_factor_cone(net, st, sn.id,
                                                 fallback_memo));
       } else {
+        // Publish fresh (non-degraded, non-cached) decompositions before
+        // the splice; inserting serially in index order keeps the cache's
+        // LRU state deterministic per request stream.
+        if (cache != nullptr && !item.cached) {
+          cache->insert(item.cache_key,
+                        encode_fragment(item.forest, item.root, item.stats));
+        }
         std::vector<core::FactId> leaf_map(item.k);
         for (std::uint32_t i = 0; i < item.k; ++i) {
           leaf_map[i] = st.forest.mk_var(st.sig_of[sn.inputs[i]]);
@@ -520,14 +560,14 @@ class BdsDecomposePass final : public Pass {
         st.roots.push_back(
             item.forest.copy_into(st.forest, item.root, leaf_map));
       }
-      if (item.mgr) {
+      if (item.mgr.valid()) {
         st.peak_local_nodes =
             std::max(st.peak_local_nodes, item.mgr->stats().peak_live_nodes);
         st.peak_local_bytes =
             std::max(st.peak_local_bytes, item.mgr->stats().peak_memory_bytes);
       }
-      item.func = Bdd();  // release before the owning manager
-      item.mgr.reset();
+      item.func = Bdd();  // release before the owning manager goes back
+      item.mgr.release();
       item.forest = core::FactoringForest();
     }
     if (merge_span.active()) {
@@ -547,6 +587,10 @@ class BdsDecomposePass final : public Pass {
                                   st.decompose.generalized_or +
                                   st.decompose.generalized_xnor));
     ctx.count("shannon", static_cast<double>(st.decompose.shannon));
+    if (cache != nullptr) {
+      ctx.count("cache_hits", static_cast<double>(cache_hits));
+      ctx.count("cache_misses", static_cast<double>(cache_misses));
+    }
     ctx.count("workers", static_cast<double>(pool.workers()));
     if (num_supernodes > 0) {
       ctx.count("par_seconds_max",
@@ -573,7 +617,11 @@ class BdsSharingPass final : public Pass {
       throw ScriptError("bds_sharing: no partition; run bds_partition first");
     }
     if (st.roots.empty()) return;
-    bdd::Manager smgr(st.nsigs);
+    // Pooled, like the per-supernode managers: the sharing pass runs once
+    // per request, so under the daemon its arena is recycled every time.
+    ManagerPool::Lease lease = ManagerPool::global().acquire(
+        static_cast<std::uint32_t>(st.nsigs));
+    bdd::Manager& smgr = *lease;
     smgr.set_budget(ctx.budget());
     try {
       st.sharing = core::extract_sharing(st.forest, st.roots, smgr);

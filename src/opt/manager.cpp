@@ -136,6 +136,7 @@ PipelineStats PassManager::run(net::Network& net,
     budget->set_deadline_in(time_limit);
   }
   ctx.set_budget(budget);
+  ctx.set_result_cache(options.result_cache);
 
   // Telemetry: the whole run is one "pipeline" span; each pass gets a
   // "pass[i]:<name>" child span that mirrors its PassStats (reserved

@@ -38,6 +38,11 @@ struct PipelineOptions {
   /// counters; passes add their own child spans through
   /// PassContext::telemetry(). See util/telemetry.hpp and DESIGN.md §5f.
   std::shared_ptr<util::Telemetry> telemetry;
+  /// Cross-request content-addressed result cache (null = disabled). The
+  /// bdsd daemon shares one instance across all requests so repeated cones
+  /// skip decomposition; the CLI leaves it null (single-shot runs see no
+  /// repeats worth the footprint). See opt/result_cache.hpp.
+  std::shared_ptr<ResultCache> result_cache;
 };
 
 struct PipelineStats {

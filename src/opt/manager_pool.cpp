@@ -1,0 +1,57 @@
+#include "opt/manager_pool.hpp"
+
+namespace bds::opt {
+
+void ManagerPool::Lease::release() {
+  if (mgr_ == nullptr) return;
+  // Strip per-run attachments before parking: a pooled manager must not
+  // keep a stale budget (it would throb the next lease's work against a
+  // finished request's ceilings) or a dangling sampler pointer.
+  mgr_->set_budget(nullptr);
+  mgr_->set_gauge_sampler(nullptr);
+  mgr_->reset();
+  if (pool_ != nullptr) pool_->put_back(std::move(mgr_));
+  pool_ = nullptr;
+  mgr_ = nullptr;
+}
+
+ManagerPool::Lease ManagerPool::acquire(std::uint32_t num_vars) {
+  std::unique_ptr<bdd::Manager> mgr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      mgr = std::move(idle_.back());
+      idle_.pop_back();
+    } else {
+      ++constructed_;
+    }
+  }
+  if (mgr == nullptr) {
+    mgr = std::make_unique<bdd::Manager>(num_vars);
+  } else {
+    mgr->ensure_vars(num_vars);  // reset() left it at 0 vars
+  }
+  return Lease(this, std::move(mgr));
+}
+
+std::size_t ManagerPool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+std::size_t ManagerPool::constructed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return constructed_;
+}
+
+ManagerPool& ManagerPool::global() {
+  static ManagerPool pool;
+  return pool;
+}
+
+void ManagerPool::put_back(std::unique_ptr<bdd::Manager> mgr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(std::move(mgr));
+}
+
+}  // namespace bds::opt

@@ -24,6 +24,8 @@
 
 namespace bds::opt {
 
+class ResultCache;
+
 /// Per-pass measurements recorded by the PassManager: wall time, network
 /// size deltas, the optional equivalence checkpoint verdict, and whatever
 /// named counters the pass itself reported through PassContext::count().
@@ -131,6 +133,17 @@ class PassContext {
     return budget_;
   }
 
+  /// The cross-request content-addressed result cache (null = caching
+  /// disabled, the default -- a pipeline without a cache behaves exactly
+  /// as before). Installed from PipelineOptions::result_cache; consumed by
+  /// bds_decompose, which keys it on canonical supernode functions.
+  void set_result_cache(std::shared_ptr<ResultCache> cache) {
+    result_cache_ = std::move(cache);
+  }
+  [[nodiscard]] const std::shared_ptr<ResultCache>& result_cache() const {
+    return result_cache_;
+  }
+
   /// PassManager internal: the run's telemetry hub (null when telemetry is
   /// disabled -- the common case, in which spans opened against it are
   /// inert and free; see util/telemetry.hpp).
@@ -144,6 +157,7 @@ class PassContext {
   std::unordered_map<std::type_index, std::shared_ptr<void>> state_;
   std::vector<std::pair<std::string, double>>* sink_ = nullptr;
   std::shared_ptr<const util::ResourceBudget> budget_;
+  std::shared_ptr<ResultCache> result_cache_;
   util::Telemetry* telemetry_ = nullptr;
 };
 

@@ -1,0 +1,77 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace bds::service {
+
+Client::Client(std::string socket_path) : path_(std::move(socket_path)) {}
+
+Client::~Client() { close(); }
+
+void Client::connect() {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.empty() || path_.size() >= sizeof(addr.sun_path)) {
+    throw Error("bds-client: socket path empty or too long: \"" + path_ +
+                "\"");
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw Error(std::string("bds-client: socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    close();
+    throw Error("bds-client: cannot connect to " + path_ + ": " + why);
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+OptimizeResponse Client::optimize(const OptimizeRequest& request) {
+  if (fd_ < 0) throw Error("bds-client: optimize() before connect()");
+  write_frame(fd_, FrameType::kOptimizeRequest,
+              encode_optimize_request(request));
+  FrameType type{};
+  std::string payload;
+  if (!read_frame(fd_, type, payload)) {
+    throw Error("bds-client: daemon closed the connection without a reply");
+  }
+  if (type != FrameType::kOptimizeResponse) {
+    throw SerializeError("bds-client: expected an optimize response frame");
+  }
+  return decode_optimize_response(payload);
+}
+
+ServerStats Client::server_stats() {
+  if (fd_ < 0) throw Error("bds-client: server_stats() before connect()");
+  write_frame(fd_, FrameType::kServerStatsRequest, std::string());
+  FrameType type{};
+  std::string payload;
+  if (!read_frame(fd_, type, payload)) {
+    throw Error("bds-client: daemon closed the connection without a reply");
+  }
+  if (type != FrameType::kServerStatsResponse) {
+    throw SerializeError("bds-client: expected a server-stats response frame");
+  }
+  return decode_server_stats(payload);
+}
+
+}  // namespace bds::service

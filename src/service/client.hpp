@@ -1,0 +1,43 @@
+// Blocking client of the bdsd daemon: connects to the Unix socket, sends
+// one frame per call, reads the matching response. Used by the bds-client
+// CLI, the daemon round-trip tests, and the bench harness's warm/cold
+// comparison. Thread-compatible, not thread-safe (one in-flight exchange
+// per Client; open one Client per thread for concurrent load).
+#pragma once
+
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace bds::service {
+
+class Client {
+ public:
+  /// Remembers the path; no I/O until connect().
+  explicit Client(std::string socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the daemon socket. Throws bds::Error when the socket is
+  /// missing or refuses (daemon not running).
+  void connect();
+  /// True between a successful connect() and close().
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends an optimize request and blocks for its response. Throws
+  /// bds::SerializeError on a protocol violation and bds::Error on socket
+  /// failure or when the daemon hangs up without answering.
+  OptimizeResponse optimize(const OptimizeRequest& request);
+
+  /// Fetches the daemon's aggregate counters.
+  ServerStats server_stats();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace bds::service

@@ -1,0 +1,117 @@
+// Wire protocol of the bdsd optimization daemon.
+//
+// Transport: a Unix-domain stream socket carrying length-prefixed frames.
+// Every frame is
+//
+//     u32 payload_length (little-endian) | u8 type | payload bytes
+//
+// and every multi-byte integer inside a payload is little-endian too, so
+// the format is host-order independent (unlike the BDD manager image,
+// which is a same-host snapshot and guards its byte order with an endian
+// tag instead -- see bdd/serialize.cpp). Strings are u32 length + raw
+// bytes. A malformed or oversized frame raises bds::SerializeError, the
+// same typed error the BDD image decoder uses for external bytes that
+// fail validation.
+//
+// The exchange is strict request/response: a client sends kOptimizeRequest
+// or kServerStatsRequest and reads exactly one response frame. Connections
+// may carry any number of such exchanges before either side closes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bds::service {
+
+/// Frame type tags (the u8 after the length prefix).
+enum class FrameType : std::uint8_t {
+  kOptimizeRequest = 1,
+  kOptimizeResponse = 2,
+  kServerStatsRequest = 3,
+  kServerStatsResponse = 4,
+};
+
+/// Ceiling on a single frame payload; a peer announcing more is treated as
+/// corrupt (SerializeError) rather than trusted with the allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 256u << 20;
+
+/// OptimizeRequest::flags bits.
+inline constexpr std::uint8_t kFlagBypassCache = 1u << 0;  ///< skip ResultCache
+inline constexpr std::uint8_t kFlagCheck = 1u << 1;  ///< per-pass CEC checkpoint
+
+/// One optimization job: a BLIF network, the script to run on it, and the
+/// per-request resource ceilings (0 = unlimited, exactly like the CLI).
+struct OptimizeRequest {
+  std::string blif;            ///< BLIF text of the input network
+  std::string script;          ///< script text or name; "" = "bds"
+  std::uint64_t node_limit = 0;
+  std::uint64_t byte_limit = 0;
+  std::uint64_t time_limit_ms = 0;
+  std::uint32_t jobs = 0;      ///< intra-request workers; 0 = hardware
+  std::uint8_t flags = 0;      ///< kFlagBypassCache | kFlagCheck
+};
+
+/// Status codes of OptimizeResponse, aligned with the optimize_blif exit
+/// codes so scripted callers can share the mapping.
+enum class Status : std::uint8_t {
+  kOk = 0,         ///< optimized, all checkpoints passed
+  kDegraded = 1,   ///< correct result, but a budget forced fallbacks
+  kCheckFailed = 2,  ///< a CEC checkpoint found a mismatch (kFlagCheck)
+  kScriptError = 3,  ///< malformed or unknown script
+  kParseError = 4,   ///< malformed BLIF text
+  kNetworkError = 5,  ///< structurally invalid network
+  kBudgetExceeded = 6,  ///< deadline/cancellation ended the run
+  kInternalError = 7,   ///< anything else; `error` carries what()
+};
+
+struct OptimizeResponse {
+  Status status = Status::kOk;
+  std::uint64_t request_id = 0;  ///< server-assigned, roots the telemetry span
+  std::string error;             ///< empty unless status >= kCheckFailed
+  std::string blif;              ///< optimized network, BLIF text
+  std::string stats_table;       ///< format_pass_table() rendering
+  std::uint64_t cache_hits = 0;    ///< supernodes served from the ResultCache
+  std::uint64_t cache_misses = 0;  ///< supernodes decomposed fresh
+};
+
+/// Aggregate daemon counters (kServerStatsRequest has an empty payload).
+struct ServerStats {
+  std::uint64_t requests = 0;  ///< optimize requests accepted so far
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t pool_idle = 0;         ///< ManagerPool managers parked
+  std::uint64_t pool_constructed = 0;  ///< managers ever constructed
+};
+
+// --- Payload codecs (frame body, excluding the length/type header). ---
+// Encoders produce the payload bytes; decoders validate exhaustively and
+// throw bds::SerializeError on truncation, trailing bytes, or a field out
+// of range. They are pure byte transforms, usable without a socket (the
+// unit tests round-trip them through strings).
+
+std::string encode_optimize_request(const OptimizeRequest& req);
+OptimizeRequest decode_optimize_request(const std::string& payload);
+
+std::string encode_optimize_response(const OptimizeResponse& resp);
+OptimizeResponse decode_optimize_response(const std::string& payload);
+
+std::string encode_server_stats(const ServerStats& stats);
+ServerStats decode_server_stats(const std::string& payload);
+
+// --- Framed socket I/O. ---
+
+/// Writes one `length | type | payload` frame to `fd`, handling short
+/// writes and EINTR. Throws bds::SerializeError when the payload exceeds
+/// kMaxFramePayload and bds::Error on a socket write failure.
+void write_frame(int fd, FrameType type, const std::string& payload);
+
+/// Reads one frame from `fd`. Returns false on clean EOF at a frame
+/// boundary (the peer closed); throws bds::SerializeError on a torn frame,
+/// an unknown oversized length, and bds::Error on a read failure.
+bool read_frame(int fd, FrameType& type, std::string& payload);
+
+}  // namespace bds::service

@@ -1,0 +1,217 @@
+#include "service/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "opt/manager.hpp"
+#include "opt/manager_pool.hpp"
+#include "opt/script.hpp"
+#include "util/error.hpp"
+#include "util/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bds::service {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error("bdsd: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(std::make_shared<opt::ResultCache>(options_.cache_bytes)) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+void Server::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw Error("bdsd: socket path empty or too long for sockaddr_un: \"" +
+                options_.socket_path + "\"");
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  ::unlink(options_.socket_path.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("bind " + options_.socket_path);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("listen");
+  }
+  // Nonblocking listen socket: the drain loop in serve() accepts until
+  // EAGAIN, which is what turns "connections pending right now" into one
+  // batch for the pool.
+  const int fl = ::fcntl(listen_fd_, F_GETFL, 0);
+  if (fl >= 0) ::fcntl(listen_fd_, F_SETFL, fl | O_NONBLOCK);
+}
+
+void Server::serve() {
+  if (listen_fd_ < 0) {
+    throw Error("bdsd: serve() called before start()");
+  }
+  util::ThreadPool pool(util::ThreadPool::resolve(options_.concurrency));
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (rc == 0) continue;  // timeout: re-check the stop flag
+
+    std::vector<int> batch;
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN = drained; EINTR retries next round
+      // Accepted sockets must block: frame I/O assumes read/write park.
+      const int ffl = ::fcntl(fd, F_GETFL, 0);
+      if (ffl >= 0) ::fcntl(fd, F_SETFL, ffl & ~O_NONBLOCK);
+      batch.push_back(fd);
+    }
+    if (batch.empty()) continue;
+    pool.parallel_for(batch.size(), [&](std::size_t i, unsigned /*executor*/) {
+      serve_connection(batch[i]);
+    });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  try {
+    FrameType type{};
+    std::string payload;
+    while (read_frame(fd, type, payload)) {
+      if (type == FrameType::kOptimizeRequest) {
+        const OptimizeRequest request = decode_optimize_request(payload);
+        const OptimizeResponse response = handle(request);
+        write_frame(fd, FrameType::kOptimizeResponse,
+                    encode_optimize_response(response));
+      } else if (type == FrameType::kServerStatsRequest) {
+        write_frame(fd, FrameType::kServerStatsResponse,
+                    encode_server_stats(stats()));
+      } else {
+        break;  // a peer sending *response* frames is confused; hang up
+      }
+    }
+  } catch (const std::exception&) {
+    // Torn frame or socket failure: this connection only. The daemon and
+    // the other connections of the batch are unaffected.
+  }
+  ::close(fd);
+}
+
+OptimizeResponse Server::handle(const OptimizeRequest& request) {
+  OptimizeResponse response;
+  response.request_id = requests_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Every request gets its own telemetry hub so spans from concurrent
+  // requests never interleave; the request id is the root span's label.
+  auto telemetry = std::make_shared<util::Telemetry>(
+      "request-" + std::to_string(response.request_id));
+  std::ofstream trace;
+  if (!options_.trace_dir.empty()) {
+    trace.open(options_.trace_dir + "/request-" +
+               std::to_string(response.request_id) + ".jsonl");
+    if (trace) telemetry->add_sink(std::make_shared<util::JsonlSink>(trace));
+  }
+
+  try {
+    net::Network network = net::parse_blif_string(request.blif);
+
+    const std::string script =
+        request.script.empty() ? std::string("bds") : request.script;
+    opt::ScriptParams params;
+    if (request.jobs != 0) {
+      params.emplace_back("jobs", std::to_string(request.jobs));
+    }
+    opt::PassManager manager = opt::PassManager::from_script(script, params);
+
+    opt::PipelineOptions popts;
+    popts.check = (request.flags & kFlagCheck) != 0;
+    popts.node_limit = request.node_limit;
+    popts.byte_limit = request.byte_limit;
+    popts.time_limit_seconds =
+        static_cast<double>(request.time_limit_ms) / 1000.0;
+    popts.telemetry = telemetry;
+    if (options_.enable_cache && (request.flags & kFlagBypassCache) == 0) {
+      popts.result_cache = cache_;
+    }
+
+    const opt::PipelineStats pstats = manager.run(network, popts);
+
+    response.blif = net::to_blif_string(network);
+    response.stats_table = opt::format_pass_table(pstats);
+    response.cache_hits =
+        static_cast<std::uint64_t>(pstats.counter("cache_hits"));
+    response.cache_misses =
+        static_cast<std::uint64_t>(pstats.counter("cache_misses"));
+    if (pstats.check_failures > 0) {
+      response.status = Status::kCheckFailed;
+      response.error = "equivalence checkpoint found a mismatch";
+    } else if (pstats.degraded_passes > 0) {
+      response.status = Status::kDegraded;
+    }
+  } catch (const ParseError& e) {
+    response.status = Status::kParseError;
+    response.error = e.what();
+  } catch (const NetworkError& e) {
+    response.status = Status::kNetworkError;
+    response.error = e.what();
+  } catch (const BudgetExceeded& e) {
+    response.status = Status::kBudgetExceeded;
+    response.error = e.what();
+  } catch (const opt::ScriptError& e) {
+    response.status = Status::kScriptError;
+    response.error = e.what();
+  } catch (const std::exception& e) {
+    response.status = Status::kInternalError;
+    response.error = e.what();
+  }
+  telemetry->finish();
+  return response;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  const opt::ResultCache::Stats cs = cache_->stats();
+  s.cache_hits = cs.hits;
+  s.cache_misses = cs.misses;
+  s.cache_insertions = cs.insertions;
+  s.cache_evictions = cs.evictions;
+  s.cache_entries = cs.entries;
+  s.cache_bytes = cs.bytes;
+  s.pool_idle = opt::ManagerPool::global().idle();
+  s.pool_constructed = opt::ManagerPool::global().constructed();
+  return s;
+}
+
+}  // namespace bds::service

@@ -1,0 +1,88 @@
+// The bdsd optimization daemon.
+//
+// A long-lived server owning the two cross-request amortization structures
+// the single-shot CLI cannot have: the content-addressed ResultCache
+// (opt/result_cache.hpp), so a cone already decomposed under the same
+// options is merged straight from its cached factoring-forest fragment,
+// and the global ManagerPool (opt/manager_pool.hpp), so BDD managers are
+// recycled instead of reconstructed per supernode.
+//
+// Concurrency model: the accept loop drains all connections pending on the
+// Unix socket into a batch and runs the batch on a util::ThreadPool, one
+// executor per connection (requests are the natural unit of parallelism;
+// each request can additionally parallelize internally via its `jobs`
+// field, which becomes the bds script's `-j`). Each request runs under its
+// own ResourceBudget assembled from the ceilings in the frame and under a
+// telemetry hub labeled `request-<id>`, so traces from concurrent requests
+// never interleave. See DESIGN.md §5h.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "opt/result_cache.hpp"
+#include "service/protocol.hpp"
+
+namespace bds::service {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain socket. A stale file from a
+  /// previous run is unlinked before binding.
+  std::string socket_path;
+  /// Executors of the request batch pool; 0 = hardware concurrency.
+  unsigned concurrency = 0;
+  /// Byte budget of the shared ResultCache.
+  std::size_t cache_bytes = opt::ResultCache::kDefaultByteBudget;
+  /// Master switch for the ResultCache; individual requests can also opt
+  /// out with kFlagBypassCache (how the determinism tests get cache-free
+  /// runs from a warm daemon).
+  bool enable_cache = true;
+  /// When nonempty, each request writes its telemetry trace to
+  /// `<trace_dir>/request-<id>.jsonl`. Empty = tracing off.
+  std::string trace_dir;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens on the socket. Throws bds::Error on failure (path
+  /// too long for sockaddr_un, bind/listen errno).
+  void start();
+
+  /// Accept-and-serve loop; blocks until stop(). Requires start().
+  void serve();
+
+  /// Makes serve() return after its current batch. Safe from any thread
+  /// and from signal-handler-adjacent contexts (only touches an atomic).
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Handles one decoded request in the calling thread -- the unit the
+  /// socket loop dispatches, exposed directly so tests and the bench
+  /// harness can exercise daemon semantics without a socket.
+  OptimizeResponse handle(const OptimizeRequest& request);
+
+  /// Aggregate daemon counters (also served over kServerStatsRequest).
+  [[nodiscard]] ServerStats stats() const;
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+
+ private:
+  void serve_connection(int fd);
+
+  ServerOptions options_;
+  std::shared_ptr<opt::ResultCache> cache_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace bds::service

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -226,6 +227,71 @@ TEST(BddSerialize, DeserializeRejectsCorruptImages) {
     std::stringstream full(good);
     const std::vector<Edge> roots = m.deserialize(full);
     EXPECT_EQ(roots.size(), 2u);
+    EXPECT_TRUE(m.check_consistency());
+  }
+}
+
+// The v2 header carries an endianness tag and the element widths of the
+// writing build right after magic+version (offsets 8..11 and 12..14), so
+// an image from an incompatible host fails with a *specific* diagnostic
+// instead of a checksum mismatch hundreds of kilobytes later.
+TEST(BddSerialize, RejectsForeignByteOrderAndWidths) {
+  Manager mgr(4);
+  const std::vector<Bdd> fs = build_shared_pair(mgr);
+  const std::string good = image_of(mgr, {fs[0].edge()});
+
+  {  // byte-swapped endian tag: "written on the other kind of host"
+    std::string bad = good;
+    std::swap(bad[8], bad[11]);
+    std::swap(bad[9], bad[10]);
+    std::stringstream ss(bad);
+    Manager m;
+    try {
+      m.deserialize(ss);
+      FAIL() << "byte-swapped image accepted";
+    } catch (const SerializeError& e) {
+      EXPECT_NE(std::string(e.what()).find("byte order"), std::string::npos)
+          << e.what();
+    }
+  }
+  {  // garbage endian tag: neither orientation
+    std::string bad = good;
+    bad[8] = static_cast<char>(0x55);
+    std::stringstream ss(bad);
+    Manager m;
+    try {
+      m.deserialize(ss);
+      FAIL() << "garbage endian tag accepted";
+    } catch (const SerializeError& e) {
+      EXPECT_NE(std::string(e.what()).find("endianness"), std::string::npos)
+          << e.what();
+    }
+  }
+  // Each width byte (Lit, Var, ref) individually: a build with different
+  // element sizes must be told so, not handed a checksum failure.
+  for (const std::size_t offset : {std::size_t{12}, std::size_t{13},
+                                   std::size_t{14}}) {
+    std::string bad = good;
+    bad[offset] = static_cast<char>(8);
+    std::stringstream ss(bad);
+    Manager m;
+    try {
+      m.deserialize(ss);
+      FAIL() << "mismatched width at offset " << offset << " accepted";
+    } catch (const SerializeError& e) {
+      EXPECT_NE(std::string(e.what()).find("widths"), std::string::npos)
+          << e.what();
+    }
+  }
+  {  // the rejected images left no residue: the same manager object loads
+    std::string bad = good;
+    bad[8] = static_cast<char>(0x55);
+    Manager m;
+    std::stringstream ss(bad);
+    EXPECT_THROW(m.deserialize(ss), SerializeError);
+    std::stringstream full(good);
+    const std::vector<Edge> roots = m.deserialize(full);
+    ASSERT_EQ(roots.size(), 1u);
     EXPECT_TRUE(m.check_consistency());
   }
 }

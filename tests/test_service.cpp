@@ -1,0 +1,229 @@
+// The bdsd service layer: wire-codec round-trips and typed rejection of
+// malformed frames, error-to-status mapping, and the tentpole contract
+// over a real Unix socket -- a repeated identical request is served from
+// the content-addressed result cache with a byte-identical BLIF.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/error.hpp"
+
+namespace bds::service {
+namespace {
+
+const char kBlif[] =
+    ".model svc\n"
+    ".inputs a b c d e\n"
+    ".outputs f g\n"
+    ".names a b c x\n"
+    "111 1\n"
+    "1-0 1\n"
+    "011 1\n"
+    ".names x d y\n"
+    "10 1\n"
+    "01 1\n"
+    ".names y e c f\n"
+    "1-1 1\n"
+    "011 1\n"
+    "110 1\n"
+    ".names x y g\n"
+    "11 1\n"
+    "00 1\n"
+    ".end\n";
+
+std::string unique_socket_path(const char* tag) {
+  return "/tmp/bds-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ServiceProtocol, RequestRoundTripsAllFields) {
+  OptimizeRequest req;
+  req.blif = kBlif;
+  req.script = "bds";
+  req.node_limit = 12345;
+  req.byte_limit = 1u << 20;
+  req.time_limit_ms = 2500;
+  req.jobs = 4;
+  req.flags = kFlagBypassCache | kFlagCheck;
+
+  const OptimizeRequest out =
+      decode_optimize_request(encode_optimize_request(req));
+  EXPECT_EQ(out.blif, req.blif);
+  EXPECT_EQ(out.script, req.script);
+  EXPECT_EQ(out.node_limit, req.node_limit);
+  EXPECT_EQ(out.byte_limit, req.byte_limit);
+  EXPECT_EQ(out.time_limit_ms, req.time_limit_ms);
+  EXPECT_EQ(out.jobs, req.jobs);
+  EXPECT_EQ(out.flags, req.flags);
+}
+
+TEST(ServiceProtocol, ResponseAndStatsRoundTrip) {
+  OptimizeResponse resp;
+  resp.status = Status::kDegraded;
+  resp.request_id = 77;
+  resp.error = "partial";
+  resp.blif = ".model m\n.end\n";
+  resp.stats_table = "pass table";
+  resp.cache_hits = 3;
+  resp.cache_misses = 1;
+  const OptimizeResponse r =
+      decode_optimize_response(encode_optimize_response(resp));
+  EXPECT_EQ(r.status, Status::kDegraded);
+  EXPECT_EQ(r.request_id, 77u);
+  EXPECT_EQ(r.error, "partial");
+  EXPECT_EQ(r.blif, resp.blif);
+  EXPECT_EQ(r.stats_table, resp.stats_table);
+  EXPECT_EQ(r.cache_hits, 3u);
+  EXPECT_EQ(r.cache_misses, 1u);
+
+  ServerStats stats;
+  stats.requests = 9;
+  stats.cache_hits = 8;
+  stats.cache_bytes = 4096;
+  stats.pool_constructed = 2;
+  const ServerStats s = decode_server_stats(encode_server_stats(stats));
+  EXPECT_EQ(s.requests, 9u);
+  EXPECT_EQ(s.cache_hits, 8u);
+  EXPECT_EQ(s.cache_bytes, 4096u);
+  EXPECT_EQ(s.pool_constructed, 2u);
+}
+
+TEST(ServiceProtocol, MalformedPayloadsRaiseSerializeError) {
+  const std::string good = encode_optimize_request(OptimizeRequest{});
+  // Truncation at every prefix boundary.
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    EXPECT_THROW(decode_optimize_request(good.substr(0, n)), SerializeError);
+  }
+  // Trailing bytes (a newer-dialect frame) are rejected, not ignored.
+  EXPECT_THROW(decode_optimize_request(good + "y"), SerializeError);
+  // Unknown flag bits.
+  {
+    OptimizeRequest req;
+    req.flags = 0x80;
+    EXPECT_THROW(decode_optimize_request(encode_optimize_request(req)),
+                 SerializeError);
+  }
+  // Unknown response status byte.
+  {
+    std::string bad = encode_optimize_response(OptimizeResponse{});
+    bad[0] = static_cast<char>(0x63);
+    EXPECT_THROW(decode_optimize_response(bad), SerializeError);
+  }
+  // A string field lying about its length.
+  {
+    std::string bad = encode_optimize_request(OptimizeRequest{});
+    bad[0] = static_cast<char>(0xff);  // blif length low byte
+    EXPECT_THROW(decode_optimize_request(bad), SerializeError);
+  }
+}
+
+TEST(ServiceServer, HandleMapsFailuresToTypedStatuses) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("handle");
+  Server server(std::move(options));  // handle() needs no socket
+
+  {
+    OptimizeRequest req;
+    req.blif = "this is not blif";
+    const OptimizeResponse resp = server.handle(req);
+    EXPECT_EQ(resp.status, Status::kParseError);
+    EXPECT_FALSE(resp.error.empty());
+  }
+  {
+    OptimizeRequest req;
+    req.blif = kBlif;
+    req.script = "no_such_pass -x";
+    const OptimizeResponse resp = server.handle(req);
+    EXPECT_EQ(resp.status, Status::kScriptError);
+    EXPECT_FALSE(resp.error.empty());
+  }
+  {
+    OptimizeRequest req;
+    req.blif = kBlif;
+    const OptimizeResponse resp = server.handle(req);
+    EXPECT_EQ(resp.status, Status::kOk);
+    EXPECT_TRUE(resp.error.empty());
+    EXPECT_FALSE(resp.blif.empty());
+    EXPECT_FALSE(resp.stats_table.empty());
+  }
+}
+
+// The tentpole contract, end to end over the socket: the second identical
+// request is served from the result cache (hit counter up, no misses) and
+// the optimized BLIF is byte-identical to the cold run's.
+TEST(ServiceServer, SecondIdenticalRequestHitsTheCache) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("cache");
+  Server server(std::move(options));
+  server.start();
+  std::thread serve_thread([&server] { server.serve(); });
+
+  {
+    Client client(server.socket_path());
+    client.connect();
+
+    OptimizeRequest req;
+    req.blif = kBlif;
+    req.jobs = 2;
+    const OptimizeResponse cold = client.optimize(req);
+    ASSERT_EQ(cold.status, Status::kOk) << cold.error;
+    EXPECT_EQ(cold.cache_hits, 0u);
+    EXPECT_GT(cold.cache_misses, 0u);
+
+    const OptimizeResponse warm = client.optimize(req);
+    ASSERT_EQ(warm.status, Status::kOk) << warm.error;
+    EXPECT_GT(warm.cache_hits, 0u);
+    EXPECT_EQ(warm.cache_misses, 0u);
+    EXPECT_EQ(warm.blif, cold.blif) << "cache changed the emitted network";
+
+    const ServerStats stats = client.server_stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_GT(stats.cache_hits, 0u);
+    EXPECT_GT(stats.cache_insertions, 0u);
+  }
+
+  server.stop();
+  serve_thread.join();
+}
+
+// kFlagBypassCache gives cache-free runs from a warm daemon -- the knob
+// the -j determinism comparisons rely on.
+TEST(ServiceServer, BypassFlagLeavesTheCacheCold) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("bypass");
+  Server server(std::move(options));
+  server.start();
+  std::thread serve_thread([&server] { server.serve(); });
+
+  {
+    Client client(server.socket_path());
+    client.connect();
+
+    OptimizeRequest req;
+    req.blif = kBlif;
+    req.flags = kFlagBypassCache;
+    const OptimizeResponse first = client.optimize(req);
+    const OptimizeResponse second = client.optimize(req);
+    ASSERT_EQ(first.status, Status::kOk) << first.error;
+    ASSERT_EQ(second.status, Status::kOk) << second.error;
+    EXPECT_EQ(first.cache_hits, 0u);
+    EXPECT_EQ(second.cache_hits, 0u);
+    EXPECT_EQ(second.blif, first.blif);
+
+    const ServerStats stats = client.server_stats();
+    EXPECT_EQ(stats.cache_insertions, 0u);
+    EXPECT_EQ(stats.cache_entries, 0u);
+  }
+
+  server.stop();
+  serve_thread.join();
+}
+
+}  // namespace
+}  // namespace bds::service
