@@ -27,7 +27,12 @@
 // request path in-process (Server::handle(), no socket) over a repeated
 // family workload: the cold batch pays reorder+decompose, the warm batch
 // is served from the content-addressed result cache and must come back
-// byte-identical at >= 2x. Emits one JSON report (default BENCH_pr7.json)
+// byte-identical at >= 2x. A `parallel_overlap` section measures the
+// overlapped producer/consumer decompose pipeline with -split work
+// stealing engaged: aggregate -j1 vs -j4 decompose time over the
+// adder/shifter/multiplier families, byte-comparing every run and
+// recording the (deterministic) split count and the (execution-dependent)
+// steal count. Emits one JSON report (default BENCH_pr8.json)
 // that CI uploads as an artifact, so manager regressions show up as a diff
 // in the numbers, not an anecdote. `hardware_concurrency` is recorded
 // alongside: parallel speedups are only meaningful where the host actually
@@ -423,6 +428,65 @@ ParallelBenchResult run_parallel_bench(const Network& input,
       }
     }
     r.points.push_back(p);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Overlapped pipeline with dominator splits: the PR-8 restructuring streams
+// transfers into the consumers while earlier supernodes already decompose,
+// and halves supernodes above -split at a generalized-dominator cut so idle
+// workers can steal the halves. Measured as aggregate decompose time over
+// several families at -j1 vs -j4 with the same -split, byte-comparing every
+// run. On a 1-core host the speedup is nominal (see hardware_concurrency in
+// the report); CI regenerates this file on multi-vCPU runners.
+
+struct OverlapFamily {
+  std::string circuit;
+  std::size_t supernodes = 0;
+  double serial_seconds = 0.0;    ///< -j1, best of reps
+  double parallel_seconds = 0.0;  ///< -jN, best of reps
+  double splits = 0.0;            ///< deterministic split count
+  double steals = 0.0;            ///< from the best parallel run
+  bool deterministic = true;      ///< every run emitted identical BLIF
+};
+
+OverlapFamily run_overlap_family(const Network& input,
+                                 const std::string& circuit, unsigned jobs,
+                                 std::size_t split_threshold, int reps) {
+  OverlapFamily r;
+  r.circuit = circuit;
+  std::string reference_blif;
+  for (const unsigned j : {1u, jobs}) {
+    bds::core::BdsOptions opts;
+    opts.jobs = j;
+    opts.split_threshold = split_threshold;
+    const std::string script = bds::opt::default_bds_script(opts);
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Network net = input;
+      bds::opt::PassManager pm = bds::opt::PassManager::from_script(script);
+      const bds::opt::PipelineStats ps = pm.run(net);
+      for (const bds::opt::PassStats& pass : ps.passes) {
+        if (pass.name != "bds_decompose") continue;
+        if (rep == 0 || pass.seconds < best) {
+          best = pass.seconds;
+          if (j != 1) r.steals = pass.counter("steals");
+        }
+        if (rep == 0 && j == 1) {
+          r.splits = pass.counter("splits");
+          r.supernodes = static_cast<std::size_t>(ps.counter("supernodes"));
+        }
+      }
+      std::ostringstream blif;
+      bds::net::write_blif(blif, net);
+      if (reference_blif.empty()) {
+        reference_blif = blif.str();
+      } else if (blif.str() != reference_blif) {
+        r.deterministic = false;
+      }
+    }
+    (j == 1 ? r.serial_seconds : r.parallel_seconds) = best;
   }
   return r;
 }
@@ -834,7 +898,7 @@ void emit_manager_stats(Json& json, const Manager& mgr) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_pr7.json";
+  std::string out_path = "BENCH_pr8.json";
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -870,7 +934,7 @@ int main(int argc, char** argv) {
   Json json(out);
   json.open();
   json.field("schema", "bds-bench/v1");
-  json.field("pr", "pr7");
+  json.field("pr", "pr8");
   json.field("hardware_concurrency", std::thread::hardware_concurrency());
 
   // -- Microbenchmark -------------------------------------------------------
@@ -973,6 +1037,72 @@ int main(int argc, char** argv) {
   if (!pb.deterministic) {
     std::cerr << "bench_suite: parallel decompose was NOT deterministic\n";
     all_ok = false;
+  }
+
+  // -- Overlapped pipeline with dominator splits ----------------------------
+  std::cout << "== overlapped pipeline (-split work stealing) ==\n";
+  {
+    const unsigned overlap_jobs = 4;
+    const std::size_t split_threshold = 12;
+    std::vector<std::pair<std::string, const Network*>> overlap_inputs;
+    for (const Family& f : families) {
+      if (f.name == "add32" || f.name == "bshift32" || f.name == "mult8") {
+        overlap_inputs.emplace_back(f.generator, &f.net);
+      }
+    }
+    double agg_serial = 0.0;
+    double agg_parallel = 0.0;
+    double agg_splits = 0.0;
+    bool overlap_ok = true;
+    json.open("parallel_overlap");
+    json.field("jobs", overlap_jobs);
+    json.field("split_threshold", split_threshold);
+    json.open_list("families");
+    for (const auto& [name, net] : overlap_inputs) {
+      const OverlapFamily of = run_overlap_family(
+          *net, name, overlap_jobs, split_threshold, quick ? 1 : 3);
+      agg_serial += of.serial_seconds;
+      agg_parallel += of.parallel_seconds;
+      agg_splits += of.splits;
+      overlap_ok = overlap_ok && of.deterministic;
+      const double speedup = of.parallel_seconds > 0
+                                 ? of.serial_seconds / of.parallel_seconds
+                                 : 0.0;
+      json.open();
+      json.field("circuit", of.circuit);
+      json.field("supernodes", of.supernodes);
+      json.field("serial_seconds", of.serial_seconds);
+      json.field("parallel_seconds", of.parallel_seconds);
+      json.field("speedup", speedup);
+      json.field("splits", of.splits);
+      json.field("steals", of.steals);
+      json.field("deterministic", of.deterministic);
+      json.close();
+      std::cout << "  " << of.circuit << ": -j1 " << std::fixed
+                << std::setprecision(3) << of.serial_seconds << "s  -j"
+                << overlap_jobs << " " << of.parallel_seconds << "s  speedup "
+                << std::setprecision(2) << speedup << "x  splits "
+                << std::setprecision(0) << of.splits << "  steals "
+                << of.steals
+                << (of.deterministic ? "" : "  NOT DETERMINISTIC!") << "\n";
+    }
+    json.close_list();
+    const double agg_speedup =
+        agg_parallel > 0 ? agg_serial / agg_parallel : 0.0;
+    json.field("aggregate_serial_seconds", agg_serial);
+    json.field("aggregate_parallel_seconds", agg_parallel);
+    json.field("aggregate_speedup", agg_speedup);
+    json.field("aggregate_splits", agg_splits);
+    json.field("deterministic", overlap_ok);
+    json.close();
+    std::cout << "  aggregate: -j1 " << std::fixed << std::setprecision(3)
+              << agg_serial << "s  -j" << overlap_jobs << " " << agg_parallel
+              << "s  speedup " << std::setprecision(2) << agg_speedup
+              << "x\n";
+    if (!overlap_ok) {
+      std::cerr << "bench_suite: overlapped pipeline was NOT deterministic\n";
+      all_ok = false;
+    }
   }
 
   // -- Resource-budget overhead and forced degradation ----------------------

@@ -73,7 +73,7 @@ constexpr const char* kDemo = R"(
 int usage() {
   std::cerr << "usage: optimize_blif [input.blif] [-o out.blif] "
                "[-gates out_mapped.blif] [-flow bds|sis] "
-               "[-script \"<passes>\"] [-j N] [-node-limit N] "
+               "[-script \"<passes>\"] [-j N] [-split N] [-node-limit N] "
                "[-time-limit S] [-nomap] [-noverify] [-stats] "
                "[-trace] [-check] [-profile] [-trace-json FILE] "
                "[-list-passes]\n";
@@ -104,6 +104,7 @@ int main(int argc, char** argv) {
   std::string flow = "bds";
   std::string script;
   std::string jobs;
+  std::string split;
   std::string node_limit;
   std::string time_limit;
   bool do_map = true;
@@ -126,6 +127,8 @@ int main(int argc, char** argv) {
       script = argv[++i];
     } else if (arg == "-j" && i + 1 < argc) {
       jobs = argv[++i];
+    } else if (arg == "-split" && i + 1 < argc) {
+      split = argv[++i];
     } else if (arg == "-node-limit" && i + 1 < argc) {
       node_limit = argv[++i];
     } else if (arg == "-time-limit" && i + 1 < argc) {
@@ -164,6 +167,7 @@ int main(int argc, char** argv) {
   // keys are reserved pipeline parameters consumed by the PassManager.
   opt::ScriptParams params;
   if (!jobs.empty()) params.emplace_back("jobs", jobs);
+  if (!split.empty()) params.emplace_back("split", split);
   if (!node_limit.empty()) params.emplace_back("node_limit", node_limit);
   if (!time_limit.empty()) params.emplace_back("time_limit", time_limit);
 

@@ -1,15 +1,21 @@
 #include "opt/bds_passes.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/dominators.hpp"
 #include "opt/manager_pool.hpp"
 #include "opt/registry.hpp"
 #include "opt/result_cache.hpp"
 #include "sis/factor.hpp"
+#include "util/mpmc_queue.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -26,6 +32,20 @@ using net::NodeId;
 void attach_counters(util::TelemetrySpan& span,
                      const util::CounterList& counters) {
   for (const auto& [key, value] : counters) span.count(key, value);
+}
+
+/// The per-work-item decomposition counters every supernode (or split half)
+/// span carries, in fixed report order.
+void attach_decompose_counters(util::TelemetrySpan& span,
+                               const core::DecomposeStats& d) {
+  span.count("one_dominator", static_cast<double>(d.one_dominator));
+  span.count("zero_dominator", static_cast<double>(d.zero_dominator));
+  span.count("x_dominator", static_cast<double>(d.x_dominator));
+  span.count("functional_mux", static_cast<double>(d.functional_mux));
+  span.count("generalized",
+             static_cast<double>(d.generalized_and + d.generalized_or +
+                                 d.generalized_xnor));
+  span.count("shannon", static_cast<double>(d.shannon));
 }
 
 // ---- budget-degradation fallback -------------------------------------------
@@ -224,7 +244,7 @@ class BdsDecomposePass final : public Pass {
  public:
   explicit BdsDecomposePass(const std::vector<std::string>& args) {
     validate_args(
-        "bds_decompose", args, 0, {"-max_cuts", "-j"},
+        "bds_decompose", args, 0, {"-max_cuts", "-j", "-split"},
         {"-noreorder", "-nodom", "-nomux", "-nogen", "-noxdom", "-constrain"});
     reorder_ = !has_flag(args, "-noreorder");
     opts_.use_simple_dominators = !has_flag(args, "-nodom");
@@ -237,6 +257,9 @@ class BdsDecomposePass final : public Pass {
     opts_.max_cuts = parse_size_arg(
         "bds_decompose", flag_value("bds_decompose", args, "-max_cuts",
                                     std::to_string(opts_.max_cuts)));
+    split_ = parse_size_arg(
+        "bds_decompose",
+        flag_value("bds_decompose", args, "-split", std::to_string(split_)));
     jobs_ = static_cast<unsigned>(parse_size_arg(
         "bds_decompose",
         flag_value("bds_decompose", args, "-j", std::to_string(jobs_))));
@@ -262,6 +285,10 @@ class BdsDecomposePass final : public Pass {
       if (!out.empty()) out += ' ';
       out += "-max_cuts " + std::to_string(opts_.max_cuts);
     }
+    if (split_ != 0) {
+      if (!out.empty()) out += ' ';
+      out += "-split " + std::to_string(split_);
+    }
     if (jobs_ != 1) {
       if (!out.empty()) out += ' ';
       out += "-j " + std::to_string(jobs_);
@@ -270,18 +297,43 @@ class BdsDecomposePass final : public Pass {
   }
   bool modifies_network() const override { return false; }
 
-  // The decompose phase is embarrassingly parallel: every supernode is
-  // rebuilt in its own compact manager and factored into its own private
-  // forest, so the per-supernode work shares nothing. The pass therefore
-  // runs in three stages:
+  // The decompose phase is embarrassingly parallel at the supernode level:
+  // every supernode is rebuilt in its own compact manager and factored into
+  // its own private forest, so the per-supernode work shares nothing. It
+  // used to run as three barriered stages (transfer all, then parallel_for
+  // all, then merge all); it now runs as an overlapped producer/consumer
+  // pipeline:
   //
-  //   1. serial   -- "BDD mapping" transfers out of the shared partition
-  //                  manager (transfer_to mutates the *source* manager's
-  //                  visit stamps and scratch, so these cannot overlap);
-  //   2. parallel -- reorder + decompose per (local manager, local forest),
-  //                  fanned out over a worker pool;
-  //   3. serial   -- copy_into splices and stats merge in supernode index
-  //                  order, so the emitted network is bit-identical to -j1.
+  //   producer  -- the calling thread streams the "BDD mapping" transfers
+  //                out of the shared partition manager (transfer_to mutates
+  //                the *source* manager's visit stamps and scratch, so
+  //                staging cannot overlap itself) plus the result-cache
+  //                lookup, pushing each ready supernode into a bounded MPMC
+  //                queue while earlier supernodes already decompose;
+  //   consumers -- `jobs - 1` executors submitted to the persistent pool
+  //                (PassContext::thread_pool -- never a pool constructed
+  //                here) pop, reorder and decompose; the producer joins
+  //                them once staging ends. A supernode whose transferred
+  //                BDD reaches `-split N` nodes is split at its most
+  //                balanced conjunctive generalized-dominator cut
+  //                (core::find_balanced_split) into two independently
+  //                decomposable halves: the splitter keeps one and offers
+  //                the other to the queue for an idle executor to steal.
+  //   merge     -- serial, in supernode index order: split halves are
+  //                recombined as a single AND (the Lemma 1 conjunction the
+  //                cut guarantees), so the emitted network and the absorbed
+  //                telemetry are byte-identical to -j1 at every worker
+  //                count. Split decisions are pure functions of the BDD
+  //                (size threshold + deterministic cut scan in the identity
+  //                variable order the cache key is computed in), never of
+  //                timing or thread count.
+  //
+  // Deadlock freedom: the producer is the only blocking pusher; consumers
+  // re-offering split halves use try_push and run the half inline when the
+  // queue is full, so capacity pressure always drains. Termination: tasks
+  // in flight are counted (`remaining`); the queue closes when staging is
+  // done and the count hits zero, which pops every consumer out of its
+  // drain loop.
   void run(net::Network& net, PassContext& ctx) override {
     BdsFlowState& st = ctx.state<BdsFlowState>();
     if (!st.pmgr) {
@@ -292,10 +344,11 @@ class BdsDecomposePass final : public Pass {
     const std::size_t num_supernodes = st.part.supernodes.size();
     st.roots.reserve(num_supernodes);
 
-    // Per-supernode work unit. `func` must be declared after `mgr`: the
-    // handle has to die before the manager that owns its nodes. The manager
-    // is a pool lease, not a fresh construction -- recycled arenas skip the
-    // allocation cost a long-lived daemon would otherwise pay per cone.
+    // Per-supernode work unit. `func` must be declared after `mgr` (and
+    // each half's function after its manager): the handle has to die before
+    // the manager that owns its nodes. Managers are pool leases, not fresh
+    // constructions -- recycled arenas skip the allocation cost a
+    // long-lived daemon would otherwise pay per cone.
     struct Item {
       ManagerPool::Lease mgr;
       Bdd func;
@@ -303,235 +356,433 @@ class BdsDecomposePass final : public Pass {
       core::FactoringForest forest;
       core::FactId root = core::kNoFact;
       core::DecomposeStats stats;
-      /// Budget tripped on this supernode: stage 3 rebuilds it from its
+      /// Budget tripped on this supernode: the merge rebuilds it from its
       /// original SOP cone instead of the (abandoned) BDD decomposition.
       bool degraded = false;
       /// Served from the content-addressed result cache: forest/root/stats
       /// were decoded from an earlier request's decomposition of the same
-      /// canonical function, and stage 2 skips this item entirely.
+      /// canonical function, and no task is ever issued for this item.
       bool cached = false;
       std::uint64_t cache_key = 0;
+      /// Split at a generalized-dominator cut into two independently
+      /// decomposable halves (divisor in half 0, quotient in half 1),
+      /// recombined as a single AND at merge.
+      bool split = false;
+      unsigned split_slot = 0;  ///< executor slot that performed the split
+      ManagerPool::Lease sub_mgr[2];
+      Bdd sub_func[2];
+      core::FactoringForest sub_forest[2];
+      core::FactId sub_root[2] = {core::kNoFact, core::kNoFact};
+      core::DecomposeStats sub_stats[2];
+      /// A half tripped the budget: the whole item falls back (a lone half
+      /// means nothing un-recombined). Atomic because both halves may trip
+      /// concurrently on different executors.
+      std::atomic<bool> sub_failed{false};
     };
 
     util::Telemetry* tel = ctx.telemetry();
     ResultCache* cache = ctx.result_cache().get();
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
+    std::size_t cache_skipped = 0;
 
-    // ---- stage 1: serial transfers out of the shared partition manager.
-    util::TelemetrySpan transfer_span =
-        util::TelemetrySpan::open(tel, "stage:transfer");
+    // Executor slots of this pass invocation: slot 0 is the calling thread
+    // (producer first, consumer afterwards), slots 1..N-1 are consumer jobs
+    // submitted to the persistent pool. Slots are pass-local identities --
+    // one job each -- so per-slot accounting is race-free even when the
+    // pool interleaves jobs from concurrent pipelines.
+    const unsigned slots = util::ThreadPool::resolve(jobs_);
+    util::ThreadPool& pool = ctx.thread_pool();
+    pool.ensure_workers(slots);
+
     std::vector<Item> items(num_supernodes);
-    for (std::size_t s = 0; s < num_supernodes; ++s) {
-      const core::Supernode& sn = st.part.supernodes[s];
-      Item& item = items[s];
-      item.k = static_cast<std::uint32_t>(sn.inputs.size());
-      if (st.part.degraded) {
-        // Trivial partition: the supernode `func` handles are invalid by
-        // contract. Every item goes straight to the fallback path.
-        item.degraded = true;
-        continue;
-      }
-      // "BDD mapping": rebuild the supernode function in a compact manager
-      // containing only the used variables (Section IV-B).
-      item.mgr = ManagerPool::global().acquire(item.k);
-      // The node/byte ceilings are per manager, and each private manager
-      // performs the same operation sequence at any -j, so budget trips --
-      // and therefore degradations -- are deterministic across -j.
-      item.mgr->set_budget(ctx.budget());
-      // kNoVar sentinel, not variable 0: an input absent from the partition
-      // map must be diagnosed, not silently aliased onto variable 0.
-      std::vector<Var> var_map(st.pmgr->num_vars(), core::kNoVar);
-      for (std::uint32_t i = 0; i < item.k; ++i) {
-        const net::NodeId input = sn.inputs[i];
-        const Var pvar = input < st.part.var_of.size()
-                             ? st.part.var_of[input]
-                             : core::kNoVar;
-        if (pvar == core::kNoVar) {
-          throw ScriptError("bds_decompose: supernode '" +
-                            net.node(sn.id).name + "' input '" +
-                            net.node(input).name +
-                            "' has no partition variable (stale partition?)");
-        }
-        var_map[pvar] = i;
-      }
-      for (const Var v : st.pmgr->support(sn.func.edge())) {
-        if (var_map[v] == core::kNoVar) {
-          throw ScriptError(
-              "bds_decompose: supernode '" + net.node(sn.id).name +
-              "' depends on a signal missing from its input list "
-              "(partition variable " +
-              std::to_string(v) + ")");
-        }
-      }
-      try {
-        item.func = item.mgr->wrap(
-            st.pmgr->transfer_to(*item.mgr, sn.func.edge(), var_map));
-      } catch (const BudgetExceeded& e) {
-        if (e.resource() == BudgetExceeded::Resource::kCancelled) throw;
-        item.degraded = true;
-        item.func = Bdd();
-        item.mgr.release();
-        continue;
-      }
-      // Content-addressed lookup: the freshly transferred function in a
-      // compact identity-ordered manager hashes the same for the same cone
-      // in any request, so a hit replays an earlier decomposition of it --
-      // forest bytes, root and stats -- and stage 2 never sees this item.
-      if (cache != nullptr) {
-        item.cache_key = decompose_cache_key(
-            core::canonical_function_hash(*item.mgr, item.func.edge()),
-            opts_, reorder_, item.k);
-        std::string bytes;
-        if (cache->lookup(item.cache_key, bytes) &&
-            decode_fragment(bytes, item.forest, item.root, item.stats)) {
-          item.cached = true;
-          ++cache_hits;
-          item.func = Bdd();
-          item.mgr.release();
-        } else {
-          ++cache_misses;
-        }
-      }
-    }
-    if (transfer_span.active()) {
-      transfer_span.count("supernodes", static_cast<double>(num_supernodes));
-    }
-    transfer_span.close();
+    std::vector<double> busy_seconds(slots, 0.0);
+    std::vector<std::size_t> tasks_run(slots, 0);
+    std::atomic<std::size_t> splits{0};
+    std::atomic<std::size_t> steals{0};
 
-    // ---- stage 2: parallel reorder + decompose on private state.
-    const unsigned workers = util::ThreadPool::resolve(jobs_);
-    util::ThreadPool pool(workers);
-    std::vector<double> busy_seconds(pool.workers(), 0.0);
-
-    // Telemetry from pool workers: the shared hub is not touched inside
-    // the parallel region. Each supernode records into its own private
-    // TelemetryRecorder (rooted under the open stage:parallel span) and
-    // the recorders are absorbed in supernode index order afterwards --
-    // the same deterministic-merge discipline as the decompose results, so
-    // the event stream is byte-identical at every -j.
+    // One span covers the whole overlapped phase (staging, decomposition
+    // and stealing all happen under it). Worker-side telemetry goes into
+    // private per-task recorders -- three per supernode: the supernode
+    // itself and its two potential halves -- absorbed in index order after
+    // the pipeline drains, so the event stream is byte-identical at every
+    // -j (execution-dependent values ride in the exec bucket).
     util::TelemetrySpan par_span =
-        util::TelemetrySpan::open(tel, "stage:parallel");
+        util::TelemetrySpan::open(tel, "stage:pipeline");
     std::vector<util::TelemetryRecorder> recorders;
     if (tel != nullptr) {
       const std::string base_path = tel->current_path();
       const std::uint32_t base_depth = tel->next_depth();
-      recorders.reserve(num_supernodes);
-      for (std::size_t s = 0; s < num_supernodes; ++s) {
+      recorders.reserve(num_supernodes * 3);
+      for (std::size_t s = 0; s < num_supernodes * 3; ++s) {
         recorders.emplace_back(base_path, base_depth);
       }
     }
 
-    pool.parallel_for(
-        num_supernodes, [&](std::size_t s, unsigned executor) {
-          Timer t;
-          Item& item = items[s];
-          util::TelemetrySpan sn_span;
-          if (!recorders.empty()) {
-            sn_span = util::TelemetrySpan::open(
-                &recorders[s], "supernode[" + std::to_string(s) + "]");
-            sn_span.count("inputs", item.k);
+    /// One task: a whole supernode (`sub < 0`) or one half of a split one.
+    struct Task {
+      std::size_t item = 0;
+      int sub = -1;
+    };
+    util::MpmcQueue<Task> queue(std::max<std::size_t>(slots * 2, 4));
+    std::atomic<std::size_t> remaining{0};  ///< tasks issued, not yet retired
+    std::atomic<bool> staging_done{false};
+    std::atomic<bool> aborted{false};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+
+    // A task (or staging itself) threw something no task-level fallback
+    // handles -- budget cancellation, a stale-partition ScriptError,
+    // bad_alloc. Remember the first, close the queue so every parked
+    // participant wakes, and let the leftover tasks retire as no-ops; the
+    // pass rethrows once the pipeline is fully unwound.
+    const auto record_error = [&](std::exception_ptr e) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::move(e);
+      }
+      aborted.store(true);
+      queue.close();
+    };
+    const auto finish_task = [&] {
+      if (remaining.fetch_sub(1) == 1 && staging_done.load()) queue.close();
+    };
+
+    // Reorder + decompose one (manager, function) pair into (forest, root,
+    // stats), recording epochs into `rec`. Returns false -- outputs reset
+    // -- when the budget tripped short of cancellation.
+    const auto decompose_one =
+        [&](bdd::Manager& mgr, const Bdd& func, std::uint32_t k,
+            core::FactoringForest& forest, core::FactId& root,
+            core::DecomposeStats& stats, util::TelemetryRecorder* rec) {
+          try {
+            if (reorder_ && k > 1) {
+              // Manager-op epoch: counters accrued by sifting alone,
+              // observed as a ManagerStats delta at the span boundary (the
+              // manager itself carries no telemetry branches).
+              bdd::ManagerStats before;
+              util::TelemetrySpan epoch;
+              if (rec != nullptr) {
+                before = mgr.stats();
+                epoch = util::TelemetrySpan::open(rec, "epoch:reorder");
+              }
+              mgr.reorder_sift();
+              if (epoch.active()) {
+                attach_counters(epoch,
+                                bdd::telemetry_counters(mgr.stats(), &before));
+              }
+            }
+            bdd::ManagerStats before;
+            util::TelemetrySpan epoch;
+            if (rec != nullptr) {
+              before = mgr.stats();
+              epoch = util::TelemetrySpan::open(rec, "epoch:decompose");
+            }
+            core::Decomposer dec(mgr, forest, opts_);
+            root = dec.decompose(func);
+            stats = dec.stats();
+            if (epoch.active()) {
+              attach_counters(epoch,
+                              bdd::telemetry_counters(mgr.stats(), &before));
+            }
+            return true;
+          } catch (const BudgetExceeded& e) {
+            // Cancellation unwinds the whole pipeline; only resource
+            // exhaustion degrades. Discard whatever was half-built.
+            if (e.resource() == BudgetExceeded::Resource::kCancelled) throw;
+            forest = core::FactoringForest();
+            root = core::kNoFact;
+            stats = core::DecomposeStats();
+            return false;
           }
-          if (!item.degraded && !item.cached) {
-            try {
-              if (reorder_ && item.k > 1) {
-                // Manager-op epoch: counters accrued by sifting alone,
-                // observed as a ManagerStats delta at the span boundary
-                // (the manager itself carries no telemetry branches).
-                bdd::ManagerStats before;
-                util::TelemetrySpan epoch;
-                if (sn_span.active()) {
-                  before = item.mgr->stats();
-                  epoch = util::TelemetrySpan::open(&recorders[s],
-                                                    "epoch:reorder");
-                }
-                item.mgr->reorder_sift();
-                if (epoch.active()) {
-                  attach_counters(epoch, bdd::telemetry_counters(
-                                             item.mgr->stats(), &before));
-                }
-              }
-              {
-                bdd::ManagerStats before;
-                util::TelemetrySpan epoch;
-                if (sn_span.active()) {
-                  before = item.mgr->stats();
-                  epoch = util::TelemetrySpan::open(&recorders[s],
-                                                    "epoch:decompose");
-                }
-                core::Decomposer dec(*item.mgr, item.forest, opts_);
-                item.root = dec.decompose(item.func);
-                item.stats = dec.stats();
-                if (epoch.active()) {
-                  attach_counters(epoch, bdd::telemetry_counters(
-                                             item.mgr->stats(), &before));
-                }
-              }
-            } catch (const BudgetExceeded& e) {
-              // Cancellation unwinds through the pool (parallel_for
-              // rethrows the first worker exception after draining).
-              if (e.resource() == BudgetExceeded::Resource::kCancelled) {
-                throw;
-              }
-              // Caught here, inside the worker body: the exception never
-              // crosses the pool, so the other supernodes keep running.
-              // Discard whatever was half-built; stage 3 refactors this
-              // supernode's original SOP cone instead.
-              item.degraded = true;
-              item.forest = core::FactoringForest();
-              item.root = core::kNoFact;
-              item.stats = core::DecomposeStats();
+        };
+
+    const auto run_task = [&](Task t, unsigned slot,
+                              std::vector<Task>& follow) {
+      Item& item = items[t.item];
+      if (t.sub >= 0) {
+        // One half of a split supernode: private manager, private forest.
+        const auto half = static_cast<std::size_t>(t.sub);
+        util::TelemetryRecorder* rec =
+            recorders.empty() ? nullptr : &recorders[3 * t.item + 1 + half];
+        util::TelemetrySpan span;
+        if (rec != nullptr) {
+          span = util::TelemetrySpan::open(
+              rec, "supernode[" + std::to_string(t.item) + "].half[" +
+                       std::to_string(half) + "]");
+          span.count("inputs", item.k);
+        }
+        if (slot != item.split_slot) {
+          steals.fetch_add(1, std::memory_order_relaxed);
+        }
+        Timer timer;
+        if (!item.sub_failed.load(std::memory_order_relaxed) &&
+            !decompose_one(*item.sub_mgr[half], item.sub_func[half], item.k,
+                           item.sub_forest[half], item.sub_root[half],
+                           item.sub_stats[half], rec)) {
+          item.sub_failed.store(true, std::memory_order_relaxed);
+        }
+        if (span.active()) {
+          attach_decompose_counters(span, item.sub_stats[half]);
+          span.attr("executor", std::to_string(slot));
+          span.count("busy_seconds", timer.seconds());
+        }
+        return;
+      }
+
+      // A whole supernode.
+      util::TelemetryRecorder* rec =
+          recorders.empty() ? nullptr : &recorders[3 * t.item];
+      util::TelemetrySpan span;
+      if (rec != nullptr) {
+        span = util::TelemetrySpan::open(
+            rec, "supernode[" + std::to_string(t.item) + "]");
+        span.count("inputs", item.k);
+      }
+      Timer timer;
+      bool handled = false;
+      if (split_ > 0 && item.func.size() >= split_) {
+        // Work split (Lemma 1, applied once at the top): find the most
+        // balanced conjunctive generalized-dominator cut while the BDD is
+        // still in the deterministic identity order the cache key was
+        // computed in, and carve F = D & Q into two private managers.
+        try {
+          if (const auto cut = core::find_balanced_split(
+                  *item.mgr, item.func.edge(), opts_.max_cuts)) {
+            std::vector<Var> var_map(item.mgr->num_vars(), core::kNoVar);
+            for (std::uint32_t v = 0; v < item.k; ++v) var_map[v] = v;
+            for (std::size_t half = 0; half < 2; ++half) {
+              item.sub_mgr[half] = ManagerPool::global().acquire(item.k);
+              item.sub_mgr[half]->set_budget(ctx.budget());
+              const bdd::Edge src =
+                  half == 0 ? cut->divisor.edge() : cut->quotient.edge();
+              item.sub_func[half] = item.sub_mgr[half]->wrap(
+                  item.mgr->transfer_to(*item.sub_mgr[half], src, var_map));
+            }
+            item.split = true;
+            item.split_slot = slot;
+            splits.fetch_add(1, std::memory_order_relaxed);
+            if (span.active()) {
+              span.count("split", 1.0);
+              span.count("cut_level", static_cast<double>(cut->cut_level));
             }
           }
-          const double busy = t.seconds();
-          if (sn_span.active()) {
-            const core::DecomposeStats& d = item.stats;
-            sn_span.count("one_dominator", static_cast<double>(d.one_dominator));
-            sn_span.count("zero_dominator",
-                          static_cast<double>(d.zero_dominator));
-            sn_span.count("x_dominator", static_cast<double>(d.x_dominator));
-            sn_span.count("functional_mux",
-                          static_cast<double>(d.functional_mux));
-            sn_span.count("generalized",
-                          static_cast<double>(d.generalized_and +
-                                              d.generalized_or +
-                                              d.generalized_xnor));
-            sn_span.count("shannon", static_cast<double>(d.shannon));
-            if (item.degraded) sn_span.count("degraded", 1.0);
-            if (item.cached) sn_span.count("cache_hit", 1.0);
-            // Execution-dependent: which worker ran it and for how long.
-            sn_span.attr("executor", std::to_string(executor));
-            sn_span.count("busy_seconds", busy);
+        } catch (const BudgetExceeded& e) {
+          if (e.resource() == BudgetExceeded::Resource::kCancelled) throw;
+          item.degraded = true;
+          for (std::size_t half = 0; half < 2; ++half) {
+            item.sub_func[half] = Bdd();
+            item.sub_mgr[half].release();
           }
-          busy_seconds[executor] += busy;
-        });
+          handled = true;
+        }
+      }
+      if (item.split) {
+        // Both halves are issued before this task retires, so `remaining`
+        // can never dip to zero with work still in flight. One half goes
+        // to the queue for an idle executor to steal; the other (and the
+        // first too, if the queue is full or this is a serial run) stays
+        // on this slot.
+        remaining.fetch_add(2);
+        if (slots == 1 || !queue.try_push(Task{t.item, 0})) {
+          follow.push_back(Task{t.item, 0});
+        }
+        follow.push_back(Task{t.item, 1});
+      } else if (!handled &&
+                 !decompose_one(*item.mgr, item.func, item.k, item.forest,
+                                item.root, item.stats, rec)) {
+        item.degraded = true;
+      }
+      if (span.active()) {
+        attach_decompose_counters(span, item.stats);
+        if (item.degraded) span.count("degraded", 1.0);
+        span.attr("executor", std::to_string(slot));
+        span.count("busy_seconds", timer.seconds());
+      }
+    };
 
-    // Deterministic merge of the worker-side telemetry, in index order,
-    // while the parent stage:parallel span is still open.
+    // Runs one task under slot accounting and error capture; kept halves
+    // run on the same slot right after (depth <= 2: halves produce no
+    // follow-ups). Aborted pipelines still retire every task so the
+    // termination count stays exact.
+    std::function<void(Task, unsigned)> execute;
+    execute = [&](Task t, unsigned slot) {
+      std::vector<Task> follow;
+      if (!aborted.load(std::memory_order_relaxed)) {
+        Timer timer;
+        try {
+          run_task(t, slot, follow);
+        } catch (...) {
+          record_error(std::current_exception());
+        }
+        busy_seconds[slot] += timer.seconds();
+        ++tasks_run[slot];
+      }
+      finish_task();
+      for (const Task& f : follow) execute(f, slot);
+    };
+
+    // Consumers start before staging does: they overlap the producer from
+    // the very first pushed supernode.
+    util::ThreadPool::Batch batch;
+    if (slots > 1) {
+      for (unsigned c = 1; c < slots; ++c) {
+        pool.submit(batch, [&, c](unsigned) {
+          Task t;
+          while (queue.pop(t)) execute(t, c);
+        });
+      }
+    }
+
+    // Items that never become tasks (cached hits, degraded transfers)
+    // still get their deterministic supernode span, emitted here on the
+    // staging thread.
+    const auto stage_span = [&](std::size_t s) {
+      if (recorders.empty()) return;
+      Item& item = items[s];
+      util::TelemetrySpan span = util::TelemetrySpan::open(
+          &recorders[3 * s], "supernode[" + std::to_string(s) + "]");
+      span.count("inputs", item.k);
+      attach_decompose_counters(span, item.stats);
+      if (item.degraded) span.count("degraded", 1.0);
+      if (item.cached) span.count("cache_hit", 1.0);
+      span.attr("executor", "0");
+      span.count("busy_seconds", 0.0);
+    };
+
+    // ---- producer: stream transfers out of the shared partition manager.
+    try {
+      for (std::size_t s = 0; s < num_supernodes; ++s) {
+        if (aborted.load(std::memory_order_relaxed)) break;
+        const core::Supernode& sn = st.part.supernodes[s];
+        Item& item = items[s];
+        item.k = static_cast<std::uint32_t>(sn.inputs.size());
+        if (st.part.degraded) {
+          // Trivial partition: the supernode `func` handles are invalid by
+          // contract. Every item goes straight to the fallback path.
+          item.degraded = true;
+          if (cache != nullptr) ++cache_skipped;
+          stage_span(s);
+          continue;
+        }
+        // "BDD mapping": rebuild the supernode function in a compact
+        // manager containing only the used variables (Section IV-B).
+        item.mgr = ManagerPool::global().acquire(item.k);
+        // The node/byte ceilings are per manager, and each private manager
+        // performs the same operation sequence at any -j, so budget trips
+        // -- and therefore degradations -- are deterministic across -j.
+        item.mgr->set_budget(ctx.budget());
+        // kNoVar sentinel, not variable 0: an input absent from the
+        // partition map must be diagnosed, not silently aliased onto
+        // variable 0.
+        std::vector<Var> var_map(st.pmgr->num_vars(), core::kNoVar);
+        for (std::uint32_t i = 0; i < item.k; ++i) {
+          const net::NodeId input = sn.inputs[i];
+          const Var pvar = input < st.part.var_of.size()
+                               ? st.part.var_of[input]
+                               : core::kNoVar;
+          if (pvar == core::kNoVar) {
+            throw ScriptError("bds_decompose: supernode '" +
+                              net.node(sn.id).name + "' input '" +
+                              net.node(input).name +
+                              "' has no partition variable (stale "
+                              "partition?)");
+          }
+          var_map[pvar] = i;
+        }
+        for (const Var v : st.pmgr->support(sn.func.edge())) {
+          if (var_map[v] == core::kNoVar) {
+            throw ScriptError(
+                "bds_decompose: supernode '" + net.node(sn.id).name +
+                "' depends on a signal missing from its input list "
+                "(partition variable " +
+                std::to_string(v) + ")");
+          }
+        }
+        try {
+          item.func = item.mgr->wrap(
+              st.pmgr->transfer_to(*item.mgr, sn.func.edge(), var_map));
+        } catch (const BudgetExceeded& e) {
+          if (e.resource() == BudgetExceeded::Resource::kCancelled) throw;
+          item.degraded = true;
+          item.func = Bdd();
+          item.mgr.release();
+          // This supernode never reached cache lookup; without counting it
+          // skipped, hits + misses would undercount the supernode
+          // population and every derived hit rate would drift.
+          if (cache != nullptr) ++cache_skipped;
+          stage_span(s);
+          continue;
+        }
+        // Content-addressed lookup: the freshly transferred function in a
+        // compact identity-ordered manager hashes the same for the same
+        // cone in any request, so a hit replays an earlier decomposition
+        // of it -- forest bytes, root and stats -- and no task is issued.
+        if (cache != nullptr) {
+          item.cache_key = decompose_cache_key(
+              core::canonical_function_hash(*item.mgr, item.func.edge()),
+              opts_, reorder_, item.k, split_);
+          std::string bytes;
+          if (cache->lookup(item.cache_key, bytes) &&
+              decode_fragment(bytes, item.forest, item.root, item.stats)) {
+            item.cached = true;
+            ++cache_hits;
+            item.func = Bdd();
+            item.mgr.release();
+            stage_span(s);
+            continue;
+          }
+          ++cache_misses;
+        }
+        remaining.fetch_add(1);
+        if (slots == 1) {
+          execute(Task{s, -1}, 0);
+        } else if (!queue.push(Task{s, -1})) {
+          remaining.fetch_sub(1);  // closed underneath us: aborting
+        }
+      }
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+    staging_done.store(true);
+    if (remaining.load() == 0) queue.close();
+    // The producer joins the consumers for whatever is still queued.
+    if (slots > 1) {
+      Task t;
+      while (queue.pop(t)) execute(t, 0);
+    }
+    pool.wait(batch);
+    if (first_error) std::rethrow_exception(first_error);
+
+    // Deterministic merge of the worker-side telemetry, in supernode index
+    // order (whole item, then its two halves), while the parent
+    // stage:pipeline span is still open.
     for (util::TelemetryRecorder& rec : recorders) {
       tel->absorb(std::move(rec));
     }
     if (par_span.active()) {
-      par_span.count("workers", static_cast<double>(pool.workers()));
-      for (unsigned w = 0; w < pool.workers(); ++w) {
+      par_span.count("supernodes", static_cast<double>(num_supernodes));
+      par_span.count("workers", static_cast<double>(slots));
+      for (unsigned w = 0; w < slots; ++w) {
         par_span.count("busy_seconds[" + std::to_string(w) + "]",
                        busy_seconds[w]);
       }
+      par_span.count("splits",
+                     static_cast<double>(splits.load(std::memory_order_relaxed)));
+      par_span.count("steals",
+                     static_cast<double>(steals.load(std::memory_order_relaxed)));
     }
     par_span.close();
 
-    // ---- stage 3: serial merge in supernode index order. Degraded items
-    // are rebuilt by algebraic factoring here, still in index order, so the
+    // ---- merge: serial, in supernode index order. Degraded items are
+    // rebuilt by algebraic factoring here, still in index order, so the
     // emitted network is bit-identical to -j1 whenever the trips themselves
     // are deterministic (node/byte ceilings; a deadline is inherently not).
     std::size_t degraded_count = 0;
     util::TelemetrySpan merge_span =
         util::TelemetrySpan::open(tel, "stage:merge");
     std::vector<core::FactId> fallback_memo(net.raw_size(), core::kNoFact);
-    for (std::size_t s = 0; s < num_supernodes; ++s) {
-      const core::Supernode& sn = st.part.supernodes[s];
-      Item& item = items[s];
-      const core::DecomposeStats& d = item.stats;
+    const auto absorb_stats = [&st](const core::DecomposeStats& d) {
       st.decompose.one_dominator += d.one_dominator;
       st.decompose.zero_dominator += d.zero_dominator;
       st.decompose.x_dominator += d.x_dominator;
@@ -540,15 +791,39 @@ class BdsDecomposePass final : public Pass {
       st.decompose.generalized_or += d.generalized_or;
       st.decompose.generalized_xnor += d.generalized_xnor;
       st.decompose.shannon += d.shannon;
+    };
+    for (std::size_t s = 0; s < num_supernodes; ++s) {
+      const core::Supernode& sn = st.part.supernodes[s];
+      Item& item = items[s];
+      const bool degraded =
+          item.degraded || item.sub_failed.load(std::memory_order_relaxed);
+      absorb_stats(item.stats);
 
-      if (item.degraded) {
+      if (degraded) {
         ++degraded_count;
         st.roots.push_back(fallback_factor_cone(net, st, sn.id,
                                                 fallback_memo));
+      } else if (item.split) {
+        // Recombine the halves: F = D & Q, the Lemma 1 conjunction the cut
+        // was chosen for -- bookkept as one more generalized AND.
+        absorb_stats(item.sub_stats[0]);
+        absorb_stats(item.sub_stats[1]);
+        st.decompose.generalized_and += 1;
+        std::vector<core::FactId> leaf_map(item.k);
+        for (std::uint32_t i = 0; i < item.k; ++i) {
+          leaf_map[i] = st.forest.mk_var(st.sig_of[sn.inputs[i]]);
+        }
+        const core::FactId did = item.sub_forest[0].copy_into(
+            st.forest, item.sub_root[0], leaf_map);
+        const core::FactId qid = item.sub_forest[1].copy_into(
+            st.forest, item.sub_root[1], leaf_map);
+        st.roots.push_back(st.forest.mk_and(did, qid));
       } else {
-        // Publish fresh (non-degraded, non-cached) decompositions before
-        // the splice; inserting serially in index order keeps the cache's
-        // LRU state deterministic per request stream.
+        // Publish fresh (non-degraded, non-cached, unsplit) decompositions
+        // before the splice; inserting serially in index order keeps the
+        // cache's LRU state deterministic per request stream. Split items
+        // are never inserted: the fragment format stores one tree, and a
+        // warm replay must reproduce the cold run byte for byte.
         if (cache != nullptr && !item.cached) {
           cache->insert(item.cache_key,
                         encode_fragment(item.forest, item.root, item.stats));
@@ -560,15 +835,25 @@ class BdsDecomposePass final : public Pass {
         st.roots.push_back(
             item.forest.copy_into(st.forest, item.root, leaf_map));
       }
-      if (item.mgr.valid()) {
-        st.peak_local_nodes =
-            std::max(st.peak_local_nodes, item.mgr->stats().peak_live_nodes);
-        st.peak_local_bytes =
-            std::max(st.peak_local_bytes, item.mgr->stats().peak_memory_bytes);
+      for (ManagerPool::Lease* lease :
+           {&item.mgr, &item.sub_mgr[0], &item.sub_mgr[1]}) {
+        if (lease->valid()) {
+          st.peak_local_nodes = std::max(st.peak_local_nodes,
+                                         (**lease).stats().peak_live_nodes);
+          st.peak_local_bytes = std::max(st.peak_local_bytes,
+                                         (**lease).stats().peak_memory_bytes);
+        }
       }
-      item.func = Bdd();  // release before the owning manager goes back
+      // Handles die before their owning managers go back to the pool.
+      item.func = Bdd();
+      item.sub_func[0] = Bdd();
+      item.sub_func[1] = Bdd();
       item.mgr.release();
+      item.sub_mgr[0].release();
+      item.sub_mgr[1].release();
       item.forest = core::FactoringForest();
+      item.sub_forest[0] = core::FactoringForest();
+      item.sub_forest[1] = core::FactoringForest();
     }
     if (merge_span.active()) {
       merge_span.count("fallbacks", static_cast<double>(degraded_count));
@@ -587,22 +872,55 @@ class BdsDecomposePass final : public Pass {
                                   st.decompose.generalized_or +
                                   st.decompose.generalized_xnor));
     ctx.count("shannon", static_cast<double>(st.decompose.shannon));
+    if (split_ > 0) {
+      // Deterministic: a pure function of the input and -split, identical
+      // at every -j (the invariant the split determinism tests pin down).
+      ctx.count("splits",
+                static_cast<double>(splits.load(std::memory_order_relaxed)));
+    }
     if (cache != nullptr) {
       ctx.count("cache_hits", static_cast<double>(cache_hits));
       ctx.count("cache_misses", static_cast<double>(cache_misses));
+      // hits + misses + skipped == supernodes, exactly: supernodes that
+      // degraded before lookup are counted skipped, not silently dropped
+      // from the denominator.
+      ctx.count("cache_skipped", static_cast<double>(cache_skipped));
     }
-    ctx.count("workers", static_cast<double>(pool.workers()));
-    if (num_supernodes > 0) {
-      ctx.count("par_seconds_max",
-                *std::max_element(busy_seconds.begin(), busy_seconds.end()));
-      ctx.count("par_seconds_min",
-                *std::min_element(busy_seconds.begin(), busy_seconds.end()));
+    ctx.count("workers", static_cast<double>(slots));
+    // Execution-dependent load-balance facts (exec telemetry bucket):
+    // which slots actually ran work, and the busy-time spread across the
+    // ones that did. A slot that never saw a task is reported idle rather
+    // than dragging par_seconds_min to a meaningless 0.
+    double busy_max = 0.0;
+    double busy_min = 0.0;
+    std::size_t active = 0;
+    std::size_t idle = 0;
+    for (unsigned w = 0; w < slots; ++w) {
+      if (tasks_run[w] == 0) {
+        ++idle;
+        continue;
+      }
+      busy_max = std::max(busy_max, busy_seconds[w]);
+      busy_min = active == 0 ? busy_seconds[w]
+                             : std::min(busy_min, busy_seconds[w]);
+      ++active;
     }
+    if (active > 0) {
+      ctx.count("par_seconds_max", busy_max);
+      ctx.count("par_seconds_min", busy_min);
+    }
+    ctx.count("idle_workers", static_cast<double>(idle));
+    ctx.count("steals",
+              static_cast<double>(steals.load(std::memory_order_relaxed)));
   }
 
  private:
   core::DecomposeOptions opts_;
   bool reorder_ = true;
+  /// Split threshold: a supernode whose transferred BDD has at least this
+  /// many nodes is split at a balanced generalized-dominator cut into two
+  /// independently decomposable halves. 0 = never split (the default).
+  std::size_t split_ = 0;
   unsigned jobs_ = 1;  ///< decompose workers; 0 = hardware concurrency
 };
 
@@ -696,8 +1014,9 @@ void register_bds_passes(PassRegistry& registry) {
   registry.add(
       "bds_decompose",
       "bds_decompose [-noreorder] [-nodom] [-nomux] [-nogen] [-noxdom] "
-      "[-constrain] [-max_cuts N]: per-supernode BDD decomposition into "
-      "factoring trees",
+      "[-constrain] [-max_cuts N] [-split N] [-j N]: per-supernode BDD "
+      "decomposition into factoring trees (overlapped pipeline; -split "
+      "halves big BDDs at a dominator cut for work stealing)",
       [](const std::vector<std::string>& args) {
         return std::make_unique<BdsDecomposePass>(args);
       });

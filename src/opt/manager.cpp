@@ -137,6 +137,7 @@ PipelineStats PassManager::run(net::Network& net,
   }
   ctx.set_budget(budget);
   ctx.set_result_cache(options.result_cache);
+  if (options.thread_pool) ctx.set_thread_pool(options.thread_pool);
 
   // Telemetry: the whole run is one "pipeline" span; each pass gets a
   // "pass[i]:<name>" child span that mirrors its PassStats (reserved

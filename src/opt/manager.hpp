@@ -43,6 +43,11 @@ struct PipelineOptions {
   /// skip decomposition; the CLI leaves it null (single-shot runs see no
   /// repeats worth the footprint). See opt/result_cache.hpp.
   std::shared_ptr<ResultCache> result_cache;
+  /// Persistent worker pool for parallel passes (null = fall back to the
+  /// process-wide util::ThreadPool::shared()). The bdsd daemon injects its
+  /// own pool so concurrent requests and their inner `-j` parallelism share
+  /// one set of threads; passes never construct pools of their own.
+  std::shared_ptr<util::ThreadPool> thread_pool;
 };
 
 struct PipelineStats {

@@ -21,6 +21,7 @@
 #include "net/network.hpp"
 #include "util/budget.hpp"
 #include "util/telemetry.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bds::opt {
 
@@ -144,6 +145,21 @@ class PassContext {
     return result_cache_;
   }
 
+  /// The persistent worker pool parallel passes run on (installed from
+  /// PipelineOptions::thread_pool; the bdsd server injects its own so
+  /// requests share one set of threads). Keeping the shared_ptr here pins
+  /// the pool for the whole pipeline run.
+  void set_thread_pool(std::shared_ptr<util::ThreadPool> pool) {
+    thread_pool_ = std::move(pool);
+  }
+  /// The pool to run parallel work on: the injected one, or the lazily
+  /// constructed process-wide `util::ThreadPool::shared()` when none was
+  /// injected. Never constructs a throwaway pool -- worker threads persist
+  /// across passes, pipelines and requests (DESIGN.md §5d).
+  [[nodiscard]] util::ThreadPool& thread_pool() const {
+    return thread_pool_ ? *thread_pool_ : util::ThreadPool::shared();
+  }
+
   /// PassManager internal: the run's telemetry hub (null when telemetry is
   /// disabled -- the common case, in which spans opened against it are
   /// inert and free; see util/telemetry.hpp).
@@ -158,6 +174,7 @@ class PassContext {
   std::vector<std::pair<std::string, double>>* sink_ = nullptr;
   std::shared_ptr<const util::ResourceBudget> budget_;
   std::shared_ptr<ResultCache> result_cache_;
+  std::shared_ptr<util::ThreadPool> thread_pool_;
   util::Telemetry* telemetry_ = nullptr;
 };
 

@@ -56,7 +56,8 @@ ResultCache::Stats ResultCache::stats() const {
 
 std::uint64_t decompose_cache_key(std::uint64_t function_hash,
                                   const core::DecomposeOptions& opts,
-                                  bool reorder, std::uint32_t num_inputs) {
+                                  bool reorder, std::uint32_t num_inputs,
+                                  std::size_t split_threshold) {
   // One option bit per flag, then FNV-fold the fingerprint words into the
   // function digest so two option sets never alias onto one key.
   std::uint64_t fp = 0;
@@ -76,6 +77,7 @@ std::uint64_t decompose_cache_key(std::uint64_t function_hash,
   };
   fold(fp);
   fold(static_cast<std::uint64_t>(opts.max_cuts));
+  fold(static_cast<std::uint64_t>(split_threshold));
   return h;
 }
 

@@ -68,12 +68,14 @@ class ResultCache {
 };
 
 /// Folds a canonical-function digest with everything else that determines
-/// the decomposition result: the option set and the input arity. The `-j`
-/// level is deliberately absent (output is byte-identical across -j), as is
-/// the budget (a degraded result is never cached).
+/// the decomposition result: the option set, the input arity and the split
+/// threshold (a split supernode is factored as D & Q, a different tree than
+/// the unsplit decomposition). The `-j` level is deliberately absent
+/// (output is byte-identical across -j), as is the budget (a degraded
+/// result is never cached).
 [[nodiscard]] std::uint64_t decompose_cache_key(
     std::uint64_t function_hash, const core::DecomposeOptions& opts,
-    bool reorder, std::uint32_t num_inputs);
+    bool reorder, std::uint32_t num_inputs, std::size_t split_threshold = 0);
 
 /// Serializes the fragment `(forest nodes, root, stats)` into a byte
 /// string. In-process format (the cache never leaves the daemon), written

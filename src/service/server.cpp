@@ -31,7 +31,9 @@ namespace {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      cache_(std::make_shared<opt::ResultCache>(options_.cache_bytes)) {}
+      cache_(std::make_shared<opt::ResultCache>(options_.cache_bytes)),
+      pool_(std::make_shared<util::ThreadPool>(
+          util::ThreadPool::resolve(options_.concurrency))) {}
 
 Server::~Server() {
   if (listen_fd_ >= 0) {
@@ -76,7 +78,7 @@ void Server::serve() {
   if (listen_fd_ < 0) {
     throw Error("bdsd: serve() called before start()");
   }
-  util::ThreadPool pool(util::ThreadPool::resolve(options_.concurrency));
+  util::ThreadPool& pool = *pool_;
   while (!stop_.load(std::memory_order_relaxed)) {
     pollfd pfd{};
     pfd.fd = listen_fd_;
@@ -161,6 +163,10 @@ OptimizeResponse Server::handle(const OptimizeRequest& request) {
     popts.time_limit_seconds =
         static_cast<double>(request.time_limit_ms) / 1000.0;
     popts.telemetry = telemetry;
+    // One pool for the daemon's lifetime: a request's inner `-j` work runs
+    // on the same threads that fan requests out, instead of each pass
+    // spawning and joining a fresh pool per invocation.
+    popts.thread_pool = pool_;
     if (options_.enable_cache && (request.flags & kFlagBypassCache) == 0) {
       popts.result_cache = cache_;
     }

@@ -24,6 +24,7 @@
 
 #include "opt/result_cache.hpp"
 #include "service/protocol.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bds::service {
 
@@ -80,6 +81,11 @@ class Server {
 
   ServerOptions options_;
   std::shared_ptr<opt::ResultCache> cache_;
+  /// The daemon's one worker pool, shared by the accept-batch fan-out and
+  /// by every request's inner `-j` parallelism (injected through
+  /// PipelineOptions::thread_pool). Constructed once per server lifetime:
+  /// request handling never spawns or joins threads.
+  std::shared_ptr<util::ThreadPool> pool_;
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_{0};

@@ -83,6 +83,9 @@ double counter_or(const SpanEvent& e, std::string_view key, double fallback) {
 
 bool is_exec_counter(std::string_view key) {
   if (key == "workers") return true;
+  // Scheduling facts: which worker ran (or stole) what depends on timing,
+  // unlike "splits", which is a pure function of the input and -split.
+  if (key == "steals" || key == "idle_workers") return true;
   if (key.find("seconds") != std::string_view::npos) return true;
   constexpr std::string_view kMsSuffix = "_ms";
   return key.size() >= kMsSuffix.size() &&

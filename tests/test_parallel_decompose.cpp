@@ -38,9 +38,11 @@ struct FlowResult {
   PassStats decompose;  ///< stats of the bds_decompose pass
 };
 
-FlowResult run_bds(const net::Network& input, unsigned jobs) {
+FlowResult run_bds(const net::Network& input, unsigned jobs,
+                   std::size_t split_threshold = 0) {
   core::BdsOptions opts;
   opts.jobs = jobs;
+  opts.split_threshold = split_threshold;
   net::Network net = input;
   PassManager pm = PassManager::from_script(default_bds_script(opts));
   const PipelineStats ps = pm.run(net);
@@ -124,6 +126,104 @@ TEST(ParallelDecompose, JobsFlagRoundTripsThroughScript) {
     if (!args.empty()) rendered += ' ' + args;
   }
   EXPECT_EQ(rendered, script);
+}
+
+TEST(ParallelDecompose, SplitRunsAreBitIdenticalAcrossWorkerCounts) {
+  // With -split engaged, big supernodes are halved at a dominator cut and
+  // the halves are decomposed as independent (stealable) work items. The
+  // split decision and the recombined network must be pure functions of
+  // the input: byte-identical BLIF and identical split counts at every -j.
+  std::size_t families_that_split = 0;
+  for (const net::Network& input : families()) {
+    const FlowResult serial = run_bds(input, 1, /*split_threshold=*/12);
+    const double splits = serial.decompose.counter("splits");
+    if (splits > 0) ++families_that_split;
+    for (const unsigned jobs : {2u, 4u, 8u}) {
+      const FlowResult parallel = run_bds(input, jobs, 12);
+      EXPECT_EQ(serial.blif, parallel.blif)
+          << input.name() << " -j " << jobs;
+      EXPECT_EQ(parallel.decompose.counter("splits"), splits)
+          << input.name() << " -j " << jobs;
+      for (const char* key : kInvariantCounters) {
+        EXPECT_EQ(serial.decompose.counter(key),
+                  parallel.decompose.counter(key))
+            << input.name() << " -j " << jobs << " counter " << key;
+      }
+    }
+  }
+  // The threshold is low enough that the suite genuinely exercises the
+  // split path (otherwise this test silently tests nothing).
+  EXPECT_GT(families_that_split, 0u);
+}
+
+TEST(ParallelDecompose, SplitRecombinedNetworkIsEquivalentToInput) {
+  for (const net::Network& input :
+       {gen::alu(4), gen::barrel_shifter(8), gen::hamming_corrector(3)}) {
+    core::BdsOptions opts;
+    opts.jobs = 4;
+    opts.split_threshold = 12;
+    net::Network net = input;
+    PassManager pm = PassManager::from_script(default_bds_script(opts));
+    pm.run(net);
+    EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, net)))
+        << input.name();
+  }
+}
+
+TEST(ParallelDecompose, SplitChangesTheNetworkOnlyViaTheThreshold) {
+  // Same input, same -j, different thresholds: the 0-threshold run must
+  // match the classic unsplit decomposition exactly.
+  const net::Network input = gen::alu(4);
+  const FlowResult unsplit = run_bds(input, 4, 0);
+  const FlowResult classic = run_bds(input, 1);
+  EXPECT_EQ(unsplit.blif, classic.blif);
+}
+
+TEST(ParallelDecompose, SplitFlagRoundTripsThroughScript) {
+  core::BdsOptions opts;
+  opts.jobs = 2;
+  opts.split_threshold = 64;
+  const std::string script = default_bds_script(opts);
+  EXPECT_NE(script.find("-split 64"), std::string::npos) << script;
+  PassManager pm = PassManager::from_script(script);
+  std::string rendered;
+  for (const auto& pass : pm.passes()) {
+    if (!rendered.empty()) rendered += "; ";
+    rendered += std::string(pass->name());
+    const std::string args = pass->args();
+    if (!args.empty()) rendered += ' ' + args;
+  }
+  EXPECT_EQ(rendered, script);
+}
+
+TEST(ParallelDecompose, IdleWorkersAreAccountedNotZeroedIntoBusyMin) {
+  // The imbalance-accounting fix: with more executors than supernodes the
+  // spare executors are reported as idle_workers, and par_seconds_min is
+  // the minimum over executors that actually ran work -- never a
+  // meaningless 0 from a worker that had nothing to do.
+  net::Network net = gen::parity_tree(16);
+  PassContext ctx;
+  PassManager::from_script("sweep; bds_partition").run(net, {}, ctx);
+  const std::size_t supernodes =
+      ctx.state<BdsFlowState>().part.supernodes.size();
+  ASSERT_GT(supernodes, 0u);
+  const PipelineStats ps =
+      PassManager::from_script(
+          "bds_decompose -j 8; bds_sharing; bds_balance; bds_emit")
+          .run(net, {}, ctx);
+  PassStats dec;
+  for (const PassStats& p : ps.passes) {
+    if (p.name == "bds_decompose") dec = p;
+  }
+  ASSERT_EQ(dec.name, "bds_decompose");
+  EXPECT_EQ(dec.counter("workers"), 8.0);
+  if (supernodes < 8) {
+    // At most one executor per task can have been active.
+    EXPECT_GE(dec.counter("idle_workers"),
+              8.0 - static_cast<double>(supernodes));
+    EXPECT_GT(dec.counter("par_seconds_min"), 0.0);
+  }
+  EXPECT_GE(dec.counter("par_seconds_max"), dec.counter("par_seconds_min"));
 }
 
 TEST(ParallelDecompose, MissingPartitionVariableIsDiagnosed) {

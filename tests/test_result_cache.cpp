@@ -6,11 +6,15 @@
 // indistinguishable from a fresh one -- memory gauge included.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bdd/bdd.hpp"
 #include "core/sharing.hpp"
+#include "gen/gen.hpp"
+#include "opt/bds_passes.hpp"
+#include "opt/manager.hpp"
 #include "opt/manager_pool.hpp"
 #include "opt/result_cache.hpp"
 
@@ -77,6 +81,69 @@ TEST(DecomposeCacheKey, SensitiveToEveryOptionButNotJobs) {
 
   // Identical inputs reproduce the key (it addresses a shared cache).
   EXPECT_EQ(decompose_cache_key(42, base, true, 5), k0);
+
+  // The split threshold changes the produced factoring tree (D & Q instead
+  // of the unsplit decomposition), so it must change the key.
+  EXPECT_NE(decompose_cache_key(42, base, true, 5, 64), k0);
+  EXPECT_NE(decompose_cache_key(42, base, true, 5, 64),
+            decompose_cache_key(42, base, true, 5, 128));
+  EXPECT_EQ(decompose_cache_key(42, base, true, 5, 0), k0);  // 0 = default
+}
+
+TEST(ResultCache, SkippedSupernodesKeepTheHitRateDenominatorExact) {
+  // The accounting fix: a supernode that degrades before its cache lookup
+  // (budget trip during transfer) is counted as cache_skipped, so
+  // hits + misses + skipped always equals the supernode count -- the
+  // denominator never silently drifts.
+  double total_skipped = 0.0;
+  for (net::Network& input :
+       std::vector<net::Network>{gen::parity_tree(24), gen::alu(4)}) {
+    net::Network net = std::move(input);
+    PassContext ctx;
+    PassManager::from_script("sweep; bds_partition").run(net, {}, ctx);
+    const std::size_t supernodes =
+        ctx.state<BdsFlowState>().part.supernodes.size();
+    ASSERT_GT(supernodes, 0u);
+
+    PipelineOptions popts;
+    popts.node_limit = 12;  // tight enough to trip inside big transfers
+    popts.result_cache = std::make_shared<ResultCache>();
+    const PipelineStats ps =
+        PassManager::from_script("bds_decompose; bds_sharing; bds_emit")
+            .run(net, popts, ctx);
+
+    const double hits = ps.counter("cache_hits");
+    const double misses = ps.counter("cache_misses");
+    const double skipped = ps.counter("cache_skipped");
+    EXPECT_EQ(hits + misses + skipped, static_cast<double>(supernodes));
+    total_skipped += skipped;
+  }
+  EXPECT_GT(total_skipped, 0.0)
+      << "node limit 12 degraded no transfer; the threshold no longer "
+         "exercises the skip path";
+}
+
+TEST(ResultCache, WarmHitsPlusMissesStillCoverEverySupernode) {
+  const net::Network input = gen::ripple_adder(10);
+  PipelineOptions popts;
+  popts.result_cache = std::make_shared<ResultCache>();
+  double supernodes = 0.0;
+  for (int round = 0; round < 2; ++round) {
+    net::Network net = input;
+    PassContext ctx;
+    PassManager::from_script("sweep; bds_partition").run(net, {}, ctx);
+    supernodes =
+        static_cast<double>(ctx.state<BdsFlowState>().part.supernodes.size());
+    const PipelineStats ps =
+        PassManager::from_script("bds_decompose; bds_sharing; bds_emit")
+            .run(net, popts, ctx);
+    EXPECT_EQ(ps.counter("cache_hits") + ps.counter("cache_misses") +
+                  ps.counter("cache_skipped"),
+              supernodes)
+        << "round " << round;
+    EXPECT_EQ(ps.counter("cache_skipped"), 0.0) << "round " << round;
+    if (round == 1) EXPECT_EQ(ps.counter("cache_hits"), supernodes);
+  }
 }
 
 FactoringForest sample_forest(FactId& root) {
