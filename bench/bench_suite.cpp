@@ -32,13 +32,21 @@
 // stealing engaged: aggregate -j1 vs -j4 decompose time over the
 // adder/shifter/multiplier families, byte-comparing every run and
 // recording the (deterministic) split count and the (execution-dependent)
-// steal count. Emits one JSON report (default BENCH_pr8.json)
+// steal count. An `overload` section floods a real socket-backed daemon at
+// 4x its executor count twice -- once behind the bounded admission queue,
+// once with the queue ceiling effectively removed -- and records the p99
+// latency of admitted requests on both sides plus the cost of every shed:
+// admission must keep the admitted p99 below the unbounded baseline's
+// while answering each shed in well under 10ms, with every admitted result
+// byte-identical. Emits one JSON report (default BENCH_pr9.json)
 // that CI uploads as an artifact, so manager regressions show up as a diff
 // in the numbers, not an anecdote. `hardware_concurrency` is recorded
 // alongside: parallel speedups are only meaningful where the host actually
 // has the cores.
 //
 // Usage: bench_suite [-out <path>] [-quick]
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -49,6 +57,7 @@
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -63,6 +72,7 @@
 #include "opt/bds_passes.hpp"
 #include "opt/flows.hpp"
 #include "opt/manager.hpp"
+#include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "util/budget.hpp"
@@ -826,7 +836,7 @@ ServiceBenchResult run_service_bench(const std::vector<Family>& workload,
     r.points[i].circuit = workload[i].name;
     requests[i].blif = bds::net::to_blif_string(workload[i].net);
     // Single-threaded on purpose: the cache, not the pool, is under test.
-    requests[i].jobs = 1;
+    requests[i].options.jobs = 1;
   }
 
   for (int rep = 0; rep < reps; ++rep) {
@@ -869,6 +879,120 @@ ServiceBenchResult run_service_bench(const std::vector<Family>& workload,
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Overload: the admission layer under a 4x closed-loop flood, over a real
+// socket (unlike the `service` section, queueing *is* the effect under
+// test here, so loopback I/O belongs in the measurement). The same flood
+// runs twice: once behind the bounded gate (small queue_depth, requests
+// beyond it shed with kOverloaded) and once with the ceiling pushed out of
+// reach -- the "no admission" baseline where every request is accepted and
+// waits behind the whole backlog. Admission's promise is the difference
+// between the two admitted-latency distributions: bounded queue => an
+// admitted request waits behind at most queue_depth predecessors, so its
+// p99 stays near (depth/workers + 1) service times while the baseline's
+// grows with the flood factor. Sheds are timed individually; the bar is
+// that no shed ever costs a queue slot (well under 10ms each).
+
+struct OverloadSide {
+  std::vector<double> admitted_ms;  ///< per-attempt latency, kOk responses
+  std::vector<double> shed_ms;      ///< per-attempt latency, kOverloaded
+  std::uint64_t server_sheds = 0;   ///< daemon-side counter, cross-check
+  double p99_admitted_ms = 0.0;
+  double mean_admitted_ms = 0.0;
+  double worst_shed_ms = 0.0;
+  bool all_ok = true;          ///< no unexpected statuses
+  bool byte_identical = true;  ///< every admitted result matched the first
+};
+
+double percentile_ms(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(samples.size())));
+  return samples[std::min(rank > 0 ? rank - 1 : 0, samples.size() - 1)];
+}
+
+OverloadSide run_overload_side(const std::string& blif, unsigned workers,
+                               std::size_t queue_depth, int clients,
+                               int successes_per_client) {
+  namespace svc = bds::service;
+  OverloadSide side;
+
+  svc::ServerOptions options;
+  options.socket_path = "/tmp/bench-bdsd-overload-" +
+                        std::to_string(::getpid()) + ".sock";
+  options.concurrency = workers;
+  options.queue_depth = queue_depth;
+  svc::Server server(std::move(options));
+  server.start();
+  std::thread serve_thread([&server] { server.serve(); });
+
+  std::mutex mu;
+  std::string reference;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      svc::Client client(server.socket_path());
+      client.connect();
+      svc::OptimizeRequest req;
+      req.blif = blif;
+      req.options.jobs = 1;
+      req.options.bypass_cache = true;  // every admitted request does work
+      std::vector<double> admitted;
+      std::vector<double> shed;
+      bool ok = true;
+      bool identical = true;
+      // Closed loop: one outstanding request per client, resubmitted after
+      // a shed once the daemon's hint elapses, until the quota of
+      // successes is met. Per-attempt latency is what the distributions
+      // are built from -- a shed must never inherit an admitted wait.
+      for (int done = 0; done < successes_per_client;) {
+        Timer t;
+        const svc::OptimizeResponse resp = client.optimize(req);
+        const double ms = t.seconds() * 1000.0;
+        if (resp.status == svc::Status::kOk) {
+          admitted.push_back(ms);
+          ++done;
+          std::lock_guard<std::mutex> lock(mu);
+          if (reference.empty()) {
+            reference = resp.blif;
+          } else if (resp.blif != reference) {
+            identical = false;
+          }
+        } else if (resp.status == svc::Status::kOverloaded) {
+          shed.push_back(ms);
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::max<std::uint32_t>(resp.retry_after_ms, 1)));
+        } else {
+          ok = false;  // kShuttingDown etc. would be a bench bug
+          ++done;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      side.admitted_ms.insert(side.admitted_ms.end(), admitted.begin(),
+                              admitted.end());
+      side.shed_ms.insert(side.shed_ms.end(), shed.begin(), shed.end());
+      side.all_ok = side.all_ok && ok;
+      side.byte_identical = side.byte_identical && identical;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  side.server_sheds = server.stats().sheds;
+  server.stop();
+  serve_thread.join();
+
+  side.p99_admitted_ms = percentile_ms(side.admitted_ms, 0.99);
+  for (const double ms : side.admitted_ms) side.mean_admitted_ms += ms;
+  if (!side.admitted_ms.empty()) {
+    side.mean_admitted_ms /= static_cast<double>(side.admitted_ms.size());
+  }
+  for (const double ms : side.shed_ms) {
+    side.worst_shed_ms = std::max(side.worst_shed_ms, ms);
+  }
+  return side;
+}
+
 void emit_manager_stats(Json& json, const Manager& mgr) {
   const bds::bdd::ManagerStats& ms = mgr.stats();
   json.field("live_nodes", ms.live_nodes);
@@ -898,7 +1022,7 @@ void emit_manager_stats(Json& json, const Manager& mgr) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_pr8.json";
+  std::string out_path = "BENCH_pr9.json";
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -934,7 +1058,7 @@ int main(int argc, char** argv) {
   Json json(out);
   json.open();
   json.field("schema", "bds-bench/v1");
-  json.field("pr", "pr8");
+  json.field("pr", "pr9");
   json.field("hardware_concurrency", std::thread::hardware_concurrency());
 
   // -- Microbenchmark -------------------------------------------------------
@@ -1229,6 +1353,81 @@ int main(int argc, char** argv) {
   if (!service_fast_enough) {
     std::cerr << "bench_suite: warm service speedup under the 2x bar\n";
     all_ok = false;
+  }
+
+  // -- Overload: admission vs no-admission under a 4x flood -----------------
+  std::cout << "== overload (bounded admission vs unbounded baseline) ==\n";
+  {
+    const unsigned overload_workers = 2;
+    const int overload_clients = 4 * static_cast<int>(overload_workers);
+    const int successes_per_client = quick ? 1 : 3;
+    const std::size_t bounded_depth = 2;
+    // "No admission": a ceiling no closed loop of `overload_clients` can
+    // reach, so every request is accepted and waits behind the whole
+    // backlog -- the behavior the gate exists to prevent.
+    const std::size_t baseline_depth = 256;
+    const std::string overload_blif =
+        bds::net::to_blif_string(bds::gen::array_multiplier(6));
+
+    const OverloadSide bounded =
+        run_overload_side(overload_blif, overload_workers, bounded_depth,
+                          overload_clients, successes_per_client);
+    const OverloadSide baseline =
+        run_overload_side(overload_blif, overload_workers, baseline_depth,
+                          overload_clients, successes_per_client);
+
+    const bool shed_observed = !bounded.shed_ms.empty();
+    const bool sheds_fast = bounded.worst_shed_ms < 10.0;
+    const bool p99_bounded =
+        bounded.p99_admitted_ms <= baseline.p99_admitted_ms;
+    const bool overload_ok = bounded.all_ok && baseline.all_ok &&
+                             bounded.byte_identical &&
+                             baseline.byte_identical && shed_observed &&
+                             sheds_fast && p99_bounded;
+
+    auto emit_side = [&json](const char* key, const OverloadSide& side,
+                             std::size_t depth) {
+      json.open(key);
+      json.field("queue_depth", depth);
+      json.field("admitted", side.admitted_ms.size());
+      json.field("sheds_observed", side.shed_ms.size());
+      json.field("server_sheds", side.server_sheds);
+      json.field("p99_admitted_ms", side.p99_admitted_ms);
+      json.field("mean_admitted_ms", side.mean_admitted_ms);
+      json.field("worst_shed_ms", side.worst_shed_ms);
+      json.field("all_ok", side.all_ok);
+      json.field("byte_identical", side.byte_identical);
+      json.close();
+    };
+    json.open("overload");
+    json.field("circuit", "array_multiplier(6)");
+    json.field("workers", overload_workers);
+    json.field("clients", overload_clients);
+    json.field("successes_per_client", successes_per_client);
+    emit_side("bounded", bounded, bounded_depth);
+    emit_side("baseline", baseline, baseline_depth);
+    json.field("shed_observed", shed_observed);
+    json.field("sheds_under_10ms", sheds_fast);
+    json.field("p99_bounded_vs_baseline", p99_bounded);
+    json.field("ok", overload_ok);
+    json.close();
+    std::cout << "  bounded (depth " << bounded_depth << "): p99 "
+              << std::fixed << std::setprecision(2) << bounded.p99_admitted_ms
+              << "ms  mean " << bounded.mean_admitted_ms << "ms  "
+              << bounded.shed_ms.size() << " shed(s), worst "
+              << bounded.worst_shed_ms << "ms\n"
+              << "  baseline (depth " << baseline_depth << "): p99 "
+              << baseline.p99_admitted_ms << "ms  mean "
+              << baseline.mean_admitted_ms << "ms  "
+              << baseline.shed_ms.size() << " shed(s)\n"
+              << "  p99 bounded vs baseline: "
+              << (p99_bounded ? "YES" : "NO") << "   sheds <10ms: "
+              << (sheds_fast ? "YES" : "NO")
+              << (overload_ok ? "" : "   OVERLOAD CHECK FAILED!") << "\n";
+    if (!overload_ok) {
+      std::cerr << "bench_suite: overload section failed its checks\n";
+      all_ok = false;
+    }
   }
 
   // -- Families -------------------------------------------------------------

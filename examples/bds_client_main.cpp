@@ -2,8 +2,15 @@
 //
 //   bds-client -socket /tmp/bds.sock circuit.blif [-o out.blif]
 //              [-script TEXT] [-j N] [-node-limit N] [-byte-limit N]
-//              [-time-limit SECONDS] [-check] [-no-cache] [-stats]
+//              [-time-limit SECONDS] [-deadline-ms N] [-priority normal|high]
+//              [-check] [-no-cache] [-retries N] [-stats]
 //   bds-client -socket /tmp/bds.sock -server-stats
+//
+// The request knobs are the shared opt::RequestOptions flags (one parser
+// for this CLI, optimize_blif, and the wire protocol). When the daemon
+// sheds the request (kOverloaded) or is draining (kShuttingDown), the
+// client retries with jittered exponential backoff honoring the daemon's
+// retry_after_ms hint, up to -retries times (default 4; 0 = fail fast).
 //
 // Exit codes mirror optimize_blif where the failure modes overlap:
 //   0 optimized (possibly degraded under a budget)
@@ -12,6 +19,10 @@
 //   3 the daemon could not parse the BLIF
 //   4 structurally invalid network
 //   5 the request's resource budget ended the run
+//   6 cannot connect to the daemon socket
+//   7 request shed (overloaded/shutting down) even after retries
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -19,6 +30,7 @@
 #include <string>
 
 #include "service/client.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -27,13 +39,9 @@ int usage() {
       << "usage: bds-client -socket PATH circuit.blif [options]\n"
          "       bds-client -socket PATH -server-stats\n"
          "  -o FILE           write the optimized BLIF here (default stdout)\n"
-         "  -script TEXT      script text or name (default: bds)\n"
-         "  -j N              intra-request workers (default: hardware)\n"
-         "  -node-limit N     live-BDD-node ceiling (0 = unlimited)\n"
-         "  -byte-limit N     BDD byte ceiling (0 = unlimited)\n"
-         "  -time-limit SECS  wall-clock deadline (0 = none)\n"
-         "  -check            per-pass equivalence checkpoints\n"
-         "  -no-cache         bypass the daemon's result cache\n"
+      << bds::opt::RequestOptions::cli_help()
+      << "  -retries N        resubmits after a shed (default 4, 0 = fail "
+         "fast)\n"
          "  -stats            print the per-pass table and cache counters\n";
   return 2;
 }
@@ -49,44 +57,40 @@ int main(int argc, char** argv) {
   bool server_stats = false;
   bool show_stats = false;
   OptimizeRequest request;
+  RetryPolicy retry;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "-socket" && i + 1 < argc) {
-      socket_path = argv[++i];
-    } else if (arg == "-o" && i + 1 < argc) {
-      output_path = argv[++i];
-    } else if (arg == "-script" && i + 1 < argc) {
-      request.script = argv[++i];
-    } else if (arg == "-j" && i + 1 < argc) {
-      request.jobs =
-          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg == "-node-limit" && i + 1 < argc) {
-      request.node_limit = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "-byte-limit" && i + 1 < argc) {
-      request.byte_limit = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "-time-limit" && i + 1 < argc) {
-      request.time_limit_ms =
-          static_cast<std::uint64_t>(std::strtod(argv[++i], nullptr) * 1000.0);
-    } else if (arg == "-check") {
-      request.flags |= kFlagCheck;
-    } else if (arg == "-no-cache") {
-      request.flags |= kFlagBypassCache;
-    } else if (arg == "-stats") {
-      show_stats = true;
-    } else if (arg == "-server-stats") {
-      server_stats = true;
-    } else if (arg == "-h" || arg == "-help" || arg == "--help") {
-      usage();
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "bds-client: unknown argument: " << arg << "\n";
-      return usage();
-    } else if (input_path.empty()) {
-      input_path = arg;
-    } else {
-      return usage();
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (request.options.parse_cli_arg(argc, argv, i)) {
+        continue;
+      } else if (arg == "-socket" && i + 1 < argc) {
+        socket_path = argv[++i];
+      } else if (arg == "-o" && i + 1 < argc) {
+        output_path = argv[++i];
+      } else if (arg == "-retries" && i + 1 < argc) {
+        retry.max_retries =
+            static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (arg == "-stats") {
+        show_stats = true;
+      } else if (arg == "-server-stats") {
+        server_stats = true;
+      } else if (arg == "-h" || arg == "-help" || arg == "--help") {
+        usage();
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "bds-client: unknown argument: " << arg << "\n";
+        return usage();
+      } else if (input_path.empty()) {
+        input_path = arg;
+      } else {
+        return usage();
+      }
     }
+    request.options.validate();
+  } catch (const bds::ParseError& e) {
+    std::cerr << "bds-client: " << e.what() << "\n";
+    return usage();
   }
   if (socket_path.empty() || (input_path.empty() && !server_stats)) {
     return usage();
@@ -106,7 +110,15 @@ int main(int argc, char** argv) {
                 << "cache entries     " << s.cache_entries << "\n"
                 << "cache bytes       " << s.cache_bytes << "\n"
                 << "pool idle         " << s.pool_idle << "\n"
-                << "pool constructed  " << s.pool_constructed << "\n";
+                << "pool constructed  " << s.pool_constructed << "\n"
+                << "admitted          " << s.admitted << "\n"
+                << "sheds             " << s.sheds << "\n"
+                << "deadline rejects  " << s.deadline_rejects << "\n"
+                << "drained           " << s.drained << "\n"
+                << "queue depth       " << s.queue_depth << "\n"
+                << "queue bytes       " << s.queue_bytes << "\n"
+                << "in flight         " << s.in_flight << "\n"
+                << "draining          " << s.draining << "\n";
       return 0;
     }
 
@@ -119,7 +131,12 @@ int main(int argc, char** argv) {
     blif << in.rdbuf();
     request.blif = blif.str();
 
-    const OptimizeResponse response = client.optimize(request);
+    // Seed the backoff jitter from the pid so a flood of shed clients
+    // spreads its retries instead of stampeding back in lockstep.
+    retry.jitter_seed = static_cast<std::uint64_t>(::getpid());
+    const OptimizeResponse response =
+        retry.max_retries > 0 ? client.optimize_with_retry(request, retry)
+                              : client.optimize(request);
 
     switch (response.status) {
       case Status::kOk:
@@ -143,6 +160,14 @@ int main(int argc, char** argv) {
       case Status::kInternalError:
         std::cerr << "bds-client: daemon error: " << response.error << "\n";
         return 1;
+      case Status::kOverloaded:
+        std::cerr << "bds-client: shed by the daemon (overloaded): "
+                  << response.error << "\n";
+        return 7;
+      case Status::kShuttingDown:
+        std::cerr << "bds-client: daemon shutting down: " << response.error
+                  << "\n";
+        return 7;
     }
 
     if (response.status == Status::kDegraded) {
@@ -166,6 +191,9 @@ int main(int argc, char** argv) {
       }
       out << response.blif;
     }
+  } catch (const ConnectError& e) {
+    std::cerr << e.what() << "\n";
+    return 6;
   } catch (const std::exception& e) {
     std::cerr << "bds-client: " << e.what() << "\n";
     return 1;

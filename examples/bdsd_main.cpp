@@ -1,13 +1,20 @@
 // bdsd: the long-lived optimization daemon.
 //
-//   bdsd -socket /tmp/bds.sock [-c N] [-cache-bytes N] [-no-cache]
-//        [-trace-dir DIR]
+//   bdsd -socket /tmp/bds.sock [-c N] [-queue-depth N] [-queue-bytes N]
+//        [-cache-bytes N] [-no-cache] [-trace-dir DIR]
 //
 // Listens on a Unix-domain socket for framed optimize requests (see
-// src/service/protocol.hpp), runs them on a thread pool, and amortizes
-// work across requests through the shared content-addressed ResultCache
-// and the global BDD ManagerPool. Stop with SIGINT/SIGTERM: the accept
-// loop finishes its current batch, then the socket file is removed.
+// src/service/protocol.hpp), runs them through a bounded admission queue
+// on a fixed executor pool, and amortizes work across requests through the
+// shared content-addressed ResultCache and the global BDD ManagerPool.
+// Requests beyond the queue's depth or byte ceiling are shed immediately
+// with kOverloaded and a retry hint instead of piling up.
+//
+// Shutdown: SIGTERM drains gracefully -- everything already admitted runs
+// to completion and is delivered while new requests are answered
+// kShuttingDown; SIGINT stops hard -- queued requests are answered
+// kShuttingDown, only work already executing finishes. Either way the
+// socket file is removed on exit.
 //
 // Exit codes: 0 clean shutdown, 1 startup/serve failure, 2 usage.
 #include <csignal>
@@ -21,15 +28,23 @@ namespace {
 
 bds::service::Server* g_server = nullptr;
 
-void on_signal(int) {
+void on_sigint(int) {
   if (g_server != nullptr) g_server->stop();
+}
+
+void on_sigterm(int) {
+  if (g_server != nullptr) g_server->request_drain();
 }
 
 int usage() {
   std::cerr
       << "usage: bdsd -socket PATH [options]\n"
          "  -socket PATH      Unix-domain socket to listen on (required)\n"
-         "  -c N              request-batch executors (default: hardware)\n"
+         "  -c N              request executors (default: hardware)\n"
+         "  -queue-depth N    pending-request ceiling before shedding "
+         "(default 64)\n"
+         "  -queue-bytes N    pending-payload byte ceiling (default 64 MiB, "
+         "0 = unlimited)\n"
          "  -cache-bytes N    result-cache byte budget (default 64 MiB)\n"
          "  -no-cache         disable the cross-request result cache\n"
          "  -trace-dir DIR    write request-<id>.jsonl telemetry traces\n";
@@ -48,6 +63,10 @@ int main(int argc, char** argv) {
     } else if (arg == "-c" && i + 1 < argc) {
       options.concurrency =
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "-queue-depth" && i + 1 < argc) {
+      options.queue_depth = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "-queue-bytes" && i + 1 < argc) {
+      options.queue_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "-cache-bytes" && i + 1 < argc) {
       options.cache_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "-no-cache") {
@@ -68,15 +87,17 @@ int main(int argc, char** argv) {
     bds::service::Server server(std::move(options));
     server.start();
     g_server = &server;
-    std::signal(SIGINT, on_signal);
-    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_sigint);    // hard stop
+    std::signal(SIGTERM, on_sigterm);  // graceful drain
     std::cerr << "bdsd: listening on " << server.socket_path() << "\n";
     server.serve();
     g_server = nullptr;
     const bds::service::ServerStats stats = server.stats();
-    std::cerr << "bdsd: served " << stats.requests << " request(s), cache "
-              << stats.cache_hits << " hit(s) / " << stats.cache_misses
-              << " miss(es)\n";
+    std::cerr << "bdsd: served " << stats.requests << " request(s), admitted "
+              << stats.admitted << ", shed " << stats.sheds
+              << ", deadline-rejected " << stats.deadline_rejects
+              << ", cache " << stats.cache_hits << " hit(s) / "
+              << stats.cache_misses << " miss(es)\n";
   } catch (const std::exception& e) {
     std::cerr << "bdsd: " << e.what() << "\n";
     return 1;

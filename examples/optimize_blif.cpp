@@ -46,6 +46,7 @@
 #include "net/network.hpp"
 #include "opt/manager.hpp"
 #include "opt/registry.hpp"
+#include "opt/request_options.hpp"
 #include "util/error.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -72,11 +73,12 @@ constexpr const char* kDemo = R"(
 
 int usage() {
   std::cerr << "usage: optimize_blif [input.blif] [-o out.blif] "
-               "[-gates out_mapped.blif] [-flow bds|sis] "
-               "[-script \"<passes>\"] [-j N] [-split N] [-node-limit N] "
-               "[-time-limit S] [-nomap] [-noverify] [-stats] "
-               "[-trace] [-check] [-profile] [-trace-json FILE] "
-               "[-list-passes]\n";
+               "[-gates out_mapped.blif] [-flow bds|sis] [-split N] "
+               "[-nomap] [-noverify] [-stats] [-trace] [-profile] "
+               "[-trace-json FILE] [-list-passes]\n"
+               "shared request options (also bds-client / the bdsd wire "
+               "protocol):\n"
+            << bds::opt::RequestOptions::cli_help();
   return 2;
 }
 
@@ -102,74 +104,70 @@ int main(int argc, char** argv) {
   std::string output_path;
   std::string gate_path;
   std::string flow = "bds";
-  std::string script;
-  std::string jobs;
   std::string split;
-  std::string node_limit;
-  std::string time_limit;
   bool do_map = true;
   bool do_verify = true;
   bool show_stats = false;
   bool trace = false;
-  bool check = false;
   bool profile = false;
   std::string trace_json_path;
+  // The shared request options (script, jobs, ceilings, deadline, check --
+  // the same struct bds-client and the bdsd wire protocol use; one parser,
+  // declared once in opt/request_options.hpp).
+  opt::RequestOptions ro;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "-o" && i + 1 < argc) {
-      output_path = argv[++i];
-    } else if (arg == "-gates" && i + 1 < argc) {
-      gate_path = argv[++i];
-    } else if (arg == "-flow" && i + 1 < argc) {
-      flow = argv[++i];
-    } else if (arg == "-script" && i + 1 < argc) {
-      script = argv[++i];
-    } else if (arg == "-j" && i + 1 < argc) {
-      jobs = argv[++i];
-    } else if (arg == "-split" && i + 1 < argc) {
-      split = argv[++i];
-    } else if (arg == "-node-limit" && i + 1 < argc) {
-      node_limit = argv[++i];
-    } else if (arg == "-time-limit" && i + 1 < argc) {
-      time_limit = argv[++i];
-    } else if (arg == "-nomap") {
-      do_map = false;
-    } else if (arg == "-noverify") {
-      do_verify = false;
-    } else if (arg == "-stats") {
-      show_stats = true;
-    } else if (arg == "-trace") {
-      trace = true;
-    } else if (arg == "-check") {
-      check = true;
-    } else if (arg == "-profile") {
-      profile = true;
-    } else if (arg == "-trace-json" && i + 1 < argc) {
-      trace_json_path = argv[++i];
-    } else if (arg == "-list-passes") {
-      return list_passes();
-    } else if (arg[0] == '-') {
-      return usage();
-    } else if (input_path.empty()) {
-      input_path = arg;
-    } else {
-      std::cerr << "unexpected extra argument '" << arg << "' (input is '"
-                << input_path << "')\n";
-      return usage();
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (ro.parse_cli_arg(argc, argv, i)) {
+        continue;
+      } else if (arg == "-o" && i + 1 < argc) {
+        output_path = argv[++i];
+      } else if (arg == "-gates" && i + 1 < argc) {
+        gate_path = argv[++i];
+      } else if (arg == "-flow" && i + 1 < argc) {
+        flow = argv[++i];
+      } else if (arg == "-split" && i + 1 < argc) {
+        split = argv[++i];
+      } else if (arg == "-nomap") {
+        do_map = false;
+      } else if (arg == "-noverify") {
+        do_verify = false;
+      } else if (arg == "-stats") {
+        show_stats = true;
+      } else if (arg == "-trace") {
+        trace = true;
+      } else if (arg == "-profile") {
+        profile = true;
+      } else if (arg == "-trace-json" && i + 1 < argc) {
+        trace_json_path = argv[++i];
+      } else if (arg == "-list-passes") {
+        return list_passes();
+      } else if (arg[0] == '-') {
+        return usage();
+      } else if (input_path.empty()) {
+        input_path = arg;
+      } else {
+        std::cerr << "unexpected extra argument '" << arg << "' (input is '"
+                  << input_path << "')\n";
+        return usage();
+      }
     }
+    ro.validate();
+  } catch (const ParseError& e) {
+    std::cerr << "optimize_blif: " << e.what() << "\n";
+    return usage();
   }
   if (flow != "bds" && flow != "sis") return usage();
-  if (script.empty()) script = (flow == "bds") ? "bds" : "rugged";
+  const std::string script =
+      ro.script.empty() ? ((flow == "bds") ? "bds" : "rugged") : ro.script;
+  const bool check = ro.check;
 
   // Typed parameter bindings instead of patching script text: `jobs` is
   // declared by the "bds" script (routed to bds_decompose -j), the budget
   // keys are reserved pipeline parameters consumed by the PassManager.
-  opt::ScriptParams params;
-  if (!jobs.empty()) params.emplace_back("jobs", jobs);
+  opt::ScriptParams params = ro.to_script_params();
   if (!split.empty()) params.emplace_back("split", split);
-  if (!node_limit.empty()) params.emplace_back("node_limit", node_limit);
-  if (!time_limit.empty()) params.emplace_back("time_limit", time_limit);
 
   net::Network input;
   try {
@@ -208,7 +206,9 @@ int main(int argc, char** argv) {
   }
 
   opt::PipelineOptions popts;
-  popts.check = check;
+  // check, the resource ceilings, and the optional -deadline-ms (anchored
+  // at "now": a CLI run has no admission queue to wait in).
+  ro.apply(popts);
   if (trace) {
     popts.trace = [](const opt::PassStats& p) {
       std::cout << "  [pass] " << p.name;

@@ -1,5 +1,7 @@
 #include "opt/manager.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iomanip>
 #include <memory>
@@ -118,6 +120,19 @@ PipelineStats PassManager::run(net::Network& net,
   double time_limit = options.time_limit_seconds > 0.0
                           ? options.time_limit_seconds
                           : param_time_limit_;
+  // An absolute deadline (default-constructed time_point = none) becomes a
+  // relative remaining-seconds figure here; a deadline already in the past
+  // yields remaining <= 0, which arms a budget that trips at its first
+  // check -- the "reject expired work before building a node" contract.
+  const bool deadline_armed = options.deadline.time_since_epoch().count() != 0;
+  if (deadline_armed) {
+    const double remaining =
+        std::chrono::duration<double>(options.deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    time_limit = time_limit > 0.0 ? std::min(time_limit, remaining)
+                                  : remaining;
+  }
   if (!budget) {
     std::size_t node_limit =
         options.node_limit != 0 ? options.node_limit : param_node_limit_;
@@ -128,11 +143,13 @@ PipelineStats PassManager::run(net::Network& net,
     }
     const std::size_t byte_limit =
         options.byte_limit != 0 ? options.byte_limit : param_byte_limit_;
-    if (node_limit != 0 || byte_limit != 0 || time_limit > 0.0) {
+    if (node_limit != 0 || byte_limit != 0 || time_limit > 0.0 ||
+        deadline_armed) {
       budget = std::make_shared<util::ResourceBudget>(node_limit, byte_limit);
     }
   }
-  if (budget && time_limit > 0.0 && !budget->has_deadline()) {
+  if (budget && (time_limit > 0.0 || deadline_armed) &&
+      !budget->has_deadline()) {
     budget->set_deadline_in(time_limit);
   }
   ctx.set_budget(budget);

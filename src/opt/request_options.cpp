@@ -1,0 +1,128 @@
+#include "opt/request_options.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace bds::opt {
+namespace {
+
+std::uint64_t parse_u64(const std::string& flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-') {
+    throw ParseError(flag + ": expected a non-negative integer, got \"" +
+                     text + "\"");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_seconds(const std::string& flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || v < 0.0) {
+    throw ParseError(flag + ": expected a non-negative duration in seconds, "
+                     "got \"" + text + "\"");
+  }
+  return v;
+}
+
+/// The value of flag argv[i], advancing i past it.
+const char* flag_value(int argc, char* const* argv, int& i) {
+  if (i + 1 >= argc) {
+    throw ParseError(std::string(argv[i]) + ": missing value");
+  }
+  return argv[++i];
+}
+
+}  // namespace
+
+bool RequestOptions::parse_cli_arg(int argc, char* const* argv, int& i) {
+  const std::string arg = argv[i];
+  if (arg == "-script") {
+    script = flag_value(argc, argv, i);
+  } else if (arg == "-j") {
+    jobs = static_cast<std::uint32_t>(
+        parse_u64(arg, flag_value(argc, argv, i)));
+  } else if (arg == "-node-limit") {
+    node_limit = parse_u64(arg, flag_value(argc, argv, i));
+  } else if (arg == "-byte-limit") {
+    byte_limit = parse_u64(arg, flag_value(argc, argv, i));
+  } else if (arg == "-time-limit") {
+    time_limit_ms = static_cast<std::uint64_t>(
+        parse_seconds(arg, flag_value(argc, argv, i)) * 1000.0);
+  } else if (arg == "-deadline-ms") {
+    deadline_ms = parse_u64(arg, flag_value(argc, argv, i));
+  } else if (arg == "-priority") {
+    const std::string v = flag_value(argc, argv, i);
+    if (v == "normal" || v == "0") {
+      priority = kPriorityNormal;
+    } else if (v == "high" || v == "1") {
+      priority = kPriorityHigh;
+    } else {
+      throw ParseError("-priority: expected normal|high, got \"" + v + "\"");
+    }
+  } else if (arg == "-check") {
+    check = true;
+  } else if (arg == "-no-cache") {
+    bypass_cache = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void RequestOptions::validate() const {
+  if (priority > kPriorityHigh) {
+    throw ParseError("request options: priority " + std::to_string(priority) +
+                     " out of range (0 = normal, 1 = high)");
+  }
+}
+
+const char* RequestOptions::cli_help() {
+  return "  -script TEXT      script text or name (default: bds)\n"
+         "  -j N              intra-request workers (0 = flow default)\n"
+         "  -node-limit N     live-BDD-node ceiling (0 = unlimited)\n"
+         "  -byte-limit N     BDD byte ceiling (0 = unlimited)\n"
+         "  -time-limit SECS  wall-clock compute budget (0 = none)\n"
+         "  -deadline-ms N    total latency budget incl. queue wait (0 = "
+         "none)\n"
+         "  -priority P       admission priority: normal|high\n"
+         "  -check            per-pass equivalence checkpoints\n"
+         "  -no-cache         bypass the daemon's result cache\n";
+}
+
+ScriptParams RequestOptions::to_script_params() const {
+  ScriptParams params;
+  if (jobs != 0) params.emplace_back("jobs", std::to_string(jobs));
+  if (node_limit != 0) {
+    params.emplace_back("node_limit", std::to_string(node_limit));
+  }
+  if (byte_limit != 0) {
+    params.emplace_back("byte_limit", std::to_string(byte_limit));
+  }
+  if (time_limit_ms != 0) {
+    params.emplace_back(
+        "time_limit",
+        std::to_string(static_cast<double>(time_limit_ms) / 1000.0));
+  }
+  return params;
+}
+
+void RequestOptions::apply(PipelineOptions& popts,
+                           std::chrono::steady_clock::time_point arrival)
+    const {
+  popts.check = check;
+  popts.node_limit = node_limit;
+  popts.byte_limit = byte_limit;
+  popts.time_limit_seconds = static_cast<double>(time_limit_ms) / 1000.0;
+  if (deadline_ms != 0) {
+    popts.deadline = arrival + std::chrono::milliseconds(deadline_ms);
+  }
+}
+
+}  // namespace bds::opt

@@ -1,0 +1,103 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bds::service {
+namespace {
+
+/// Retry hint before the first request has completed: long enough that an
+/// immediate re-offer probably lands after the current head of the queue,
+/// short enough not to stall a caller when the daemon is merely warming up.
+constexpr double kColdStartHintMs = 25.0;
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(AdmissionOptions options)
+    : options_([&] {
+        if (options.queue_depth < 1) options.queue_depth = 1;
+        if (options.workers < 1) options.workers = 1;
+        return options;
+      }()),
+      // A quarter of the queue is the high-priority reserve; depth 1 has
+      // no room to reserve without starving normal traffic entirely.
+      reserve_(options_.queue_depth > 1
+                   ? std::max<std::size_t>(1, options_.queue_depth / 4)
+                   : 0),
+      queue_(options_.queue_depth),
+      bytes_(options_.queue_bytes) {}
+
+AdmitResult AdmissionQueue::offer(std::shared_ptr<PendingRequest> item) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return AdmitResult::kShuttingDown;
+  }
+  // Count-bound check: claim a slot in `queued_` first, roll back on any
+  // rejection. `queued_` is incremented before the ring push and
+  // decremented after the ring pop (take()), so it never under-counts ring
+  // occupancy -- staying within `limit <= queue_depth` here guarantees the
+  // try_push below cannot fail for capacity.
+  const std::size_t limit = item->request.options.priority >= opt::kPriorityHigh
+                                ? options_.queue_depth
+                                : options_.queue_depth - reserve_;
+  const std::uint64_t claimed =
+      queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (claimed > limit) {
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    return AdmitResult::kOverloaded;
+  }
+  // Byte bound: one oversized BLIF queue cannot hide behind a shallow
+  // count. Charged now, released when the executor take()s the request.
+  const std::size_t byte_cost = item->bytes;
+  if (!bytes_.try_acquire(byte_cost)) {
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    return AdmitResult::kOverloaded;
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (!queue_.try_push(std::move(item))) {
+    // Only possible when the queue was closed under us (hard stop racing
+    // a late offer): treat as shutdown, not overload.
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    bytes_.release(byte_cost);
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return AdmitResult::kShuttingDown;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return AdmitResult::kAdmitted;
+}
+
+bool AdmissionQueue::take(std::shared_ptr<PendingRequest>& out) {
+  if (!queue_.pop(out)) return false;
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  bytes_.release(out->bytes);
+  return true;
+}
+
+void AdmissionQueue::finish(double service_ms) {
+  service_ms_.record_ms(service_ms);
+  if (draining_.load(std::memory_order_relaxed)) {
+    drained_.fetch_add(1, std::memory_order_relaxed);
+  }
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::uint32_t AdmissionQueue::retry_after_ms() const {
+  const double per_request = service_ms_.ewma_ms(kColdStartHintMs);
+  const double backlog = static_cast<double>(
+      outstanding_.load(std::memory_order_relaxed) + 1);
+  const double hint =
+      std::ceil(per_request * backlog / static_cast<double>(options_.workers));
+  return static_cast<std::uint32_t>(std::clamp(hint, 1.0, 30'000.0));
+}
+
+std::uint64_t AdmissionQueue::in_flight() const {
+  const std::uint64_t outstanding =
+      outstanding_.load(std::memory_order_relaxed);
+  const std::uint64_t queued = queued_.load(std::memory_order_relaxed);
+  // Both loads are racy snapshots; clamp so a mid-transition read never
+  // wraps below zero.
+  return outstanding > queued ? outstanding - queued : 0;
+}
+
+}  // namespace bds::service

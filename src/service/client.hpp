@@ -3,13 +3,61 @@
 // CLI, the daemon round-trip tests, and the bench harness's warm/cold
 // comparison. Thread-compatible, not thread-safe (one in-flight exchange
 // per Client; open one Client per thread for concurrent load).
+//
+// Overload cooperation: optimize_with_retry() honors the daemon's
+// admission layer -- on kOverloaded it backs off (jittered exponential,
+// floored by the server's retry_after_ms hint) and resubmits; on
+// kShuttingDown it does the same, giving a restarting daemon a chance to
+// come back. A connection refusal is a distinct typed error (ConnectError,
+// carrying the socket path and errno) so callers can tell "daemon not
+// running" from every other failure.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "service/protocol.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace bds::service {
+
+/// connect() failed: the daemon is not listening on `socket_path` (or the
+/// path is wrong). Carries the errno so callers can distinguish "no such
+/// socket" from "connection refused" etc.; bds-client maps this to its own
+/// exit code.
+class ConnectError : public Error {
+ public:
+  ConnectError(const std::string& socket_path, int saved_errno,
+               const std::string& what)
+      : Error(what), socket_path_(socket_path), errno_(saved_errno) {}
+
+  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+  [[nodiscard]] int saved_errno() const { return errno_; }
+
+ private:
+  std::string socket_path_;
+  int errno_;
+};
+
+/// Backoff schedule of optimize_with_retry().
+struct RetryPolicy {
+  unsigned max_retries = 4;  ///< resubmissions after the first attempt
+  std::uint32_t base_backoff_ms = 50;   ///< delay before the first retry
+  std::uint32_t max_backoff_ms = 2000;  ///< exponential growth ceiling
+  /// Seed of the deterministic jitter stream (bds::Rng); vary it per
+  /// client so a flood of shed callers does not retry in lockstep.
+  std::uint64_t jitter_seed = 1;
+};
+
+/// The delay before retry number `attempt` (0-based): exponential growth
+/// from `policy.base_backoff_ms` capped at `policy.max_backoff_ms`, never
+/// below the server's `retry_after_ms` hint, then jittered to a uniform
+/// draw in [delay/2, delay] so shed callers spread out instead of
+/// stampeding back together. Pure (the Rng carries all state); exposed for
+/// the unit tests.
+std::uint32_t retry_backoff_ms(const RetryPolicy& policy, unsigned attempt,
+                               std::uint32_t retry_after_hint_ms, Rng& rng);
 
 class Client {
  public:
@@ -20,8 +68,9 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to the daemon socket. Throws bds::Error when the socket is
-  /// missing or refuses (daemon not running).
+  /// Connects to the daemon socket. Throws ConnectError when the socket is
+  /// missing or refuses (daemon not running); bds::Error on other setup
+  /// failures.
   void connect();
   /// True between a successful connect() and close().
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
@@ -31,6 +80,16 @@ class Client {
   /// bds::SerializeError on a protocol violation and bds::Error on socket
   /// failure or when the daemon hangs up without answering.
   OptimizeResponse optimize(const OptimizeRequest& request);
+
+  /// optimize(), resubmitting up to `policy.max_retries` times while the
+  /// daemon answers kOverloaded or kShuttingDown, sleeping a jittered
+  /// exponential backoff (floored by the response's retry_after_ms hint)
+  /// between attempts and reconnecting if the daemon hung up in the
+  /// meantime. Returns the final response -- still kOverloaded /
+  /// kShuttingDown if every attempt was shed; callers decide what that
+  /// means for them.
+  OptimizeResponse optimize_with_retry(const OptimizeRequest& request,
+                                       const RetryPolicy& policy = {});
 
   /// Fetches the daemon's aggregate counters.
   ServerStats server_stats();

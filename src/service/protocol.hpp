@@ -1,29 +1,57 @@
 // Wire protocol of the bdsd optimization daemon.
 //
 // Transport: a Unix-domain stream socket carrying length-prefixed frames.
-// Every frame is
+// The protocol is versioned by a revision byte in the frame header.
+// A revision-1 frame (the original, unversioned format) is
 //
 //     u32 payload_length (little-endian) | u8 type | payload bytes
 //
-// and every multi-byte integer inside a payload is little-endian too, so
-// the format is host-order independent (unlike the BDD manager image,
-// which is a same-host snapshot and guards its byte order with an endian
-// tag instead -- see bdd/serialize.cpp). Strings are u32 length + raw
-// bytes. A malformed or oversized frame raises bds::SerializeError, the
-// same typed error the BDD image decoder uses for external bytes that
-// fail validation.
+// where type is 1..4. A revision-2 frame inserts a revision marker whose
+// high nibble (0xB0, outside the rev-1 type range) distinguishes it from
+// any rev-1 type byte:
+//
+//     u32 payload_length | u8 (0xB0 | revision) | u8 type | payload bytes
+//
+// read_frame() accepts both: a header byte in 1..4 is a rev-1 frame, a
+// byte with high nibble 0xB is a versioned frame whose revision must be
+// kProtocolRevision (an unknown revision raises SerializeError naming
+// both revisions), anything else is corrupt. Every codec takes the frame's
+// revision, so rev-2 fields (deadline_ms, priority, retry_after_ms, the
+// admission counters of ServerStats) are simply absent -- defaulting to
+// zero -- when the peer speaks rev 1, instead of being silent
+// trailing-bytes errors.
+//
+// Every multi-byte integer inside a payload is little-endian, so the
+// format is host-order independent (unlike the BDD manager image, which is
+// a same-host snapshot and guards its byte order with an endian tag
+// instead -- see bdd/serialize.cpp). Strings are u32 length + raw bytes.
+// A malformed or oversized frame raises bds::SerializeError, the same
+// typed error the BDD image decoder uses for external bytes that fail
+// validation.
 //
 // The exchange is strict request/response: a client sends kOptimizeRequest
-// or kServerStatsRequest and reads exactly one response frame. Connections
-// may carry any number of such exchanges before either side closes.
+// or kServerStatsRequest and reads exactly one response frame, which the
+// server encodes in the revision the request arrived in. Connections may
+// carry any number of such exchanges before either side closes.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "opt/request_options.hpp"
+
 namespace bds::service {
 
-/// Frame type tags (the u8 after the length prefix).
+/// The protocol revision this build speaks (and writes by default).
+inline constexpr std::uint8_t kProtocolRevision = 2;
+
+/// High nibble of the header byte that marks a versioned (rev >= 2) frame;
+/// the low nibble carries the revision. Rev-1 frames have no marker --
+/// their header byte is the FrameType itself, and 1..4 never collides
+/// with 0xB?.
+inline constexpr std::uint8_t kRevisionMarker = 0xB0;
+
+/// Frame type tags (the u8 after the length prefix / revision marker).
 enum class FrameType : std::uint8_t {
   kOptimizeRequest = 1,
   kOptimizeResponse = 2,
@@ -35,24 +63,24 @@ enum class FrameType : std::uint8_t {
 /// corrupt (SerializeError) rather than trusted with the allocation.
 inline constexpr std::uint32_t kMaxFramePayload = 256u << 20;
 
-/// OptimizeRequest::flags bits.
+/// OptimizeRequest wire flag bits (the encoding of RequestOptions::check
+/// and ::bypass_cache).
 inline constexpr std::uint8_t kFlagBypassCache = 1u << 0;  ///< skip ResultCache
 inline constexpr std::uint8_t kFlagCheck = 1u << 1;  ///< per-pass CEC checkpoint
 
-/// One optimization job: a BLIF network, the script to run on it, and the
-/// per-request resource ceilings (0 = unlimited, exactly like the CLI).
+/// One optimization job: a BLIF network plus the shared request options
+/// (script, ceilings, deadline, priority, flags -- see
+/// opt/request_options.hpp, the single definition all three binaries use).
 struct OptimizeRequest {
   std::string blif;            ///< BLIF text of the input network
-  std::string script;          ///< script text or name; "" = "bds"
-  std::uint64_t node_limit = 0;
-  std::uint64_t byte_limit = 0;
-  std::uint64_t time_limit_ms = 0;
-  std::uint32_t jobs = 0;      ///< intra-request workers; 0 = hardware
-  std::uint8_t flags = 0;      ///< kFlagBypassCache | kFlagCheck
+  opt::RequestOptions options;
 };
 
 /// Status codes of OptimizeResponse, aligned with the optimize_blif exit
-/// codes so scripted callers can share the mapping.
+/// codes so scripted callers can share the mapping. kOverloaded and
+/// kShuttingDown exist only at the service layer (rev-2 peers; a rev-1
+/// peer receives them mapped to kInternalError with an explanatory
+/// message, since its decoder predates them).
 enum class Status : std::uint8_t {
   kOk = 0,         ///< optimized, all checkpoints passed
   kDegraded = 1,   ///< correct result, but a budget forced fallbacks
@@ -62,6 +90,8 @@ enum class Status : std::uint8_t {
   kNetworkError = 5,  ///< structurally invalid network
   kBudgetExceeded = 6,  ///< deadline/cancellation ended the run
   kInternalError = 7,   ///< anything else; `error` carries what()
+  kOverloaded = 8,    ///< shed at admission; retry after `retry_after_ms`
+  kShuttingDown = 9,  ///< daemon draining; find another daemon or retry
 };
 
 struct OptimizeResponse {
@@ -72,9 +102,15 @@ struct OptimizeResponse {
   std::string stats_table;       ///< format_pass_table() rendering
   std::uint64_t cache_hits = 0;    ///< supernodes served from the ResultCache
   std::uint64_t cache_misses = 0;  ///< supernodes decomposed fresh
+  /// With kOverloaded: the server's estimate of when capacity frees up,
+  /// derived from its service-time EWMA and current backlog. A hint for
+  /// the client's backoff, not a promise. 0 otherwise.
+  std::uint32_t retry_after_ms = 0;
 };
 
 /// Aggregate daemon counters (kServerStatsRequest has an empty payload).
+/// The admission-layer fields are rev-2-only on the wire; a rev-1 peer
+/// receives the first nine fields exactly as before.
 struct ServerStats {
   std::uint64_t requests = 0;  ///< optimize requests accepted so far
   std::uint64_t cache_hits = 0;
@@ -85,33 +121,59 @@ struct ServerStats {
   std::uint64_t cache_bytes = 0;
   std::uint64_t pool_idle = 0;         ///< ManagerPool managers parked
   std::uint64_t pool_constructed = 0;  ///< managers ever constructed
+  // Admission layer (rev 2; see service/admission.hpp and DESIGN.md §5h).
+  std::uint64_t admitted = 0;          ///< requests accepted into the queue
+  std::uint64_t sheds = 0;             ///< requests answered kOverloaded
+  std::uint64_t deadline_rejects = 0;  ///< expired before an executor ran them
+  std::uint64_t drained = 0;           ///< in-flight completed during drain
+  std::uint64_t queue_depth = 0;       ///< pending requests right now
+  std::uint64_t queue_bytes = 0;       ///< bytes held by pending requests
+  std::uint64_t in_flight = 0;         ///< admitted, not yet answered
+  std::uint64_t draining = 0;          ///< 1 after SIGTERM, else 0
 };
 
 // --- Payload codecs (frame body, excluding the length/type header). ---
-// Encoders produce the payload bytes; decoders validate exhaustively and
-// throw bds::SerializeError on truncation, trailing bytes, or a field out
-// of range. They are pure byte transforms, usable without a socket (the
-// unit tests round-trip them through strings).
+// Encoders produce the payload bytes of the given protocol revision;
+// decoders validate exhaustively against that revision and throw
+// bds::SerializeError on truncation, trailing bytes, or a field out of
+// range. They are pure byte transforms, usable without a socket (the unit
+// tests round-trip them through strings).
 
-std::string encode_optimize_request(const OptimizeRequest& req);
-OptimizeRequest decode_optimize_request(const std::string& payload);
+std::string encode_optimize_request(const OptimizeRequest& req,
+                                    std::uint8_t revision = kProtocolRevision);
+OptimizeRequest decode_optimize_request(
+    const std::string& payload, std::uint8_t revision = kProtocolRevision);
 
-std::string encode_optimize_response(const OptimizeResponse& resp);
-OptimizeResponse decode_optimize_response(const std::string& payload);
+std::string encode_optimize_response(
+    const OptimizeResponse& resp, std::uint8_t revision = kProtocolRevision);
+OptimizeResponse decode_optimize_response(
+    const std::string& payload, std::uint8_t revision = kProtocolRevision);
 
-std::string encode_server_stats(const ServerStats& stats);
-ServerStats decode_server_stats(const std::string& payload);
+std::string encode_server_stats(const ServerStats& stats,
+                                std::uint8_t revision = kProtocolRevision);
+ServerStats decode_server_stats(const std::string& payload,
+                                std::uint8_t revision = kProtocolRevision);
 
 // --- Framed socket I/O. ---
 
-/// Writes one `length | type | payload` frame to `fd`, handling short
+/// Writes one frame to `fd` in the given protocol revision (rev 1 = bare
+/// `length | type`, rev >= 2 = `length | marker | type`), handling short
 /// writes and EINTR. Throws bds::SerializeError when the payload exceeds
 /// kMaxFramePayload and bds::Error on a socket write failure.
-void write_frame(int fd, FrameType type, const std::string& payload);
+void write_frame(int fd, FrameType type, const std::string& payload,
+                 std::uint8_t revision = kProtocolRevision);
 
-/// Reads one frame from `fd`. Returns false on clean EOF at a frame
+/// Reads one frame from `fd`, storing the revision it arrived in (1 for an
+/// unversioned legacy frame). Returns false on clean EOF at a frame
 /// boundary (the peer closed); throws bds::SerializeError on a torn frame,
-/// an unknown oversized length, and bds::Error on a read failure.
+/// an oversized length, an unknown frame type, or a versioned frame whose
+/// revision this build does not speak (the message names both revisions);
+/// bds::Error on a read failure.
+bool read_frame(int fd, FrameType& type, std::string& payload,
+                std::uint8_t& revision);
+
+/// Convenience overload for callers that only ever speak the current
+/// revision (discards the peer's revision).
 bool read_frame(int fd, FrameType& type, std::string& payload);
 
 }  // namespace bds::service

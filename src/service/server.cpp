@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <utility>
 #include <vector>
 
@@ -27,13 +28,39 @@ namespace {
   throw Error("bdsd: " + what + ": " + std::strerror(errno));
 }
 
+/// Translates a response into what the peer's protocol revision can carry:
+/// rev-1 decoders predate kOverloaded/kShuttingDown, so those become
+/// kInternalError with the admission verdict spelled out in the message
+/// (the one lossy edge of rev-1 compatibility; everything else round-trips
+/// exactly).
+OptimizeResponse for_revision(OptimizeResponse response,
+                              std::uint8_t revision) {
+  if (revision >= 2) return response;
+  if (response.status == Status::kOverloaded ||
+      response.status == Status::kShuttingDown) {
+    const char* verdict = response.status == Status::kOverloaded
+                              ? "overloaded"
+                              : "shutting down";
+    response.error = std::string("server ") + verdict +
+                     " (reported as internal error to this revision-1 "
+                     "client): " +
+                     response.error;
+    response.status = Status::kInternalError;
+    response.retry_after_ms = 0;
+  }
+  return response;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       cache_(std::make_shared<opt::ResultCache>(options_.cache_bytes)),
       pool_(std::make_shared<util::ThreadPool>(
-          util::ThreadPool::resolve(options_.concurrency))) {}
+          util::ThreadPool::resolve(options_.concurrency))),
+      workers_(util::ThreadPool::resolve(options_.concurrency)),
+      admission_(AdmissionOptions{options_.queue_depth, options_.queue_bytes,
+                                  workers_}) {}
 
 Server::~Server() {
   if (listen_fd_ >= 0) {
@@ -67,9 +94,8 @@ void Server::start() {
     listen_fd_ = -1;
     throw_errno("listen");
   }
-  // Nonblocking listen socket: the drain loop in serve() accepts until
-  // EAGAIN, which is what turns "connections pending right now" into one
-  // batch for the pool.
+  // Nonblocking listen socket: the accept loop in serve() drains every
+  // connection pending right now, then goes back to poll().
   const int fl = ::fcntl(listen_fd_, F_GETFL, 0);
   if (fl >= 0) ::fcntl(listen_fd_, F_SETFL, fl | O_NONBLOCK);
 }
@@ -78,61 +104,197 @@ void Server::serve() {
   if (listen_fd_ < 0) {
     throw Error("bdsd: serve() called before start()");
   }
-  util::ThreadPool& pool = *pool_;
-  while (!stop_.load(std::memory_order_relaxed)) {
-    pollfd pfd{};
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("poll");
-    }
-    if (rc == 0) continue;  // timeout: re-check the stop flag
+  std::vector<std::thread> executors;
+  executors.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i) {
+    executors.emplace_back([this] { executor_loop(); });
+  }
 
-    std::vector<int> batch;
-    for (;;) {
-      const int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd < 0) break;  // EAGAIN = drained; EINTR retries next round
-      // Accepted sockets must block: frame I/O assumes read/write park.
-      const int ffl = ::fcntl(fd, F_GETFL, 0);
-      if (ffl >= 0) ::fcntl(fd, F_SETFL, ffl & ~O_NONBLOCK);
-      batch.push_back(fd);
+  // Tears the service down in dependency order: stop admitting, release
+  // the executors (they answer anything still queued), then hang up the
+  // reader threads. Runs on every exit path, including a poll() failure.
+  const auto shutdown_all = [&] {
+    admission_.begin_drain();
+    admission_.close();
+    for (std::thread& t : executors) t.join();
+    {
+      const std::lock_guard<std::mutex> lock(conns_mu_);
+      for (Connection& c : conns_) {
+        if (c.fd >= 0) ::shutdown(c.fd, SHUT_RDWR);
+      }
     }
-    if (batch.empty()) continue;
-    pool.parallel_for(batch.size(), [&](std::size_t i, unsigned /*executor*/) {
-      serve_connection(batch[i]);
-    });
+    // Join without the lock: exiting reader threads take conns_mu_ to
+    // close their fd. Only this thread erases list nodes, so iterating
+    // here is safe.
+    for (Connection& c : conns_) {
+      if (c.thread.joinable()) c.thread.join();
+    }
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  };
+
+  try {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      // Graceful drain is complete when nothing is admitted-but-unfinished
+      // *and* every finished response has reached its socket.
+      if (drain_.load(std::memory_order_relaxed) && admission_.idle() &&
+          undelivered_.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+      reap_connections();
+      pollfd pfd{};
+      pfd.fd = listen_fd_;
+      pfd.events = POLLIN;
+      const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll");
+      }
+      if (rc == 0) continue;  // timeout: re-check stop/drain
+
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;  // EAGAIN = drained; EINTR retries next round
+        // Accepted sockets must block: frame I/O assumes read/write park.
+        const int ffl = ::fcntl(fd, F_GETFL, 0);
+        if (ffl >= 0) ::fcntl(fd, F_SETFL, ffl & ~O_NONBLOCK);
+        const std::lock_guard<std::mutex> lock(conns_mu_);
+        conns_.emplace_back();
+        Connection* conn = &conns_.back();
+        conn->fd = fd;
+        conn->thread = std::thread([this, conn] { serve_connection(conn); });
+      }
+    }
+  } catch (...) {
+    shutdown_all();
+    throw;
+  }
+  shutdown_all();
+}
+
+void Server::reap_connections() {
+  const std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done) {
+      // done was set under this mutex as the thread's final action; the
+      // join completes as soon as it falls off its entry function.
+      it->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
-void Server::serve_connection(int fd) {
+void Server::serve_connection(Connection* conn) {
+  const int fd = conn->fd;
   try {
     FrameType type{};
     std::string payload;
-    while (read_frame(fd, type, payload)) {
+    std::uint8_t revision = kProtocolRevision;
+    // Every response goes back in the revision its request arrived in.
+    const auto send = [&](OptimizeResponse response) {
+      write_frame(
+          fd, FrameType::kOptimizeResponse,
+          encode_optimize_response(for_revision(std::move(response), revision),
+                                   revision),
+          revision);
+    };
+    while (read_frame(fd, type, payload, revision)) {
       if (type == FrameType::kOptimizeRequest) {
-        const OptimizeRequest request = decode_optimize_request(payload);
-        const OptimizeResponse response = handle(request);
-        write_frame(fd, FrameType::kOptimizeResponse,
-                    encode_optimize_response(response));
+        auto item = std::make_shared<PendingRequest>();
+        item->request = decode_optimize_request(payload, revision);
+        item->revision = revision;
+        item->arrival = std::chrono::steady_clock::now();
+        item->bytes = payload.size();
+        std::future<OptimizeResponse> result = item->promise.get_future();
+        switch (admission_.offer(std::move(item))) {
+          case AdmitResult::kAdmitted: {
+            undelivered_.fetch_add(1, std::memory_order_acq_rel);
+            struct Delivered {
+              std::atomic<std::uint64_t>& counter;
+              ~Delivered() {
+                counter.fetch_sub(1, std::memory_order_acq_rel);
+              }
+            } delivered{undelivered_};
+            send(result.get());
+            break;
+          }
+          case AdmitResult::kOverloaded: {
+            // The shed path: no parse, no BDD work, just this frame --
+            // which is what keeps a shed under the <10ms contract even
+            // when every executor is busy.
+            OptimizeResponse response;
+            response.status = Status::kOverloaded;
+            response.retry_after_ms = admission_.retry_after_ms();
+            response.error =
+                "server overloaded: pending-request queue is full; retry "
+                "after ~" +
+                std::to_string(response.retry_after_ms) + " ms";
+            send(std::move(response));
+            break;
+          }
+          case AdmitResult::kShuttingDown: {
+            OptimizeResponse response;
+            response.status = Status::kShuttingDown;
+            response.error =
+                "server is shutting down; no new work is admitted";
+            send(std::move(response));
+            break;
+          }
+        }
       } else if (type == FrameType::kServerStatsRequest) {
         write_frame(fd, FrameType::kServerStatsResponse,
-                    encode_server_stats(stats()));
+                    encode_server_stats(stats(), revision), revision);
       } else {
         break;  // a peer sending *response* frames is confused; hang up
       }
     }
   } catch (const std::exception&) {
     // Torn frame or socket failure: this connection only. The daemon and
-    // the other connections of the batch are unaffected.
+    // the other connections are unaffected.
   }
+  // Close under the connection registry's mutex so the shutdown sweep in
+  // serve() can never ::shutdown a recycled fd number.
+  const std::lock_guard<std::mutex> lock(conns_mu_);
   ::close(fd);
+  conn->fd = -1;
+  conn->done = true;
+}
+
+void Server::executor_loop() {
+  std::shared_ptr<PendingRequest> item;
+  while (admission_.take(item)) {
+    const auto begin = std::chrono::steady_clock::now();
+    OptimizeResponse response;
+    if (stop_.load(std::memory_order_relaxed)) {
+      // Hard stop: queued work is answered, not run. (Graceful drain never
+      // reaches here with work queued -- it waits for idle instead.)
+      response.status = Status::kShuttingDown;
+      response.error = "server stopped before this queued request could run";
+    } else {
+      response = handle(item->request, item->arrival);
+    }
+    item->promise.set_value(std::move(response));
+    const double service_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
+    admission_.finish(service_ms);
+    item.reset();
+  }
 }
 
 OptimizeResponse Server::handle(const OptimizeRequest& request) {
+  return handle(request, std::chrono::steady_clock::now());
+}
+
+OptimizeResponse Server::handle(
+    const OptimizeRequest& request,
+    std::chrono::steady_clock::time_point arrival) {
   OptimizeResponse response;
   response.request_id = requests_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const opt::RequestOptions& ro = request.options;
 
   // Every request gets its own telemetry hub so spans from concurrent
   // requests never interleave; the request id is the root span's label.
@@ -145,29 +307,65 @@ OptimizeResponse Server::handle(const OptimizeRequest& request) {
     if (trace) telemetry->add_sink(std::make_shared<util::JsonlSink>(trace));
   }
 
+  {
+    // Admission snapshot: how long the request queued and what the gate
+    // looked like when it started. All exec-bucket keys (see
+    // util::is_exec_counter) -- load facts, outside the determinism
+    // contract.
+    util::TelemetrySpan admission_span =
+        util::TelemetrySpan::open(telemetry.get(), "admission");
+    admission_span.count(
+        "queued_ms",
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - arrival)
+            .count());
+    admission_span.count("queue_depth",
+                         static_cast<double>(admission_.queued()));
+    admission_span.count("in_flight",
+                         static_cast<double>(admission_.in_flight()));
+    admission_span.count("admitted", static_cast<double>(admission_.admitted()));
+    admission_span.count("sheds", static_cast<double>(admission_.sheds()));
+    admission_span.count("deadline_rejects",
+                         static_cast<double>(admission_.deadline_rejects()));
+    admission_span.count("drained", static_cast<double>(admission_.drained()));
+  }
+
+  // Deadline already blown (typically: it expired while the request sat in
+  // the queue)? Reject before parsing a byte -- the request asked for a
+  // result by a time that has passed, so any work now is wasted.
+  if (ro.deadline_ms != 0 &&
+      std::chrono::steady_clock::now() >=
+          arrival + std::chrono::milliseconds(ro.deadline_ms)) {
+    admission_.note_deadline_reject();
+    response.status = Status::kBudgetExceeded;
+    response.error =
+        "deadline expired before optimization began (deadline_ms=" +
+        std::to_string(ro.deadline_ms) + ")";
+    telemetry->finish();
+    return response;
+  }
+
   try {
     net::Network network = net::parse_blif_string(request.blif);
 
     const std::string script =
-        request.script.empty() ? std::string("bds") : request.script;
+        ro.script.empty() ? std::string("bds") : ro.script;
     opt::ScriptParams params;
-    if (request.jobs != 0) {
-      params.emplace_back("jobs", std::to_string(request.jobs));
+    if (ro.jobs != 0) {
+      params.emplace_back("jobs", std::to_string(ro.jobs));
     }
     opt::PassManager manager = opt::PassManager::from_script(script, params);
 
     opt::PipelineOptions popts;
-    popts.check = (request.flags & kFlagCheck) != 0;
-    popts.node_limit = request.node_limit;
-    popts.byte_limit = request.byte_limit;
-    popts.time_limit_seconds =
-        static_cast<double>(request.time_limit_ms) / 1000.0;
+    // check, the resource ceilings, and the arrival-anchored deadline --
+    // the single RequestOptions -> PipelineOptions translation.
+    ro.apply(popts, arrival);
     popts.telemetry = telemetry;
     // One pool for the daemon's lifetime: a request's inner `-j` work runs
-    // on the same threads that fan requests out, instead of each pass
-    // spawning and joining a fresh pool per invocation.
+    // on shared threads instead of each pass spawning and joining a fresh
+    // pool per invocation.
     popts.thread_pool = pool_;
-    if (options_.enable_cache && (request.flags & kFlagBypassCache) == 0) {
+    if (options_.enable_cache && !ro.bypass_cache) {
       popts.result_cache = cache_;
     }
 
@@ -217,6 +415,14 @@ ServerStats Server::stats() const {
   s.cache_bytes = cs.bytes;
   s.pool_idle = opt::ManagerPool::global().idle();
   s.pool_constructed = opt::ManagerPool::global().constructed();
+  s.admitted = admission_.admitted();
+  s.sheds = admission_.sheds();
+  s.deadline_rejects = admission_.deadline_rejects();
+  s.drained = admission_.drained();
+  s.queue_depth = admission_.queued();
+  s.queue_bytes = admission_.queue_bytes_used();
+  s.in_flight = admission_.in_flight();
+  s.draining = admission_.draining() ? 1 : 0;
   return s;
 }
 

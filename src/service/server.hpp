@@ -7,22 +7,36 @@
 // and the global ManagerPool (opt/manager_pool.hpp), so BDD managers are
 // recycled instead of reconstructed per supernode.
 //
-// Concurrency model: the accept loop drains all connections pending on the
-// Unix socket into a batch and runs the batch on a util::ThreadPool, one
-// executor per connection (requests are the natural unit of parallelism;
-// each request can additionally parallelize internally via its `jobs`
-// field, which becomes the bds script's `-j`). Each request runs under its
-// own ResourceBudget assembled from the ceilings in the frame and under a
-// telemetry hub labeled `request-<id>`, so traces from concurrent requests
-// never interleave. See DESIGN.md §5h.
+// Concurrency model: one reader thread per connection decodes frames and
+// offers each optimize request to the AdmissionQueue
+// (service/admission.hpp) -- a bounded gate with a depth and byte ceiling.
+// Admitted requests are picked up by a fixed set of executor threads and
+// each runs under its own ResourceBudget (the request's ceilings plus its
+// arrival-anchored deadline) and a telemetry hub labeled `request-<id>`,
+// so traces from concurrent requests never interleave. A request the gate
+// rejects is answered immediately -- kOverloaded with a retry_after_ms
+// hint, or kShuttingDown during drain -- so overload costs a caller
+// microseconds, not a slot in an unbounded pile. Inner `-j` parallelism
+// still runs on the shared util::ThreadPool. See DESIGN.md §5h.
+//
+// Shutdown: stop() (SIGINT) is the hard path -- queued requests are
+// answered kShuttingDown, only requests already executing finish.
+// request_drain() (SIGTERM) is the graceful path -- everything already
+// admitted runs to completion and is delivered, while new offers are
+// answered kShuttingDown; serve() returns once the queue is idle.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "opt/result_cache.hpp"
+#include "service/admission.hpp"
 #include "service/protocol.hpp"
 #include "util/thread_pool.hpp"
 
@@ -32,12 +46,17 @@ struct ServerOptions {
   /// Filesystem path of the Unix-domain socket. A stale file from a
   /// previous run is unlinked before binding.
   std::string socket_path;
-  /// Executors of the request batch pool; 0 = hardware concurrency.
+  /// Request executors; 0 = hardware concurrency.
   unsigned concurrency = 0;
+  /// Pending-request ceiling of the admission queue (>= 1). Requests
+  /// beyond it are shed with kOverloaded instead of queued.
+  std::size_t queue_depth = 64;
+  /// Byte ceiling over the payloads of pending requests (0 = unlimited).
+  std::size_t queue_bytes = 64u << 20;
   /// Byte budget of the shared ResultCache.
   std::size_t cache_bytes = opt::ResultCache::kDefaultByteBudget;
   /// Master switch for the ResultCache; individual requests can also opt
-  /// out with kFlagBypassCache (how the determinism tests get cache-free
+  /// out with bypass_cache (how the determinism tests get cache-free
   /// runs from a warm daemon).
   bool enable_cache = true;
   /// When nonempty, each request writes its telemetry trace to
@@ -57,17 +76,31 @@ class Server {
   /// too long for sockaddr_un, bind/listen errno).
   void start();
 
-  /// Accept-and-serve loop; blocks until stop(). Requires start().
+  /// Accept-and-serve loop; blocks until stop() or a completed drain.
+  /// Requires start().
   void serve();
 
-  /// Makes serve() return after its current batch. Safe from any thread
-  /// and from signal-handler-adjacent contexts (only touches an atomic).
+  /// Hard stop: serve() returns promptly, queued requests are answered
+  /// kShuttingDown (only work already executing finishes). Safe from any
+  /// thread and from signal-handler-adjacent contexts (only atomics).
   void stop() { stop_.store(true, std::memory_order_relaxed); }
 
+  /// Graceful drain (the SIGTERM path): admitted requests -- queued and
+  /// executing -- run to completion and are delivered; new requests are
+  /// answered kShuttingDown; serve() returns once nothing is outstanding.
+  /// Signal-safe (only atomics).
+  void request_drain() {
+    drain_.store(true, std::memory_order_relaxed);
+    admission_.begin_drain();
+  }
+
   /// Handles one decoded request in the calling thread -- the unit the
-  /// socket loop dispatches, exposed directly so tests and the bench
-  /// harness can exercise daemon semantics without a socket.
+  /// executors run, exposed directly so tests and the bench harness can
+  /// exercise daemon semantics without a socket. `arrival` anchors the
+  /// request's deadline_ms; the overload without it means "arrived now".
   OptimizeResponse handle(const OptimizeRequest& request);
+  OptimizeResponse handle(const OptimizeRequest& request,
+                          std::chrono::steady_clock::time_point arrival);
 
   /// Aggregate daemon counters (also served over kServerStatsRequest).
   [[nodiscard]] ServerStats stats() const;
@@ -77,18 +110,40 @@ class Server {
   }
 
  private:
-  void serve_connection(int fd);
+  /// One live connection; the list node outlives the thread so serve()'s
+  /// shutdown sweep can ::shutdown a still-open fd under conns_mu_ without
+  /// racing the reader thread's own close.
+  struct Connection {
+    int fd = -1;           ///< -1 once the reader thread has closed it
+    bool done = false;     ///< reader thread exited; safe to join+reap
+    std::thread thread;
+  };
+
+  void serve_connection(Connection* conn);
+  void executor_loop();
+  /// Joins and erases connections whose reader threads have exited.
+  void reap_connections();
 
   ServerOptions options_;
   std::shared_ptr<opt::ResultCache> cache_;
-  /// The daemon's one worker pool, shared by the accept-batch fan-out and
-  /// by every request's inner `-j` parallelism (injected through
-  /// PipelineOptions::thread_pool). Constructed once per server lifetime:
-  /// request handling never spawns or joins threads.
+  /// The daemon's one worker pool, serving every request's inner `-j`
+  /// parallelism (injected through PipelineOptions::thread_pool).
+  /// Constructed once per server lifetime: request handling never spawns
+  /// or joins threads.
   std::shared_ptr<util::ThreadPool> pool_;
+  unsigned workers_;  ///< executor count (resolved concurrency)
+  AdmissionQueue admission_;
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_{false};
   std::atomic<std::uint64_t> requests_{0};
+  /// Admitted responses not yet written back to their sockets. Drain waits
+  /// for this as well as AdmissionQueue::idle(): an executor may have
+  /// finished a request whose bytes are still in flight to the peer, and
+  /// hanging up then would lose a result the drain contract promises.
+  std::atomic<std::uint64_t> undelivered_{0};
+  mutable std::mutex conns_mu_;
+  std::list<Connection> conns_;
 };
 
 }  // namespace bds::service

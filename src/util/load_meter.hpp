@@ -1,0 +1,121 @@
+// Small accounting helpers for service-layer load decisions.
+//
+// The bdsd admission layer (service/admission.hpp) needs two cheap,
+// thread-safe measurements to decide whether to admit a request and what
+// retry hint to hand back when it sheds one:
+//
+//   * `LatencyEwma` -- an exponentially weighted moving average of recent
+//     request service times. The shed path multiplies it by the backlog to
+//     estimate when capacity will free up (`retry_after_ms`), so the hint
+//     tracks the actual workload instead of being a fixed constant.
+//   * `ByteGauge` -- a token-style byte account with a hard ceiling.
+//     `try_acquire` admits-or-rejects atomically, so concurrent admitters
+//     can never overshoot the ceiling; `release` returns the tokens when
+//     the bytes leave the queue.
+//
+// Both are header-only and lock-free (single atomics); neither appears on
+// any BDD hot path -- they are consulted once per service request.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace bds::util {
+
+/// Exponentially weighted moving average of durations in milliseconds.
+/// Thread-safe; writers race benignly (a lost update skews the average by
+/// one sample, never corrupts it -- the EWMA is advisory, used only for
+/// retry hints, never for correctness decisions).
+class LatencyEwma {
+ public:
+  /// `weight_percent` of each new sample folded into the average (1..100).
+  explicit LatencyEwma(unsigned weight_percent = 20)
+      : weight_percent_(weight_percent < 1
+                            ? 1u
+                            : (weight_percent > 100 ? 100u : weight_percent)) {}
+
+  /// Folds one observed duration into the average.
+  void record_ms(double ms) {
+    if (ms < 0.0) ms = 0.0;
+    const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+    const double previous = load_double(ewma_ms_);
+    const double next =
+        n == 0 ? ms
+               : previous + (ms - previous) *
+                                (static_cast<double>(weight_percent_) / 100.0);
+    store_double(ewma_ms_, next);
+  }
+
+  /// The current average, or `fallback_ms` before the first sample.
+  [[nodiscard]] double ewma_ms(double fallback_ms = 0.0) const {
+    return count_.load(std::memory_order_relaxed) == 0
+               ? fallback_ms
+               : load_double(ewma_ms_);
+  }
+
+  /// Samples recorded so far.
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // double stored through a uint64 atomic (bit_cast-free for C++17 hosts:
+  // the union-free memcpy idiom compiles to a plain register move).
+  static void store_double(std::atomic<std::uint64_t>& slot, double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    slot.store(bits, std::memory_order_relaxed);
+  }
+  static double load_double(const std::atomic<std::uint64_t>& slot) {
+    const std::uint64_t bits = slot.load(std::memory_order_relaxed);
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  unsigned weight_percent_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> ewma_ms_{0};
+};
+
+/// A byte account with a hard ceiling: `try_acquire` either reserves the
+/// whole amount or changes nothing, so concurrent acquirers can never push
+/// the total past the ceiling. A ceiling of 0 means unlimited.
+class ByteGauge {
+ public:
+  explicit ByteGauge(std::size_t ceiling) : ceiling_(ceiling) {}
+
+  /// Reserves `n` bytes iff the total stays within the ceiling.
+  [[nodiscard]] bool try_acquire(std::size_t n) {
+    if (ceiling_ == 0) {
+      used_.fetch_add(n, std::memory_order_relaxed);
+      return true;
+    }
+    std::size_t used = used_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (used + n > ceiling_ || used + n < used) return false;  // overflow
+      if (used_.compare_exchange_weak(used, used + n,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Returns `n` previously acquired bytes.
+  void release(std::size_t n) {
+    used_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t used() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t ceiling() const { return ceiling_; }
+
+ private:
+  std::size_t ceiling_;
+  std::atomic<std::size_t> used_{0};
+};
+
+}  // namespace bds::util

@@ -86,6 +86,13 @@ bool is_exec_counter(std::string_view key) {
   // Scheduling facts: which worker ran (or stole) what depends on timing,
   // unlike "splits", which is a pure function of the input and -split.
   if (key == "steals" || key == "idle_workers") return true;
+  // Admission gauges of the bdsd daemon (service/admission.hpp): how full
+  // the pending queue was and what had been shed when a request started
+  // are load facts, not functions of the input.
+  if (key == "queue_depth" || key == "in_flight" || key == "admitted" ||
+      key == "sheds" || key == "deadline_rejects" || key == "drained") {
+    return true;
+  }
   if (key.find("seconds") != std::string_view::npos) return true;
   constexpr std::string_view kMsSuffix = "_ms";
   return key.size() >= kMsSuffix.size() &&

@@ -1,0 +1,381 @@
+// The admission layer (PR 9 tentpole): the bounded gate between bdsd's
+// socket readers and its executors. Unit-level: depth and byte ceilings
+// shed immediately, the priority reserve keeps high-priority traffic
+// admissible under normal-priority flood, drain flips offers to
+// kShuttingDown while admitted work completes, and the client backoff
+// schedule respects its cap / the server's hint / the jitter band.
+// Server-level, over a real socket: a flood against a tiny queue sheds
+// fast and cheap while every admitted request stays byte-identical,
+// SIGTERM-style drain delivers in-flight work, and an expired deadline is
+// rejected before any BDD work starts.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/gen.hpp"
+#include "net/network.hpp"
+#include "service/admission.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "util/rng.hpp"
+
+namespace bds::service {
+namespace {
+
+std::string unique_socket_path(const char* tag) {
+  return "/tmp/bds-adm-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// A circuit heavy enough that optimizing it takes real wall time (so
+/// concurrent requests genuinely pile up at the gate), emitted as BLIF.
+std::string heavy_blif() {
+  std::ostringstream os;
+  net::write_blif(os, gen::array_multiplier(5));
+  return os.str();
+}
+
+std::shared_ptr<PendingRequest> pending(std::size_t bytes,
+                                        std::uint8_t priority = 0) {
+  auto item = std::make_shared<PendingRequest>();
+  item->request.options.priority = priority;
+  item->bytes = bytes;
+  item->arrival = std::chrono::steady_clock::now();
+  return item;
+}
+
+TEST(AdmissionQueue, DepthIsAHardBoundAndShedsBeyondIt) {
+  AdmissionOptions options;
+  options.queue_depth = 4;  // reserve = 1, so normal traffic gets 3 slots
+  options.workers = 1;
+  AdmissionQueue gate(options);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(gate.offer(pending(10)), AdmitResult::kAdmitted) << i;
+  }
+  EXPECT_EQ(gate.offer(pending(10)), AdmitResult::kOverloaded)
+      << "slot 4 is the priority reserve";
+  // The reserve admits high-priority traffic past the normal limit...
+  EXPECT_EQ(gate.offer(pending(10, opt::kPriorityHigh)),
+            AdmitResult::kAdmitted);
+  // ...but depth itself is absolute, even for high priority.
+  EXPECT_EQ(gate.offer(pending(10, opt::kPriorityHigh)),
+            AdmitResult::kOverloaded);
+  EXPECT_EQ(gate.admitted(), 4u);
+  EXPECT_EQ(gate.sheds(), 2u);
+
+  // Draining the queue frees the slots again.
+  std::shared_ptr<PendingRequest> item;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(gate.take(item));
+    gate.finish(1.0);
+  }
+  EXPECT_TRUE(gate.idle());
+  EXPECT_EQ(gate.offer(pending(10)), AdmitResult::kAdmitted);
+}
+
+TEST(AdmissionQueue, ByteCeilingShedsOversizedBacklog) {
+  AdmissionOptions options;
+  options.queue_depth = 16;
+  options.queue_bytes = 100;
+  options.workers = 1;
+  AdmissionQueue gate(options);
+
+  EXPECT_EQ(gate.offer(pending(60)), AdmitResult::kAdmitted);
+  EXPECT_EQ(gate.offer(pending(60)), AdmitResult::kOverloaded)
+      << "60 + 60 exceeds the 100-byte ceiling";
+  EXPECT_EQ(gate.offer(pending(40)), AdmitResult::kAdmitted);
+  EXPECT_EQ(gate.queue_bytes_used(), 100u);
+
+  // take() releases the bytes (the payload now lives with the executor).
+  std::shared_ptr<PendingRequest> item;
+  ASSERT_TRUE(gate.take(item));
+  EXPECT_EQ(gate.queue_bytes_used(), 40u);
+  gate.finish(1.0);
+  EXPECT_EQ(gate.offer(pending(60)), AdmitResult::kAdmitted);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(gate.take(item));
+    gate.finish(1.0);
+  }
+  EXPECT_TRUE(gate.idle());
+}
+
+TEST(AdmissionQueue, DrainRejectsNewWorkWhileAdmittedWorkCompletes) {
+  AdmissionOptions options;
+  options.queue_depth = 8;
+  AdmissionQueue gate(options);
+
+  EXPECT_EQ(gate.offer(pending(1)), AdmitResult::kAdmitted);
+  gate.begin_drain();
+  EXPECT_TRUE(gate.draining());
+  EXPECT_EQ(gate.offer(pending(1)), AdmitResult::kShuttingDown);
+  EXPECT_EQ(gate.offer(pending(1, opt::kPriorityHigh)),
+            AdmitResult::kShuttingDown)
+      << "drain outranks priority";
+  EXPECT_FALSE(gate.idle());
+
+  std::shared_ptr<PendingRequest> item;
+  ASSERT_TRUE(gate.take(item)) << "admitted work survives drain";
+  gate.finish(2.0);
+  EXPECT_TRUE(gate.idle());
+  EXPECT_EQ(gate.drained(), 1u);
+
+  gate.close();
+  EXPECT_FALSE(gate.take(item)) << "closed + empty releases the executors";
+}
+
+TEST(AdmissionQueue, RetryHintStaysInItsClampAndTracksLoad) {
+  AdmissionOptions options;
+  options.queue_depth = 8;
+  options.workers = 2;
+  AdmissionQueue gate(options);
+
+  // Cold: the fallback estimate, still within [1ms, 30s].
+  const std::uint32_t cold = gate.retry_after_ms();
+  EXPECT_GE(cold, 1u);
+  EXPECT_LE(cold, 30000u);
+
+  // A backlog of slow requests raises the hint; it stays clamped.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(gate.offer(pending(1)), AdmitResult::kAdmitted);
+  }
+  std::shared_ptr<PendingRequest> item;
+  ASSERT_TRUE(gate.take(item));
+  gate.finish(400.0);  // seed the EWMA with a slow service time
+  const std::uint32_t loaded = gate.retry_after_ms();
+  EXPECT_GT(loaded, cold);
+  EXPECT_LE(loaded, 30000u);
+  while (!gate.idle() && gate.take(item)) gate.finish(1.0);
+}
+
+TEST(RetryBackoff, GrowsExponentiallyWithinTheJitterBand) {
+  RetryPolicy policy;  // base 50ms, cap 2000ms
+  Rng rng(7);
+  for (unsigned attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t raw = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(policy.base_backoff_ms) << attempt,
+        policy.max_backoff_ms);
+    const std::uint32_t delay = retry_backoff_ms(policy, attempt, 0, rng);
+    EXPECT_GE(delay, raw / 2) << "attempt " << attempt;
+    EXPECT_LE(delay, raw) << "attempt " << attempt;
+  }
+  // Far past the cap (and past where a 32-bit shift would overflow).
+  const std::uint32_t huge = retry_backoff_ms(policy, 40, 0, rng);
+  EXPECT_GE(huge, policy.max_backoff_ms / 2);
+  EXPECT_LE(huge, policy.max_backoff_ms);
+}
+
+TEST(RetryBackoff, ServerHintFloorsTheSchedule) {
+  RetryPolicy policy;
+  Rng rng(11);
+  // Hint above the exponential term *and* above the cap: the hint wins
+  // (backing off for less just earns another shed).
+  const std::uint32_t hinted = retry_backoff_ms(policy, 0, 5000, rng);
+  EXPECT_GE(hinted, 2500u);  // jitter band of the hinted delay
+  EXPECT_LE(hinted, 5000u);
+  // Hint below the schedule changes nothing.
+  const std::uint32_t unhinted = retry_backoff_ms(policy, 3, 10, rng);
+  EXPECT_GE(unhinted, 200u);  // 50 << 3 = 400, band [200, 400]
+  EXPECT_LE(unhinted, 400u);
+}
+
+// An expired deadline is rejected before the BLIF is even parsed: the
+// response is kBudgetExceeded naming the deadline, and the daemon counts a
+// deadline_reject, not a shed.
+TEST(AdmissionServer, ExpiredDeadlineRejectedBeforeAnyWork) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("deadline");
+  Server server(std::move(options));
+
+  OptimizeRequest req;
+  req.blif = "this would not even parse";  // must never be parsed
+  req.options.deadline_ms = 5;
+  const auto stale_arrival =
+      std::chrono::steady_clock::now() - std::chrono::seconds(10);
+  const OptimizeResponse resp = server.handle(req, stale_arrival);
+  EXPECT_EQ(resp.status, Status::kBudgetExceeded);
+  EXPECT_NE(resp.error.find("deadline"), std::string::npos) << resp.error;
+  EXPECT_EQ(server.stats().deadline_rejects, 1u);
+  EXPECT_EQ(server.stats().sheds, 0u);
+
+  // The same request with room to spare runs normally (and fails on the
+  // garbage BLIF, proving the reject above happened pre-parse).
+  req.options.deadline_ms = 60000;
+  EXPECT_EQ(server.handle(req).status, Status::kParseError);
+}
+
+// Flood a deliberately tiny daemon: every client retries with jittered
+// backoff, so all of them eventually succeed with byte-identical results,
+// and the gate sheds at least once along the way -- the overload path and
+// the retry path exercised end to end over the socket.
+TEST(AdmissionServer, FloodShedsFastWhileAdmittedWorkStaysDeterministic) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("flood");
+  options.concurrency = 2;
+  options.queue_depth = 2;  // 1 normal slot + 1 priority reserve
+  Server server(std::move(options));
+  server.start();
+  std::thread serve_thread([&server] { server.serve(); });
+
+  const std::string blif = heavy_blif();
+  constexpr int kClients = 12;
+  std::vector<std::string> results(kClients);
+  std::vector<Status> statuses(kClients, Status::kInternalError);
+  std::atomic<int> raw_sheds{0};
+  std::atomic<std::int64_t> worst_shed_us{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      Client client(server.socket_path());
+      client.connect();
+      OptimizeRequest req;
+      req.blif = blif;
+      req.options.bypass_cache = true;  // every request does real work
+      // First, one raw attempt so the shed path itself is observed (and
+      // timed -- shedding must cost microseconds, not a queue slot).
+      const auto t0 = std::chrono::steady_clock::now();
+      OptimizeResponse resp = client.optimize(req);
+      const auto shed_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      if (resp.status == Status::kOverloaded) {
+        raw_sheds.fetch_add(1, std::memory_order_relaxed);
+        std::int64_t seen = worst_shed_us.load(std::memory_order_relaxed);
+        while (shed_us > seen && !worst_shed_us.compare_exchange_weak(
+                                     seen, shed_us,
+                                     std::memory_order_relaxed)) {
+        }
+        EXPECT_GT(resp.retry_after_ms, 0u);
+        EXPECT_NE(resp.error.find("overloaded"), std::string::npos)
+            << resp.error;
+        // Shed: fall back to the cooperative client. Generous retry budget
+        // so the test converges even on a loaded CI box.
+        RetryPolicy retry;
+        retry.max_retries = 100;
+        retry.base_backoff_ms = 20;
+        retry.max_backoff_ms = 300;
+        retry.jitter_seed = 1000 + static_cast<std::uint64_t>(i);
+        resp = client.optimize_with_retry(req, retry);
+      }
+      statuses[i] = resp.status;
+      results[i] = resp.blif;
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_EQ(statuses[i], Status::kOk) << "client " << i;
+    EXPECT_EQ(results[i], results[0])
+        << "admission must never change an admitted result (client " << i
+        << ")";
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.sheds, static_cast<std::uint64_t>(raw_sheds.load()));
+  EXPECT_GE(raw_sheds.load(), 1)
+      << "12 concurrent heavy requests against queue_depth=2 must shed";
+  // Acceptance: shedding answers immediately. The bench section holds this
+  // to <10ms on a quiet box; under ASan + a saturated test machine allow
+  // slack while still catching "shed waited behind the queue".
+  EXPECT_LT(worst_shed_us.load(), 2'000'000)
+      << "a shed response took " << worst_shed_us.load() << " us";
+
+  server.stop();
+  serve_thread.join();
+}
+
+// Graceful drain: with work admitted and executing, request_drain() (the
+// SIGTERM path) answers new requests kShuttingDown, delivers everything
+// already admitted, and lets serve() return on its own -- no stop() call.
+TEST(AdmissionServer, GracefulDrainDeliversInFlightWork) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("drain");
+  options.concurrency = 1;  // one executor: the second request must queue
+  Server server(std::move(options));
+  server.start();
+  std::thread serve_thread([&server] { server.serve(); });
+
+  const std::string blif = heavy_blif();
+  OptimizeRequest req;
+  req.blif = blif;
+  req.options.bypass_cache = true;
+
+  // Two admitted requests on one executor: one runs, one queues.
+  std::vector<OptimizeResponse> admitted(2);
+  std::vector<std::thread> senders;
+  for (int i = 0; i < 2; ++i) {
+    senders.emplace_back([&, i] {
+      Client client(server.socket_path());
+      client.connect();
+      admitted[i] = client.optimize(req);
+    });
+  }
+  // A bystander connected before the drain begins.
+  Client late(server.socket_path());
+  late.connect();
+
+  // Wait until both are admitted (not merely sent) before draining.
+  while (server.stats().admitted < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.request_drain();
+
+  // New work is refused while the drain runs...
+  const OptimizeResponse refused = late.optimize(req);
+  EXPECT_EQ(refused.status, Status::kShuttingDown);
+  EXPECT_NE(refused.error.find("shutting down"), std::string::npos)
+      << refused.error;
+
+  // ...every admitted request is still delivered, complete and correct...
+  for (auto& t : senders) t.join();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(admitted[i].status, Status::kOk)
+        << "drain dropped admitted request " << i << ": "
+        << admitted[i].error;
+    EXPECT_FALSE(admitted[i].blif.empty());
+  }
+  EXPECT_EQ(admitted[1].blif, admitted[0].blif);
+
+  // ...and serve() returns by itself once the queue is idle.
+  serve_thread.join();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_GE(stats.drained, 1u) << "work finished during drain is counted";
+  EXPECT_EQ(stats.draining, 1u);
+
+  // Byte-identical to the same request handled outside any drain.
+  const OptimizeResponse again = server.handle(req);
+  ASSERT_EQ(again.status, Status::kOk) << again.error;
+  EXPECT_EQ(again.blif, admitted[0].blif)
+      << "drain must not change what an admitted request computes";
+}
+
+// The connect-failure satellite: a missing daemon raises ConnectError
+// carrying the socket path and errno -- the typed signal bds-client maps
+// to its dedicated exit code 6.
+TEST(AdmissionClient, MissingDaemonRaisesConnectErrorWithPath) {
+  const std::string path = unique_socket_path("nodaemon");
+  Client client(path);
+  try {
+    client.connect();
+    FAIL() << "connect() to a nonexistent socket succeeded";
+  } catch (const ConnectError& e) {
+    EXPECT_EQ(e.socket_path(), path);
+    EXPECT_NE(e.saved_errno(), 0);
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("is the daemon running?"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace bds::service

@@ -1,11 +1,16 @@
 // The bdsd service layer: wire-codec round-trips and typed rejection of
-// malformed frames, error-to-status mapping, and the tentpole contract
-// over a real Unix socket -- a repeated identical request is served from
-// the content-addressed result cache with a byte-identical BLIF.
+// malformed frames, protocol-revision compatibility (a rev-1 client
+// against a rev-2 daemon, unknown revisions rejected by name),
+// error-to-status mapping, and the tentpole contract over a real Unix
+// socket -- a repeated identical request is served from the
+// content-addressed result cache with a byte-identical BLIF.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <string>
 #include <thread>
 
@@ -42,25 +47,45 @@ std::string unique_socket_path(const char* tag) {
          std::to_string(::getpid()) + ".sock";
 }
 
+/// A raw rev-1 peer: connects and speaks the legacy unversioned framing,
+/// the way a pre-revision binary would.
+int connect_raw(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  return fd;
+}
+
 TEST(ServiceProtocol, RequestRoundTripsAllFields) {
   OptimizeRequest req;
   req.blif = kBlif;
-  req.script = "bds";
-  req.node_limit = 12345;
-  req.byte_limit = 1u << 20;
-  req.time_limit_ms = 2500;
-  req.jobs = 4;
-  req.flags = kFlagBypassCache | kFlagCheck;
+  req.options.script = "bds";
+  req.options.node_limit = 12345;
+  req.options.byte_limit = 1u << 20;
+  req.options.time_limit_ms = 2500;
+  req.options.deadline_ms = 9000;
+  req.options.priority = opt::kPriorityHigh;
+  req.options.jobs = 4;
+  req.options.bypass_cache = true;
+  req.options.check = true;
 
   const OptimizeRequest out =
       decode_optimize_request(encode_optimize_request(req));
   EXPECT_EQ(out.blif, req.blif);
-  EXPECT_EQ(out.script, req.script);
-  EXPECT_EQ(out.node_limit, req.node_limit);
-  EXPECT_EQ(out.byte_limit, req.byte_limit);
-  EXPECT_EQ(out.time_limit_ms, req.time_limit_ms);
-  EXPECT_EQ(out.jobs, req.jobs);
-  EXPECT_EQ(out.flags, req.flags);
+  EXPECT_EQ(out.options.script, req.options.script);
+  EXPECT_EQ(out.options.node_limit, req.options.node_limit);
+  EXPECT_EQ(out.options.byte_limit, req.options.byte_limit);
+  EXPECT_EQ(out.options.time_limit_ms, req.options.time_limit_ms);
+  EXPECT_EQ(out.options.deadline_ms, 9000u);
+  EXPECT_EQ(out.options.priority, opt::kPriorityHigh);
+  EXPECT_EQ(out.options.jobs, req.options.jobs);
+  EXPECT_TRUE(out.options.bypass_cache);
+  EXPECT_TRUE(out.options.check);
 }
 
 TEST(ServiceProtocol, ResponseAndStatsRoundTrip) {
@@ -72,6 +97,7 @@ TEST(ServiceProtocol, ResponseAndStatsRoundTrip) {
   resp.stats_table = "pass table";
   resp.cache_hits = 3;
   resp.cache_misses = 1;
+  resp.retry_after_ms = 40;
   const OptimizeResponse r =
       decode_optimize_response(encode_optimize_response(resp));
   EXPECT_EQ(r.status, Status::kDegraded);
@@ -81,33 +107,87 @@ TEST(ServiceProtocol, ResponseAndStatsRoundTrip) {
   EXPECT_EQ(r.stats_table, resp.stats_table);
   EXPECT_EQ(r.cache_hits, 3u);
   EXPECT_EQ(r.cache_misses, 1u);
+  EXPECT_EQ(r.retry_after_ms, 40u);
 
   ServerStats stats;
   stats.requests = 9;
   stats.cache_hits = 8;
   stats.cache_bytes = 4096;
   stats.pool_constructed = 2;
+  stats.admitted = 7;
+  stats.sheds = 2;
+  stats.deadline_rejects = 1;
+  stats.drained = 3;
+  stats.queue_depth = 5;
+  stats.in_flight = 2;
   const ServerStats s = decode_server_stats(encode_server_stats(stats));
   EXPECT_EQ(s.requests, 9u);
   EXPECT_EQ(s.cache_hits, 8u);
   EXPECT_EQ(s.cache_bytes, 4096u);
   EXPECT_EQ(s.pool_constructed, 2u);
+  EXPECT_EQ(s.admitted, 7u);
+  EXPECT_EQ(s.sheds, 2u);
+  EXPECT_EQ(s.deadline_rejects, 1u);
+  EXPECT_EQ(s.drained, 3u);
+  EXPECT_EQ(s.queue_depth, 5u);
+  EXPECT_EQ(s.in_flight, 2u);
+}
+
+// Rev-1 payloads simply lack the rev-2 tail; decoding them as rev 1 must
+// default the new fields to zero, and the rev-2 fields must never leak
+// into a rev-1 encoding (a rev-1 decoder would see trailing bytes).
+TEST(ServiceProtocol, RevisionOnePayloadsOmitNewFields) {
+  OptimizeRequest req;
+  req.blif = "x";
+  req.options.deadline_ms = 1234;
+  req.options.priority = opt::kPriorityHigh;
+  const std::string rev1 = encode_optimize_request(req, 1);
+  const std::string rev2 = encode_optimize_request(req, 2);
+  EXPECT_EQ(rev2.size(), rev1.size() + 9);  // u64 deadline + u8 priority
+  const OptimizeRequest out = decode_optimize_request(rev1, 1);
+  EXPECT_EQ(out.options.deadline_ms, 0u);  // dropped by the rev-1 wire
+  EXPECT_EQ(out.options.priority, opt::kPriorityNormal);
+  // A rev-1 decoder handed a rev-2 payload sees trailing bytes -- typed
+  // rejection, not silent truncation.
+  EXPECT_THROW(decode_optimize_request(rev2, 1), SerializeError);
+
+  OptimizeResponse resp;
+  resp.retry_after_ms = 99;
+  const OptimizeResponse back =
+      decode_optimize_response(encode_optimize_response(resp, 1), 1);
+  EXPECT_EQ(back.retry_after_ms, 0u);
+
+  // The admission statuses postdate rev 1: a rev-1 frame carrying one is
+  // corrupt by definition.
+  resp.status = Status::kOverloaded;
+  std::string bad = encode_optimize_response(resp, 1);
+  EXPECT_THROW(decode_optimize_response(bad, 1), SerializeError);
+  EXPECT_EQ(decode_optimize_response(encode_optimize_response(resp, 2), 2)
+                .status,
+            Status::kOverloaded);
 }
 
 TEST(ServiceProtocol, MalformedPayloadsRaiseSerializeError) {
   const std::string good = encode_optimize_request(OptimizeRequest{});
-  // Truncation at every prefix boundary.
+  // Truncation at every prefix boundary (rev-2 layout).
   for (std::size_t n = 0; n < good.size(); ++n) {
     EXPECT_THROW(decode_optimize_request(good.substr(0, n)), SerializeError);
   }
-  // Trailing bytes (a newer-dialect frame) are rejected, not ignored.
+  // Trailing bytes (a newer dialect of the same revision) are rejected,
+  // not ignored.
   EXPECT_THROW(decode_optimize_request(good + "y"), SerializeError);
-  // Unknown flag bits.
+  // Unknown flag bits (the flags byte sits 9 bytes from the rev-2 tail:
+  // u64 deadline + u8 priority follow it).
   {
-    OptimizeRequest req;
-    req.flags = 0x80;
-    EXPECT_THROW(decode_optimize_request(encode_optimize_request(req)),
-                 SerializeError);
+    std::string bad = good;
+    bad[bad.size() - 10] = static_cast<char>(0x80);
+    EXPECT_THROW(decode_optimize_request(bad), SerializeError);
+  }
+  // Priority out of range.
+  {
+    std::string bad = good;
+    bad[bad.size() - 1] = static_cast<char>(9);
+    EXPECT_THROW(decode_optimize_request(bad), SerializeError);
   }
   // Unknown response status byte.
   {
@@ -121,6 +201,31 @@ TEST(ServiceProtocol, MalformedPayloadsRaiseSerializeError) {
     bad[0] = static_cast<char>(0xff);  // blif length low byte
     EXPECT_THROW(decode_optimize_request(bad), SerializeError);
   }
+}
+
+// An unknown protocol revision is rejected with a message naming both
+// revisions -- the one diagnostic that separates version skew from
+// corruption.
+TEST(ServiceProtocol, UnknownRevisionRejectedByName) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Length 0, marker 0xB7 = "revision 7".
+  const char raw[] = {0, 0, 0, 0, static_cast<char>(0xB7)};
+  ASSERT_EQ(::write(fds[0], raw, sizeof raw),
+            static_cast<ssize_t>(sizeof raw));
+  FrameType type{};
+  std::string payload;
+  std::uint8_t revision = 0;
+  try {
+    read_frame(fds[1], type, payload, revision);
+    FAIL() << "revision 7 frame was accepted";
+  } catch (const SerializeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("revision-7"), std::string::npos) << what;
+    EXPECT_NE(what.find("revision 2"), std::string::npos) << what;
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 TEST(ServiceServer, HandleMapsFailuresToTypedStatuses) {
@@ -138,7 +243,7 @@ TEST(ServiceServer, HandleMapsFailuresToTypedStatuses) {
   {
     OptimizeRequest req;
     req.blif = kBlif;
-    req.script = "no_such_pass -x";
+    req.options.script = "no_such_pass -x";
     const OptimizeResponse resp = server.handle(req);
     EXPECT_EQ(resp.status, Status::kScriptError);
     EXPECT_FALSE(resp.error.empty());
@@ -170,7 +275,7 @@ TEST(ServiceServer, SecondIdenticalRequestHitsTheCache) {
 
     OptimizeRequest req;
     req.blif = kBlif;
-    req.jobs = 2;
+    req.options.jobs = 2;
     const OptimizeResponse cold = client.optimize(req);
     ASSERT_EQ(cold.status, Status::kOk) << cold.error;
     EXPECT_EQ(cold.cache_hits, 0u);
@@ -186,6 +291,59 @@ TEST(ServiceServer, SecondIdenticalRequestHitsTheCache) {
     EXPECT_EQ(stats.requests, 2u);
     EXPECT_GT(stats.cache_hits, 0u);
     EXPECT_GT(stats.cache_insertions, 0u);
+    EXPECT_EQ(stats.admitted, 2u);
+    EXPECT_EQ(stats.sheds, 0u);
+  }
+
+  server.stop();
+  serve_thread.join();
+}
+
+// A rev-1 client (legacy unversioned framing, short payloads) must still
+// round-trip against a rev-2 daemon: the acceptance criterion of the
+// protocol-versioning satellite.
+TEST(ServiceServer, RevisionOneClientRoundTripsAgainstRevTwoDaemon) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("rev1");
+  Server server(std::move(options));
+  server.start();
+  std::thread serve_thread([&server] { server.serve(); });
+
+  {
+    const int fd = connect_raw(server.socket_path());
+    OptimizeRequest req;
+    req.blif = kBlif;
+    write_frame(fd, FrameType::kOptimizeRequest,
+                encode_optimize_request(req, 1), 1);
+    FrameType type{};
+    std::string payload;
+    std::uint8_t revision = 0;
+    ASSERT_TRUE(read_frame(fd, type, payload, revision));
+    EXPECT_EQ(type, FrameType::kOptimizeResponse);
+    EXPECT_EQ(revision, 1) << "daemon must answer in the peer's revision";
+    const OptimizeResponse resp = decode_optimize_response(payload, revision);
+    EXPECT_EQ(resp.status, Status::kOk) << resp.error;
+    EXPECT_FALSE(resp.blif.empty());
+
+    // Same request from a rev-2 client: byte-identical result.
+    Client client(server.socket_path());
+    client.connect();
+    OptimizeRequest req2;
+    req2.blif = kBlif;
+    req2.options.bypass_cache = true;  // cache-independent comparison
+    const OptimizeResponse modern = client.optimize(req2);
+    ASSERT_EQ(modern.status, Status::kOk) << modern.error;
+    EXPECT_EQ(modern.blif, resp.blif);
+
+    // Legacy stats exchange still works and stays 9 fields long.
+    write_frame(fd, FrameType::kServerStatsRequest, std::string(), 1);
+    ASSERT_TRUE(read_frame(fd, type, payload, revision));
+    EXPECT_EQ(type, FrameType::kServerStatsResponse);
+    EXPECT_EQ(revision, 1);
+    EXPECT_EQ(payload.size(), 9 * 8u);
+    const ServerStats s = decode_server_stats(payload, revision);
+    EXPECT_GE(s.requests, 2u);
+    ::close(fd);
   }
 
   server.stop();
@@ -207,7 +365,7 @@ TEST(ServiceServer, BypassFlagLeavesTheCacheCold) {
 
     OptimizeRequest req;
     req.blif = kBlif;
-    req.flags = kFlagBypassCache;
+    req.options.bypass_cache = true;
     const OptimizeResponse first = client.optimize(req);
     const OptimizeResponse second = client.optimize(req);
     ASSERT_EQ(first.status, Status::kOk) << first.error;
