@@ -38,7 +38,13 @@
 // latency of admitted requests on both sides plus the cost of every shed:
 // admission must keep the admitted p99 below the unbounded baseline's
 // while answering each shed in well under 10ms, with every admitted result
-// byte-identical. Emits one JSON report (default BENCH_pr9.json)
+// byte-identical. A `mapping` section runs every family through the
+// bds / rugged / mini-SIS scripts with the reserved `map` parameter bound
+// to the embedded MCNC-like library -- the exact pipeline `optimize_blif
+// -map` and the daemon build -- recording pre-map literals and mapped
+// area/delay from the pass counters, plus a bds 4-LUT covering point and
+// the Popel information-measure ordering point; every mapped netlist is
+// equivalence-checked. Emits one JSON report (default BENCH_pr10.json)
 // that CI uploads as an artifact, so manager regressions show up as a diff
 // in the numbers, not an anecdote. `hardware_concurrency` is recorded
 // alongside: parallel speedups are only meaningful where the host actually
@@ -370,6 +376,50 @@ FlowResult run_flow(const Network& input, const std::string& script) {
   } else {
     r.peak_bdd_nodes = static_cast<std::size_t>(ps.counter("peak_bdd_nodes"));
   }
+  return r;
+}
+
+// Mapped flow: the same registered script with the reserved `map` /
+// `lut_k` / `reorder` parameters bound, so the bench builds the exact
+// pipeline `optimize_blif -map` and the daemon build for those options.
+// Mapped area/delay/LUT counts come back through the pass counters (the
+// one instrumentation path `-stats` and `-profile` print), and every
+// mapped netlist is equivalence-checked against the family input.
+
+struct MappedFlowResult {
+  double seconds = 0.0;
+  unsigned literals_premap = 0;  ///< factored literals entering the mapper
+  unsigned literals_after = 0;   ///< SOP literals of the mapped netlist
+  double mapped_gates = 0.0;
+  double mapped_area = 0.0;
+  double mapped_delay = 0.0;
+  double lut_count = 0.0;
+  double lut_depth = 0.0;
+  bool equivalent = false;
+};
+
+MappedFlowResult run_mapped_flow(const Network& input,
+                                 const std::string& script,
+                                 const bds::opt::ScriptParams& params) {
+  MappedFlowResult r;
+  Network net = input;
+  bds::opt::PassManager pm =
+      bds::opt::PassManager::from_script(script, params);
+  const bds::opt::PipelineStats ps = pm.run(net);
+  r.seconds = ps.seconds_total;
+  r.literals_after = net.total_literals();
+  r.mapped_gates = ps.counter("mapped_gates");
+  r.mapped_area = ps.counter("mapped_area");
+  r.mapped_delay = ps.counter("mapped_delay");
+  r.lut_count = ps.counter("lut_count");
+  r.lut_depth = ps.counter("lut_depth");
+  for (const bds::opt::PassStats& pass : ps.passes) {
+    if (pass.name == "map" || pass.name == "lutmap") {
+      r.literals_premap = pass.lits_before;
+      break;
+    }
+  }
+  r.equivalent = static_cast<bool>(bds::verify::check_equivalence(input, net));
   return r;
 }
 
@@ -1022,7 +1072,7 @@ void emit_manager_stats(Json& json, const Manager& mgr) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_pr9.json";
+  std::string out_path = "BENCH_pr10.json";
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1058,7 +1108,7 @@ int main(int argc, char** argv) {
   Json json(out);
   json.open();
   json.field("schema", "bds-bench/v1");
-  json.field("pr", "pr9");
+  json.field("pr", "pr10");
   json.field("hardware_concurrency", std::thread::hardware_concurrency());
 
   // -- Microbenchmark -------------------------------------------------------
@@ -1429,6 +1479,92 @@ int main(int argc, char** argv) {
       all_ok = false;
     }
   }
+
+  // -- Technology mapping ---------------------------------------------------
+  // The paper-reproduction numbers: every family through bds vs rugged vs
+  // mini-SIS, each followed by gate mapping onto the embedded MCNC-like
+  // library via the reserved `map` parameter, plus a bds k-LUT covering
+  // point (`lut_k=4`) and the Popel information-measure ordering point
+  // (`reorder=info`) measured through the same counter path. These rows
+  // feed the EXPERIMENTS.md "Paper reproduction" table.
+  std::cout << "== technology mapping ==\n";
+  json.open_list("mapping");
+  for (const Family& fam : families) {
+    json.open();
+    json.field("name", fam.name);
+    json.open("flows");
+    for (const char* script : {"bds", "rugged", "sis"}) {
+      const MappedFlowResult mr =
+          run_mapped_flow(fam.net, script, {{"map", "mcnc"}});
+      json.open(script);
+      json.field("seconds", mr.seconds);
+      json.field("literals_premap", mr.literals_premap);
+      json.field("mapped_gates", mr.mapped_gates);
+      json.field("mapped_area", mr.mapped_area);
+      json.field("mapped_delay", mr.mapped_delay);
+      json.field("equivalent", mr.equivalent);
+      json.close();
+      if (!mr.equivalent) {
+        all_ok = false;
+        std::cerr << "bench_suite: " << fam.name << "/" << script
+                  << " mapped netlist is NOT equivalent\n";
+      }
+      std::cout << "  " << std::left << std::setw(12) << fam.name
+                << std::right << std::setw(8) << script << "  lits "
+                << std::setw(6) << mr.literals_premap << "  area "
+                << std::setw(7) << std::fixed << std::setprecision(1)
+                << mr.mapped_area << "  delay " << std::setw(5)
+                << std::setprecision(2) << mr.mapped_delay
+                << (mr.equivalent ? "" : "  NOT EQUIVALENT!") << "\n";
+    }
+    {
+      const MappedFlowResult mr =
+          run_mapped_flow(fam.net, "bds", {{"lut_k", "4"}});
+      json.open("bds_lut4");
+      json.field("seconds", mr.seconds);
+      json.field("lut_count", mr.lut_count);
+      json.field("lut_depth", mr.lut_depth);
+      json.field("equivalent", mr.equivalent);
+      json.close();
+      if (!mr.equivalent) {
+        all_ok = false;
+        std::cerr << "bench_suite: " << fam.name
+                  << "/bds lut4 netlist is NOT equivalent\n";
+      }
+      std::cout << "  " << std::left << std::setw(12) << fam.name
+                << std::right << std::setw(8) << "lut4" << "  luts "
+                << std::setw(6)
+                << static_cast<unsigned>(mr.lut_count) << "  depth "
+                << std::setw(3) << static_cast<unsigned>(mr.lut_depth)
+                << (mr.equivalent ? "" : "  NOT EQUIVALENT!") << "\n";
+    }
+    {
+      const MappedFlowResult mr = run_mapped_flow(
+          fam.net, "bds", {{"reorder", "info"}, {"map", "mcnc"}});
+      json.open("bds_info_reorder");
+      json.field("seconds", mr.seconds);
+      json.field("literals_premap", mr.literals_premap);
+      json.field("mapped_area", mr.mapped_area);
+      json.field("mapped_delay", mr.mapped_delay);
+      json.field("equivalent", mr.equivalent);
+      json.close();
+      if (!mr.equivalent) {
+        all_ok = false;
+        std::cerr << "bench_suite: " << fam.name
+                  << "/bds info-reorder netlist is NOT equivalent\n";
+      }
+      std::cout << "  " << std::left << std::setw(12) << fam.name
+                << std::right << std::setw(8) << "info" << "  lits "
+                << std::setw(6) << mr.literals_premap << "  area "
+                << std::setw(7) << std::fixed << std::setprecision(1)
+                << mr.mapped_area << "  delay " << std::setw(5)
+                << std::setprecision(2) << mr.mapped_delay
+                << (mr.equivalent ? "" : "  NOT EQUIVALENT!") << "\n";
+    }
+    json.close();
+    json.close();
+  }
+  json.close_list();
 
   // -- Families -------------------------------------------------------------
   std::cout << "== circuit families ==\n";

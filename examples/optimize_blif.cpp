@@ -10,13 +10,21 @@
 //                 [-trace-json FILE] [-list-passes]
 //
 // The optimization flow is a pass pipeline (src/opt/): `-flow` selects one
-// of the two registered scripts ("bds", "rugged"), `-script` runs an
+// of the registered scripts ("bds", "rugged"), `-script` runs an
 // arbitrary script such as "sweep; eliminate -1; simplify; gkx; resub",
 // `-trace` prints each pass as it completes, `-check` proves every
 // network-modifying pass equivalent to its input, and `-stats` prints the
 // shared per-pass time/size breakdown table. `-j N` runs the decompose
 // phase on N workers (0 = all hardware threads); the result is
 // bit-identical to a serial run.
+//
+// Technology mapping is itself a pipeline stage: by default a `map` pass
+// onto the embedded MCNC-like library is appended (the reserved `map`
+// parameter -- the same mechanism `-map LIB` and a daemon request's
+// map_lib use), so mapped area/delay land in -stats, -profile and the
+// telemetry trace like any other pass counters. `-nomap` drops the gate
+// mapping; `-lut K` appends a `lutmap` covering pass instead of or after
+// it.
 //
 // Telemetry (util/telemetry.hpp): `-trace-json FILE` streams one JSON
 // object per closed span to FILE (schema bds-trace/v1, `-` = stdout;
@@ -45,6 +53,7 @@
 #include "map/mapper.hpp"
 #include "net/network.hpp"
 #include "opt/manager.hpp"
+#include "opt/map_passes.hpp"
 #include "opt/registry.hpp"
 #include "opt/request_options.hpp"
 #include "util/error.hpp"
@@ -74,6 +83,7 @@ constexpr const char* kDemo = R"(
 int usage() {
   std::cerr << "usage: optimize_blif [input.blif] [-o out.blif] "
                "[-gates out_mapped.blif] [-flow bds|sis] [-split N] "
+               "[-reorder sift|info|none] "
                "[-nomap] [-noverify] [-stats] [-trace] [-profile] "
                "[-trace-json FILE] [-list-passes]\n"
                "shared request options (also bds-client / the bdsd wire "
@@ -105,6 +115,7 @@ int main(int argc, char** argv) {
   std::string gate_path;
   std::string flow = "bds";
   std::string split;
+  std::string reorder;
   bool do_map = true;
   bool do_verify = true;
   bool show_stats = false;
@@ -129,6 +140,8 @@ int main(int argc, char** argv) {
         flow = argv[++i];
       } else if (arg == "-split" && i + 1 < argc) {
         split = argv[++i];
+      } else if (arg == "-reorder" && i + 1 < argc) {
+        reorder = argv[++i];
       } else if (arg == "-nomap") {
         do_map = false;
       } else if (arg == "-noverify") {
@@ -163,11 +176,24 @@ int main(int argc, char** argv) {
       ro.script.empty() ? ((flow == "bds") ? "bds" : "rugged") : ro.script;
   const bool check = ro.check;
 
+  // Gate mapping is part of the pipeline: the default run maps onto the
+  // embedded MCNC-like library by appending a `map` pass (the reserved
+  // `map` parameter), exactly the path a daemon request with map_lib set
+  // takes. -nomap disables gate mapping (an explicit -map wins over the
+  // default; -lut is independent and still runs).
+  if (!do_map) {
+    ro.map_lib.clear();
+  } else if (ro.map_lib.empty()) {
+    ro.map_lib = "mcnc";
+  }
+
   // Typed parameter bindings instead of patching script text: `jobs` is
   // declared by the "bds" script (routed to bds_decompose -j), the budget
-  // keys are reserved pipeline parameters consumed by the PassManager.
+  // keys are reserved pipeline parameters consumed by the PassManager,
+  // and `map`/`lut_k` append the mapping stage.
   opt::ScriptParams params = ro.to_script_params();
   if (!split.empty()) params.emplace_back("split", split);
+  if (!reorder.empty()) params.emplace_back("reorder", reorder);
 
   net::Network input;
   try {
@@ -251,8 +277,11 @@ int main(int argc, char** argv) {
   Timer timer;
   net::Network optimized = input;
   opt::PipelineStats pstats;
+  // Caller-owned context: after the run, the MapFlowState blackboard entry
+  // holds the map pass's library and MapResult (for -gates).
+  opt::PassContext ctx;
   try {
-    pstats = pipeline.run(optimized, popts);
+    pstats = pipeline.run(optimized, popts, ctx);
   } catch (const opt::ScriptError& e) {
     std::cerr << "script error: " << e.what() << "\n";
     return 2;
@@ -294,18 +323,33 @@ int main(int argc, char** argv) {
     std::cout << "per-pass check: all passes equivalent\n";
   }
 
-  net::Network final_net = optimized;
-  if (do_map) {
-    const map::MapResult mapped = map::map_network(optimized);
-    std::cout << "mapped: " << mapped.num_gates << " gates, area "
-              << mapped.area << ", delay " << mapped.delay << " ns\n";
-    final_net = mapped.netlist;
-    if (!gate_path.empty()) {
-      std::ofstream gout(gate_path);
-      map::write_gate_blif(gout, mapped);
-      std::cout << "wrote mapped netlist (.gate form) to " << gate_path
-                << "\n";
+  // The map/lutmap passes already rewrote `optimized` in place; report
+  // their results from the same counters -stats and the telemetry spans
+  // carry, so every surface reads the one instrumentation path.
+  const net::Network& final_net = optimized;
+  if (!ro.map_lib.empty()) {
+    std::cout << "mapped: "
+              << static_cast<long long>(pstats.counter("mapped_gates"))
+              << " gates, area " << pstats.counter("mapped_area")
+              << ", delay " << pstats.counter("mapped_delay") << " ns\n";
+  }
+  if (ro.lut_k != 0) {
+    std::cout << "lutmap: "
+              << static_cast<long long>(pstats.counter("lut_count"))
+              << " LUT" << ro.lut_k << "s, depth "
+              << static_cast<long long>(pstats.counter("lut_depth")) << "\n";
+  }
+  if (!gate_path.empty()) {
+    const auto* mapstate = ctx.find_state<opt::MapFlowState>();
+    if (mapstate == nullptr || !mapstate->mapped) {
+      std::cerr << "-gates needs a map pass in the run (drop -nomap or add "
+                   "-map LIB)\n";
+      return 2;
     }
+    std::ofstream gout(gate_path);
+    map::write_gate_blif(gout, mapstate->result);
+    std::cout << "wrote mapped netlist (.gate form) to " << gate_path
+              << "\n";
   }
   std::cout << "total time: " << timer.seconds() << " s\n";
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace bds::map {
 
 namespace {
@@ -22,8 +24,7 @@ class ExprParser {
     const std::int32_t root = parse_or();
     skip_ws();
     if (pos_ != text_.size()) {
-      throw std::runtime_error("genlib: trailing junk in expression '" +
-                               text_ + "'");
+      throw std::runtime_error("trailing junk in expression '" + text_ + "'");
     }
     return root;
   }
@@ -82,7 +83,7 @@ class ExprParser {
   std::int32_t parse_factor() {
     skip_ws();
     if (pos_ >= text_.size()) {
-      throw std::runtime_error("genlib: unexpected end of expression");
+      throw std::runtime_error("unexpected end of expression");
     }
     const char c = text_[pos_];
     if (c == '!') {
@@ -95,7 +96,7 @@ class ExprParser {
       const std::int32_t e = parse_or();
       skip_ws();
       if (pos_ >= text_.size() || text_[pos_] != ')') {
-        throw std::runtime_error("genlib: missing ')'");
+        throw std::runtime_error("missing ')' in expression");
       }
       ++pos_;
       // Postfix ' (complement), another genlib convention.
@@ -112,7 +113,7 @@ class ExprParser {
       name += text_[pos_++];
     }
     if (name.empty()) {
-      throw std::runtime_error(std::string("genlib: bad character '") + c +
+      throw std::runtime_error(std::string("bad character '") + c +
                                "' in expression");
     }
     if (name == "CONST0") return push({Expr::Kind::kConst0, -1, -1, ""});
@@ -203,38 +204,75 @@ const Gate* Library::nand2() const {
 
 Library parse_genlib(const std::string& text) {
   Library lib;
-  std::istringstream is(text);
-  std::string line;
-  std::string pending;
-  std::vector<std::string> statements;
-  while (std::getline(is, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    pending += ' ';
-    pending += line;
-  }
-  // Split on "GATE" keywords.
-  std::size_t pos = 0;
-  while ((pos = pending.find("GATE", pos)) != std::string::npos) {
-    const std::size_t next = pending.find("GATE", pos + 4);
-    statements.push_back(pending.substr(
-        pos, next == std::string::npos ? std::string::npos : next - pos));
-    pos = next;
-    if (pos == std::string::npos) break;
+  // A GATE statement may wrap across lines (its PIN lines usually do), so
+  // statements are gathered first, each remembering the 1-based line its
+  // GATE keyword appeared on -- every diagnostic below is anchored to
+  // that line, the same "<format> line N: <what>" shape the BLIF parser
+  // uses.
+  struct Statement {
+    std::size_t line = 0;
+    std::string text;
+  };
+  std::vector<Statement> statements;
+  {
+    std::istringstream is(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+      ++lineno;
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::size_t pos = 0;
+      while (pos < line.size()) {
+        const std::size_t next = line.find("GATE", pos);
+        const std::string chunk =
+            line.substr(pos, next == std::string::npos ? std::string::npos
+                                                       : next - pos);
+        // Text before the first GATE keyword of the file (a non-comment
+        // preamble) has nothing to attach to and is ignored, as before;
+        // otherwise the chunk continues the open statement.
+        if (!statements.empty() && !chunk.empty()) {
+          statements.back().text += ' ';
+          statements.back().text += chunk;
+        }
+        if (next == std::string::npos) break;
+        statements.push_back(Statement{lineno, "GATE"});
+        pos = next + 4;
+      }
+    }
   }
 
-  for (const std::string& stmt : statements) {
-    std::istringstream ss(stmt);
+  // Gate name -> defining line, for the duplicate diagnostic.
+  std::vector<std::pair<std::string, std::size_t>> defined;
+  for (const Statement& stmt : statements) {
+    const auto fail = [&stmt](const std::string& msg) -> void {
+      throw ParseError("genlib line " + std::to_string(stmt.line) + ": " +
+                       msg);
+    };
+    std::istringstream ss(stmt.text);
     std::string kw;
     Gate g;
     ss >> kw >> g.name >> g.area;
-    if (!ss) throw std::runtime_error("genlib: bad GATE header: " + stmt);
+    if (!ss) {
+      fail("bad GATE header (expected 'GATE <name> <area> <out>=<expr>;'): " +
+           stmt.text);
+    }
+    for (const auto& [name, line] : defined) {
+      if (name == g.name) {
+        fail("gate '" + g.name + "' already defined at line " +
+             std::to_string(line));
+      }
+    }
+    defined.emplace_back(g.name, stmt.line);
     // Function up to ';'.
     std::string func;
     std::getline(ss, func, ';');
+    if (ss.eof()) {
+      fail("gate '" + g.name + "': missing ';' after the gate function");
+    }
     const std::size_t eq = func.find('=');
     if (eq == std::string::npos) {
-      throw std::runtime_error("genlib: missing '=' in " + stmt);
+      fail("gate '" + g.name + "': missing '=' in function '" + func + "'");
     }
     g.output = func.substr(0, eq);
     g.output.erase(std::remove_if(g.output.begin(), g.output.end(),
@@ -245,16 +283,37 @@ Library parse_genlib(const std::string& text) {
                                   }),
                    g.output.end());
     const std::string body = func.substr(eq + 1);
-    ExprParser parser(body, g);
-    g.expr_root = parser.parse();
+    try {
+      ExprParser parser(body, g);
+      g.expr_root = parser.parse();
+    } catch (const std::runtime_error& e) {
+      fail("gate '" + g.name + "': " + e.what());
+    }
 
     // PIN lines: take the worst block delay over pins.
     std::string tok;
     while (ss >> tok) {
-      if (tok != "PIN") continue;
+      if (tok != "PIN") {
+        fail("gate '" + g.name + "': expected PIN, got '" + tok + "'");
+      }
       std::string pin_name, phase;
       double in_load = 0, max_load = 0, rb = 0, rf = 0, fb = 0, ff = 0;
       ss >> pin_name >> phase >> in_load >> max_load >> rb >> rf >> fb >> ff;
+      if (!ss) {
+        fail("gate '" + g.name + "': bad PIN line (expected 'PIN <pin|*> "
+             "<phase> <in_load> <max_load> <rise_block> <rise_fanout> "
+             "<fall_block> <fall_fanout>')");
+      }
+      if (phase != "INV" && phase != "NONINV" && phase != "UNKNOWN") {
+        fail("gate '" + g.name + "': PIN " + pin_name + ": bad phase '" +
+             phase + "' (expected INV, NONINV or UNKNOWN)");
+      }
+      if (pin_name != "*" &&
+          std::find(g.pins.begin(), g.pins.end(), pin_name) ==
+              g.pins.end()) {
+        fail("gate '" + g.name + "': PIN names unknown pin '" + pin_name +
+             "'");
+      }
       g.delay = std::max({g.delay, rb, fb});
       (void)rf;
       (void)ff;
@@ -262,7 +321,9 @@ Library parse_genlib(const std::string& text) {
     if (g.delay == 0.0) g.delay = 1.0;
     lib.gates.push_back(std::move(g));
   }
-  if (lib.gates.empty()) throw std::runtime_error("genlib: no gates found");
+  if (lib.gates.empty()) {
+    throw ParseError("genlib: no GATE definitions found");
+  }
   return lib;
 }
 

@@ -15,13 +15,17 @@
 
 namespace bds::map {
 
+/// Outcome of map_luts(): the LUT netlist plus the count/depth figures the
+/// `lutmap` pass reports as counters.
 struct LutMapResult {
   net::Network netlist;  ///< one node per LUT (SOP over <= k fanins)
-  std::size_t num_luts = 0;
+  std::size_t num_luts = 0;  ///< LUTs in the cover
   unsigned depth = 0;  ///< LUT levels on the longest PI-to-PO path
 };
 
-/// Maps `net` onto k-input LUTs (2 <= k <= 6).
+/// Maps `net` onto k-input LUTs (2 <= k <= 6). The returned netlist is
+/// functionally equivalent to the input (each LUT node carries its cone's
+/// SOP), so the result stays verifiable with the usual equivalence checks.
 LutMapResult map_luts(const net::Network& net, unsigned k = 4);
 
 }  // namespace bds::map

@@ -18,11 +18,15 @@ namespace bds::map {
 /// minimal arrival time with area as the tie-breaker.
 enum class MapObjective : std::uint8_t { kArea, kDelay };
 
+/// Outcome of map_network(): the gate-level netlist plus the mapped
+/// area/delay figures every reporting surface (the `map` pass counters,
+/// -stats, bench_suite) reads.
 struct MapResult {
   net::Network netlist;  ///< gate-level network (one node per instance)
-  double area = 0.0;
+  double area = 0.0;     ///< total area of the chosen cover
   double delay = 0.0;  ///< critical path through gate block delays
-  std::size_t num_gates = 0;
+  std::size_t num_gates = 0;  ///< gate instances in the cover
+  /// Instances per library gate name (for histograms in reports).
   std::map<std::string, std::size_t> gate_histogram;
   /// Library gate of each instance node (keyed by netlist NodeId); nodes
   /// absent here are constants.

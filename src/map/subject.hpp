@@ -13,15 +13,20 @@
 
 namespace bds::map {
 
+/// The canonical NAND2/INV form of a network (see file comment); both the
+/// gate mapper and the LUT mapper cover this graph.
 struct SubjectGraph {
+  /// Subject node kinds: graph leaves (inputs/constants) and the two
+  /// canonical operators.
   enum class Kind : std::uint8_t { kInput, kInv, kNand, kConst0, kConst1 };
 
+  /// One subject node; `a`/`b` are indices into `nodes`.
   struct Node {
-    Kind kind = Kind::kInput;
-    std::int32_t a = -1;
-    std::int32_t b = -1;
+    Kind kind = Kind::kInput;  ///< leaf or operator kind
+    std::int32_t a = -1;       ///< first fanin (kInv/kNand), else -1
+    std::int32_t b = -1;       ///< second fanin (kNand), else -1
     net::NodeId source = net::kNoNode;  ///< for kInput: the network PI/node
-    std::uint32_t fanout = 0;
+    std::uint32_t fanout = 0;  ///< PO-reachable references (tree boundaries)
   };
 
   std::vector<Node> nodes;  ///< indices are topological (children first)
@@ -30,13 +35,19 @@ struct SubjectGraph {
   /// Subject node per primary output, in network output order.
   std::vector<std::int32_t> po_nodes;
 
+  /// Creates (or reuses) the leaf node of network signal `source`.
   std::int32_t mk_input(net::NodeId source);
+  /// The constant-0 or constant-1 leaf.
   std::int32_t mk_const(bool value);
+  /// Hash-consed inverter of `a` (double inversion cancels).
   std::int32_t mk_inv(std::int32_t a);
+  /// Hash-consed NAND2 of `a` and `b` (operands are order-normalized).
   std::int32_t mk_nand(std::int32_t a, std::int32_t b);
+  /// AND as INV(NAND(a, b)) -- the canonical expansion.
   std::int32_t mk_and(std::int32_t a, std::int32_t b) {
     return mk_inv(mk_nand(a, b));
   }
+  /// OR as NAND(INV(a), INV(b)) -- the canonical expansion.
   std::int32_t mk_or(std::int32_t a, std::int32_t b) {
     return mk_nand(mk_inv(a), mk_inv(b));
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -46,6 +47,56 @@ void attach_decompose_counters(util::TelemetrySpan& span,
              static_cast<double>(d.generalized_and + d.generalized_or +
                                  d.generalized_xnor));
   span.count("shannon", static_cast<double>(d.shannon));
+}
+
+// ---- information-measure variable ordering ---------------------------------
+//
+// The alternative to Rudell sifting from Popel, "Towards Efficient
+// Calculation of Information Measures for Reordering of BDDs": rank each
+// variable by the information it reveals about the function,
+//
+//   I(v) = H(p) - [H(p|v=0) + H(p|v=1)] / 2
+//
+// where p is the function's minterm density, p|v=c the density of the
+// cofactor, and H the binary entropy. Variables are installed top-down in
+// decreasing-gain order (ties broken by variable index), so the ordering
+// is a pure function of the BDD -- deterministic across runs and -j
+// levels, unlike greedy sifting it needs no trial swaps.
+
+/// The reordering strategy bds_decompose applies to each supernode BDD
+/// before decomposition (`-reorder sift|info|none`; `-noreorder` is the
+/// legacy alias for none).
+enum class ReorderMode : std::uint8_t { kNone = 0, kSift = 1, kInfo = 2 };
+
+double binary_entropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+/// Computes the decreasing-information-gain variable order of `f` and
+/// installs it. Gains use scaled sat counts over all `nvars` variables;
+/// a cofactor is independent of the cofactored variable, so its density
+/// over the same space is exactly the conditional probability.
+void reorder_by_information_gain(bdd::Manager& mgr, bdd::Edge f) {
+  const std::uint32_t nvars = mgr.num_vars();
+  const double total = std::ldexp(1.0, static_cast<int>(nvars));
+  const double h = binary_entropy(mgr.sat_count(f, nvars) / total);
+  std::vector<std::pair<double, Var>> gain;
+  gain.reserve(nvars);
+  for (Var v = 0; v < nvars; ++v) {
+    const double h0 =
+        binary_entropy(mgr.sat_count(mgr.cofactor(f, v, false), nvars) / total);
+    const double h1 =
+        binary_entropy(mgr.sat_count(mgr.cofactor(f, v, true), nvars) / total);
+    gain.emplace_back(h - 0.5 * (h0 + h1), v);
+  }
+  // stable_sort on strictly-greater keeps equal gains in variable order.
+  std::stable_sort(gain.begin(), gain.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<Var> order;
+  order.reserve(nvars);
+  for (const auto& [g, v] : gain) order.push_back(v);
+  mgr.set_order(order);
 }
 
 // ---- budget-degradation fallback -------------------------------------------
@@ -244,9 +295,21 @@ class BdsDecomposePass final : public Pass {
  public:
   explicit BdsDecomposePass(const std::vector<std::string>& args) {
     validate_args(
-        "bds_decompose", args, 0, {"-max_cuts", "-j", "-split"},
+        "bds_decompose", args, 0, {"-max_cuts", "-j", "-split", "-reorder"},
         {"-noreorder", "-nodom", "-nomux", "-nogen", "-noxdom", "-constrain"});
-    reorder_ = !has_flag(args, "-noreorder");
+    const std::string mode =
+        flag_value("bds_decompose", args, "-reorder",
+                   has_flag(args, "-noreorder") ? "none" : "sift");
+    if (mode == "sift") {
+      reorder_ = ReorderMode::kSift;
+    } else if (mode == "info") {
+      reorder_ = ReorderMode::kInfo;
+    } else if (mode == "none") {
+      reorder_ = ReorderMode::kNone;
+    } else {
+      throw ScriptError("bds_decompose: -reorder must be sift, info or none "
+                        "(got '" + mode + "')");
+    }
     opts_.use_simple_dominators = !has_flag(args, "-nodom");
     opts_.use_mux = !has_flag(args, "-nomux");
     opts_.use_generalized = !has_flag(args, "-nogen");
@@ -272,7 +335,11 @@ class BdsDecomposePass final : public Pass {
       if (!out.empty()) out += ' ';
       out += f;
     };
-    if (!reorder_) flag("-noreorder");
+    if (reorder_ == ReorderMode::kNone) flag("-noreorder");
+    if (reorder_ == ReorderMode::kInfo) {
+      if (!out.empty()) out += ' ';
+      out += "-reorder info";
+    }
     if (!opts_.use_simple_dominators) flag("-nodom");
     if (!opts_.use_mux) flag("-nomux");
     if (!opts_.use_generalized) flag("-nogen");
@@ -456,8 +523,8 @@ class BdsDecomposePass final : public Pass {
             core::FactoringForest& forest, core::FactId& root,
             core::DecomposeStats& stats, util::TelemetryRecorder* rec) {
           try {
-            if (reorder_ && k > 1) {
-              // Manager-op epoch: counters accrued by sifting alone,
+            if (reorder_ != ReorderMode::kNone && k > 1) {
+              // Manager-op epoch: counters accrued by reordering alone,
               // observed as a ManagerStats delta at the span boundary (the
               // manager itself carries no telemetry branches).
               bdd::ManagerStats before;
@@ -466,7 +533,11 @@ class BdsDecomposePass final : public Pass {
                 before = mgr.stats();
                 epoch = util::TelemetrySpan::open(rec, "epoch:reorder");
               }
-              mgr.reorder_sift();
+              if (reorder_ == ReorderMode::kInfo) {
+                reorder_by_information_gain(mgr, func.edge());
+              } else {
+                mgr.reorder_sift();
+              }
               if (epoch.active()) {
                 attach_counters(epoch,
                                 bdd::telemetry_counters(mgr.stats(), &before));
@@ -721,7 +792,8 @@ class BdsDecomposePass final : public Pass {
         if (cache != nullptr) {
           item.cache_key = decompose_cache_key(
               core::canonical_function_hash(*item.mgr, item.func.edge()),
-              opts_, reorder_, item.k, split_);
+              opts_, reorder_ != ReorderMode::kNone, item.k, split_,
+              reorder_ == ReorderMode::kInfo ? 1u : 0u);
           std::string bytes;
           if (cache->lookup(item.cache_key, bytes) &&
               decode_fragment(bytes, item.forest, item.root, item.stats)) {
@@ -916,7 +988,7 @@ class BdsDecomposePass final : public Pass {
 
  private:
   core::DecomposeOptions opts_;
-  bool reorder_ = true;
+  ReorderMode reorder_ = ReorderMode::kSift;
   /// Split threshold: a supernode whose transferred BDD has at least this
   /// many nodes is split at a balanced generalized-dominator cut into two
   /// independently decomposable halves. 0 = never split (the default).
@@ -1013,10 +1085,12 @@ void register_bds_passes(PassRegistry& registry) {
       });
   registry.add(
       "bds_decompose",
-      "bds_decompose [-noreorder] [-nodom] [-nomux] [-nogen] [-noxdom] "
-      "[-constrain] [-max_cuts N] [-split N] [-j N]: per-supernode BDD "
-      "decomposition into factoring trees (overlapped pipeline; -split "
-      "halves big BDDs at a dominator cut for work stealing)",
+      "bds_decompose [-reorder sift|info|none] [-noreorder] [-nodom] "
+      "[-nomux] [-nogen] [-noxdom] [-constrain] [-max_cuts N] [-split N] "
+      "[-j N]: per-supernode BDD decomposition into factoring trees "
+      "(overlapped pipeline; -split halves big BDDs at a dominator cut for "
+      "work stealing; -reorder info ranks variables by information gain "
+      "instead of sifting)",
       [](const std::vector<std::string>& args) {
         return std::make_unique<BdsDecomposePass>(args);
       });

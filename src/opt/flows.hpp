@@ -22,4 +22,9 @@ std::string default_bds_script(const core::BdsOptions& options = {});
 /// with non-default option values rendered as pass flags.
 std::string rugged_script(const sis::SisOptions& options = {});
 
+/// The mini-SIS baseline (registered as script "sis"): rugged without the
+/// closing full_simplify round -- the cheaper algebraic script the paper's
+/// SIS column is closest to for the mapped-area comparisons.
+std::string mini_sis_script(const sis::SisOptions& options = {});
+
 }  // namespace bds::opt

@@ -54,6 +54,11 @@ PassManager PassManager::from_script(const std::string& script,
   }
   std::vector<ScriptCommand> commands = parse_script(text);
   PassManager pm;
+  // Reserved mapping keys append a mapping stage after the script's own
+  // commands; collected first so the order the caller lists them in does
+  // not matter (gate mapping always precedes LUT covering).
+  std::string map_lib;
+  std::string lut_k;
   for (const auto& [key, value] : params) {
     // Reserved pipeline-level keys: consumed by the PassManager itself
     // (they shape the run's default ResourceBudget, not any single pass).
@@ -67,6 +72,19 @@ PassManager PassManager::from_script(const std::string& script,
     }
     if (key == "time_limit") {
       pm.param_time_limit_ = parse_double_arg("pipeline", value);
+      continue;
+    }
+    // Reserved mapping keys: rather than binding a flag on a pass the
+    // script must already contain, they append the `map` / `lutmap`
+    // passes to the end of ANY script -- so `-flow rugged -map mcnc`
+    // works the same as `-flow bds -map lib.genlib`, from the CLI, the
+    // daemon, and the bench harness alike.
+    if (key == "map") {
+      map_lib = value;
+      continue;
+    }
+    if (key == "lut_k") {
+      lut_k = value;
       continue;
     }
     const ScriptParamDecl* decl = nullptr;
@@ -93,6 +111,12 @@ PassManager PassManager::from_script(const std::string& script,
       throw ScriptError("parameter '" + key + "' targets pass '" + decl->pass +
                         "', which the script does not contain");
     }
+  }
+  if (!map_lib.empty()) {
+    commands.push_back(ScriptCommand{"map", {"-lib", map_lib}});
+  }
+  if (!lut_k.empty()) {
+    commands.push_back(ScriptCommand{"lutmap", {"-k", lut_k}});
   }
   for (const ScriptCommand& cmd : commands) {
     pm.add(PassRegistry::instance().create(cmd));

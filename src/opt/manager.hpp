@@ -74,7 +74,8 @@ struct PipelineStats {
 
 /// `key=value` bindings for PassManager::from_script: script-declared
 /// parameters (PassRegistry ScriptParamDecl) plus the reserved pipeline
-/// keys `node_limit`, `byte_limit` and `time_limit`.
+/// keys `node_limit`, `byte_limit`, `time_limit` (budget ceilings) and
+/// `map`, `lut_k` (append a technology-mapping stage to any script).
 using ScriptParams = std::vector<std::pair<std::string, std::string>>;
 
 /// Renders the per-pass breakdown as an aligned text table (the `-stats`
@@ -101,11 +102,14 @@ class PassManager {
   /// expanded to that script's text first. Throws ScriptError on unknown
   /// passes or malformed arguments.
   static PassManager from_script(const std::string& script);
-  /// Same, binding `key=value` parameters: reserved keys (node_limit,
-  /// byte_limit, time_limit) become the pipeline's default budget; other
-  /// keys must be declared by the named script and are routed to their
-  /// pass as flags (a binding wins over a flag already in the text).
-  /// Throws ScriptError on a key the script does not declare.
+  /// Same, binding `key=value` parameters: reserved budget keys
+  /// (node_limit, byte_limit, time_limit) become the pipeline's default
+  /// budget; reserved mapping keys (`map` = genlib path or "mcnc",
+  /// `lut_k` = LUT arity) append `map -lib <v>` / `lutmap -k <v>` passes
+  /// after the script's own commands; other keys must be declared by the
+  /// named script and are routed to their pass as flags (a binding wins
+  /// over a flag already in the text). Throws ScriptError on a key the
+  /// script does not declare.
   static PassManager from_script(const std::string& script,
                                  const ScriptParams& params);
 

@@ -12,12 +12,18 @@ PassRegistry& PassRegistry::instance() {
     auto* r = new PassRegistry();
     register_sis_passes(*r);
     register_bds_passes(*r);
+    register_map_passes(*r);
     r->add_script("rugged", rugged_script());
+    // "sis": the leaner mini-SIS baseline (rugged without the closing
+    // full_simplify round) -- the third column of the paper-reproduction
+    // mapping benchmarks.
+    r->add_script("sis", mini_sis_script());
     r->add_script("bds", default_bds_script(),
                   {{"jobs", "bds_decompose", "-j"},
                    {"max_cuts", "bds_decompose", "-max_cuts"},
                    {"split", "bds_decompose", "-split"},
-                   {"threshold", "bds_partition", "-t"}});
+                   {"threshold", "bds_partition", "-t"},
+                   {"reorder", "bds_decompose", "-reorder"}});
     return r;
   }();
   return *registry;

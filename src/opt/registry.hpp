@@ -76,9 +76,10 @@ void validate_args(std::string_view pass, const std::vector<std::string>& args,
                    const std::vector<std::string_view>& value_flags,
                    const std::vector<std::string_view>& bare_flags);
 
-// Built-in registration hooks (opt/sis_passes.cpp, opt/bds_passes.cpp);
-// called once by PassRegistry::instance().
+// Built-in registration hooks (opt/sis_passes.cpp, opt/bds_passes.cpp,
+// opt/map_passes.cpp); called once by PassRegistry::instance().
 void register_sis_passes(PassRegistry& registry);
 void register_bds_passes(PassRegistry& registry);
+void register_map_passes(PassRegistry& registry);
 
 }  // namespace bds::opt

@@ -70,6 +70,14 @@ bool RequestOptions::parse_cli_arg(int argc, char* const* argv, int& i) {
     check = true;
   } else if (arg == "-no-cache") {
     bypass_cache = true;
+  } else if (arg == "-map") {
+    map_lib = flag_value(argc, argv, i);
+    if (map_lib.empty()) {
+      throw ParseError("-map: expected a genlib path or \"mcnc\"");
+    }
+  } else if (arg == "-lut") {
+    lut_k = static_cast<std::uint32_t>(
+        parse_u64(arg, flag_value(argc, argv, i)));
   } else {
     return false;
   }
@@ -80,6 +88,10 @@ void RequestOptions::validate() const {
   if (priority > kPriorityHigh) {
     throw ParseError("request options: priority " + std::to_string(priority) +
                      " out of range (0 = normal, 1 = high)");
+  }
+  if (lut_k != 0 && (lut_k < 2 || lut_k > 6)) {
+    throw ParseError("request options: lut_k " + std::to_string(lut_k) +
+                     " out of range (0 = off, else 2..6)");
   }
 }
 
@@ -93,7 +105,11 @@ const char* RequestOptions::cli_help() {
          "none)\n"
          "  -priority P       admission priority: normal|high\n"
          "  -check            per-pass equivalence checkpoints\n"
-         "  -no-cache         bypass the daemon's result cache\n";
+         "  -no-cache         bypass the daemon's result cache\n"
+         "  -map LIB          map onto a genlib file, or \"mcnc\" for the "
+         "built-in library\n"
+         "  -lut K            cover with K-input LUTs, 2..6 (after -map if "
+         "both)\n";
 }
 
 ScriptParams RequestOptions::to_script_params() const {
@@ -110,6 +126,8 @@ ScriptParams RequestOptions::to_script_params() const {
         "time_limit",
         std::to_string(static_cast<double>(time_limit_ms) / 1000.0));
   }
+  if (!map_lib.empty()) params.emplace_back("map", map_lib);
+  if (lut_k != 0) params.emplace_back("lut_k", std::to_string(lut_k));
   return params;
 }
 

@@ -43,17 +43,27 @@ struct RequestOptions {
   std::uint8_t priority = kPriorityNormal;  ///< kPriorityNormal|kPriorityHigh
   bool check = false;         ///< per-pass equivalence checkpoints
   bool bypass_cache = false;  ///< skip the daemon's ResultCache
+  /// Gate library to technology-map the optimized network onto: a genlib
+  /// file path, or "mcnc" for the embedded MCNC-like library. "" = no gate
+  /// mapping. Appends a `map` pass to whatever script runs (protocol
+  /// revision 3 wire field).
+  std::string map_lib;
+  /// When nonzero (2..6), cover the result with k-input LUTs by appending
+  /// a `lutmap` pass (runs after `map` if both are set; protocol revision
+  /// 3 wire field). 0 = no LUT mapping.
+  std::uint32_t lut_k = 0;
 
   /// Consumes argv[i] (and its value, if any) when it is one of the shared
   /// request flags: -script, -j, -node-limit, -byte-limit, -time-limit
-  /// (seconds, stored as ms), -deadline-ms, -priority, -check, -no-cache.
-  /// Returns false when argv[i] is not a shared flag (the caller's own
-  /// flags come next); throws bds::ParseError on a flag with a missing or
-  /// malformed value.
+  /// (seconds, stored as ms), -deadline-ms, -priority, -check, -no-cache,
+  /// -map, -lut. Returns false when argv[i] is not a shared flag (the
+  /// caller's own flags come next); throws bds::ParseError on a flag with
+  /// a missing or malformed value.
   bool parse_cli_arg(int argc, char* const* argv, int& i);
 
   /// Range-checks the fields a CLI or a wire peer could have set out of
-  /// bounds (today: priority). Throws bds::ParseError naming the field.
+  /// bounds (today: priority, lut_k). Throws bds::ParseError naming the
+  /// field.
   void validate() const;
 
   /// The usage text of the shared flags, one line each, indented two
@@ -63,7 +73,8 @@ struct RequestOptions {
 
   /// The reserved/declared script parameter bindings these options imply
   /// (jobs when nonzero, node_limit/byte_limit when nonzero, time_limit in
-  /// seconds when nonzero) for PassManager::from_script.
+  /// seconds when nonzero, map when map_lib is set, lut_k when nonzero)
+  /// for PassManager::from_script.
   [[nodiscard]] ScriptParams to_script_params() const;
 
   /// Translates into pipeline terms: check, the budget ceilings, and --

@@ -10,7 +10,12 @@
 
 namespace bds::opt {
 
-std::string rugged_script(const sis::SisOptions& options) {
+namespace {
+
+// Shared builder of the two SIS-style scripts: `rugged` is the full
+// script.rugged recipe; the mini-SIS baseline ("sis") stops before the
+// closing full_simplify round.
+std::string sis_script(const sis::SisOptions& options, bool full_simplify) {
   const sis::SisOptions defaults;
   std::vector<std::string> tuning;  // shared flags of eliminate/gkx/resub
   if (options.eliminate_passes != defaults.eliminate_passes) {
@@ -61,12 +66,24 @@ std::string rugged_script(const sis::SisOptions& options) {
   script.push_back(eliminate(-1));
   script.push_back({"simplify", {}});
   script.push_back({"sweep", {}});
-  // full_simplify: satisfiability-don't-care minimization (the closing
-  // step of script.rugged; gives up automatically on BDD-infeasible
-  // circuits).
-  script.push_back({"full_simplify", {}});
-  script.push_back({"sweep", {}});
+  if (full_simplify) {
+    // full_simplify: satisfiability-don't-care minimization (the closing
+    // step of script.rugged; gives up automatically on BDD-infeasible
+    // circuits).
+    script.push_back({"full_simplify", {}});
+    script.push_back({"sweep", {}});
+  }
   return format_script(script);
+}
+
+}  // namespace
+
+std::string rugged_script(const sis::SisOptions& options) {
+  return sis_script(options, /*full_simplify=*/true);
+}
+
+std::string mini_sis_script(const sis::SisOptions& options) {
+  return sis_script(options, /*full_simplify=*/false);
 }
 
 }  // namespace bds::opt

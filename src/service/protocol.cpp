@@ -158,6 +158,10 @@ std::string encode_optimize_request(const OptimizeRequest& req,
     put_u64(out, req.options.deadline_ms);
     put_u8(out, req.options.priority);
   }
+  if (revision >= 3) {
+    put_str(out, req.options.map_lib);
+    put_u32(out, req.options.lut_k);
+  }
   return out;
 }
 
@@ -177,6 +181,10 @@ OptimizeRequest decode_optimize_request(const std::string& payload,
     req.options.deadline_ms = r.u64();
     req.options.priority = r.u8();
   }
+  if (revision >= 3) {
+    req.options.map_lib = r.str();
+    req.options.lut_k = r.u32();
+  }
   r.done();
   constexpr std::uint8_t known = kFlagBypassCache | kFlagCheck;
   if ((flags & ~known) != 0) {
@@ -186,6 +194,10 @@ OptimizeRequest decode_optimize_request(const std::string& payload,
   req.options.check = (flags & kFlagCheck) != 0;
   if (req.options.priority > opt::kPriorityHigh) {
     throw SerializeError("bdsd protocol: request priority out of range");
+  }
+  if (req.options.lut_k != 0 &&
+      (req.options.lut_k < 2 || req.options.lut_k > 6)) {
+    throw SerializeError("bdsd protocol: request lut_k out of range");
   }
   return req;
 }
@@ -316,10 +328,10 @@ bool read_frame(int fd, FrameType& type, std::string& payload,
     // byte follows. Reject a revision we do not speak *by name*, so a
     // future operator can tell a version skew from corruption.
     revision = t & 0x0Fu;
-    if (revision != kProtocolRevision) {
+    if (revision < 2 || revision > kProtocolRevision) {
       throw SerializeError(
           "bdsd protocol: peer sent a revision-" + std::to_string(revision) +
-          " frame, this build speaks revision " +
+          " frame, this build speaks revision 2.." +
           std::to_string(kProtocolRevision) + " (and legacy revision 1)");
     }
     char type_byte = 0;

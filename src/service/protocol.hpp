@@ -14,12 +14,13 @@
 //
 // read_frame() accepts both: a header byte in 1..4 is a rev-1 frame, a
 // byte with high nibble 0xB is a versioned frame whose revision must be
-// kProtocolRevision (an unknown revision raises SerializeError naming
-// both revisions), anything else is corrupt. Every codec takes the frame's
-// revision, so rev-2 fields (deadline_ms, priority, retry_after_ms, the
-// admission counters of ServerStats) are simply absent -- defaulting to
-// zero -- when the peer speaks rev 1, instead of being silent
-// trailing-bytes errors.
+// one this build speaks, 2..kProtocolRevision (an unknown revision raises
+// SerializeError naming both revisions), anything else is corrupt. Every
+// codec takes the frame's revision, so newer fields -- the rev-2
+// deadline_ms/priority/retry_after_ms and admission counters, the rev-3
+// technology-mapping options (map_lib, lut_k) -- are simply absent,
+// defaulting to zero, when the peer speaks an older revision, instead of
+// being silent trailing-bytes errors.
 //
 // Every multi-byte integer inside a payload is little-endian, so the
 // format is host-order independent (unlike the BDD manager image, which is
@@ -43,7 +44,7 @@
 namespace bds::service {
 
 /// The protocol revision this build speaks (and writes by default).
-inline constexpr std::uint8_t kProtocolRevision = 2;
+inline constexpr std::uint8_t kProtocolRevision = 3;
 
 /// High nibble of the header byte that marks a versioned (rev >= 2) frame;
 /// the low nibble carries the revision. Rev-1 frames have no marker --

@@ -350,11 +350,12 @@ OptimizeResponse Server::handle(
 
     const std::string script =
         ro.script.empty() ? std::string("bds") : ro.script;
-    opt::ScriptParams params;
-    if (ro.jobs != 0) {
-      params.emplace_back("jobs", std::to_string(ro.jobs));
-    }
-    opt::PassManager manager = opt::PassManager::from_script(script, params);
+    // Everything the options imply for the script -- jobs, the ceilings,
+    // and the rev-3 mapping keys (map/lut_k append passes) -- comes from
+    // the one RequestOptions translation, so the daemon path and the CLIs
+    // build byte-identical pipelines for identical options.
+    opt::PassManager manager =
+        opt::PassManager::from_script(script, ro.to_script_params());
 
     opt::PipelineOptions popts;
     // check, the resource ceilings, and the arrival-anchored deadline --

@@ -3,8 +3,23 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "util/error.hpp"
+
 namespace bds::map {
 namespace {
+
+/// The parser's diagnostic for `text`, which must be rejected.
+std::string rejection(const std::string& text) {
+  try {
+    parse_genlib(text);
+  } catch (const ParseError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "input was accepted: " << text;
+  return "";
+}
 
 TEST(Genlib, ParsesSimpleGate) {
   const Library lib = parse_genlib(
@@ -43,6 +58,77 @@ TEST(Genlib, RejectsGarbage) {
   EXPECT_THROW(parse_genlib("GATE g 10 O=a &% b;\n"), std::runtime_error);
   EXPECT_THROW(parse_genlib("no gates here\n"), std::runtime_error);
   EXPECT_THROW(parse_genlib("GATE g 10 Oa*b;\n"), std::runtime_error);
+}
+
+// Rejection diagnostics follow the BLIF parser convention: a typed
+// bds::ParseError whose message is "genlib line N: <what>", anchored to
+// the line of the offending GATE keyword and naming the gate.
+TEST(Genlib, DiagnosticsNameTheLineAndGate) {
+  // Malformed header (area is not a number).
+  {
+    const std::string what = rejection("# header comment\nGATE g area O=a;\n");
+    EXPECT_NE(what.find("genlib line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad GATE header"), std::string::npos) << what;
+  }
+  // Bad expression: the gate is named, the line is the GATE's.
+  {
+    const std::string what =
+        rejection("GATE ok 1 O=a;\nGATE bad 2 O=a &% b;\n");
+    EXPECT_NE(what.find("genlib line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("gate 'bad'"), std::string::npos) << what;
+    EXPECT_NE(what.find("trailing junk in expression"), std::string::npos)
+        << what;
+  }
+  // Missing '=' and missing ';'.
+  {
+    const std::string what = rejection("GATE g 10 Oa*b;\n");
+    EXPECT_NE(what.find("genlib line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("missing '='"), std::string::npos) << what;
+  }
+  {
+    const std::string what = rejection("GATE g 10 O=a*b\n");
+    EXPECT_NE(what.find("missing ';'"), std::string::npos) << what;
+  }
+}
+
+TEST(Genlib, RejectsDuplicateGatesNamingBothLines) {
+  const std::string what = rejection(
+      "GATE inv 2 O=!a;\n"
+      "GATE buf 2 O=a;\n"
+      "GATE inv 4 O=!a;\n");
+  EXPECT_NE(what.find("genlib line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("gate 'inv' already defined at line 1"),
+            std::string::npos)
+      << what;
+}
+
+TEST(Genlib, RejectsBadPinLines) {
+  // Unknown phase keyword.
+  {
+    const std::string what = rejection(
+        "GATE g 10 O=!(a*b); PIN * SOMETIMES 1 999 0.3 0.1 0.3 0.1\n");
+    EXPECT_NE(what.find("bad phase 'SOMETIMES'"), std::string::npos) << what;
+    EXPECT_NE(what.find("genlib line 1"), std::string::npos) << what;
+  }
+  // Truncated PIN line (missing delay fields).
+  {
+    const std::string what =
+        rejection("GATE g 10 O=!(a*b); PIN * INV 1 999 0.3\n");
+    EXPECT_NE(what.find("bad PIN line"), std::string::npos) << what;
+  }
+  // PIN naming a pin the expression does not use.
+  {
+    const std::string what = rejection(
+        "GATE g 10 O=!(a*b); PIN zz INV 1 999 0.3 0.1 0.3 0.1\n");
+    EXPECT_NE(what.find("unknown pin 'zz'"), std::string::npos) << what;
+  }
+  // Junk between the function and the PIN lines.
+  {
+    const std::string what =
+        rejection("GATE g 10 O=!(a*b); bogus PIN * INV 1 999 0.3 0.1 0.3 0.1\n");
+    EXPECT_NE(what.find("expected PIN, got 'bogus'"), std::string::npos)
+        << what;
+  }
 }
 
 TEST(Genlib, EmbeddedLibraryIsComplete) {

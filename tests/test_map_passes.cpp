@@ -1,0 +1,163 @@
+// The technology-mapping pipeline stage: the reserved `map`/`lut_k`
+// script parameters append the map/lutmap passes to any script, the
+// mapped netlist is CEC-equivalent to the pre-map network on the
+// generator families, mapped area/delay land in the pass counters (the
+// one instrumentation path -stats/-profile/bench read), and bad library
+// specs or LUT widths are rejected as typed script errors.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/gen.hpp"
+#include "net/network.hpp"
+#include "opt/manager.hpp"
+#include "opt/map_passes.hpp"
+#include "opt/script.hpp"
+#include "verify/cec.hpp"
+
+namespace bds::opt {
+namespace {
+
+std::vector<net::Network> map_circuits() {
+  std::vector<net::Network> circuits;
+  circuits.push_back(gen::ripple_adder(5));
+  circuits.push_back(gen::alu(4));
+  circuits.push_back(gen::barrel_shifter(8));
+  circuits.push_back(gen::comparator(4));
+  return circuits;
+}
+
+// The tentpole acceptance criterion: on every generator family, the
+// pipeline with a `map` stage emits a gate-level netlist equivalent to
+// the input, and the pass reports nonzero mapped area/delay counters.
+TEST(MapPasses, MappedOutputIsEquivalentAcrossFamilies) {
+  for (const net::Network& input : map_circuits()) {
+    net::Network net = input;
+    PassManager pm = PassManager::from_script("bds", {{"map", "mcnc"}});
+    PassContext ctx;
+    const PipelineStats ps = pm.run(net, {}, ctx);
+
+    ASSERT_FALSE(ps.passes.empty());
+    EXPECT_EQ(ps.passes.back().name, "map") << input.name();
+    EXPECT_GT(ps.counter("mapped_gates"), 0.0) << input.name();
+    EXPECT_GT(ps.counter("mapped_area"), 0.0) << input.name();
+    EXPECT_GT(ps.counter("mapped_delay"), 0.0) << input.name();
+
+    const MapFlowState* st = ctx.find_state<MapFlowState>();
+    ASSERT_NE(st, nullptr) << input.name();
+    EXPECT_TRUE(st->mapped) << input.name();
+    EXPECT_EQ(st->result.num_gates,
+              static_cast<std::size_t>(ps.counter("mapped_gates")))
+        << input.name();
+
+    EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, net)))
+        << input.name() << ": mapped netlist is not equivalent";
+  }
+}
+
+TEST(MapPasses, LutMapPassCoversAndStaysEquivalent) {
+  for (const net::Network& input : map_circuits()) {
+    net::Network net = input;
+    PassManager pm = PassManager::from_script("bds", {{"lut_k", "4"}});
+    const PipelineStats ps = pm.run(net);
+
+    ASSERT_FALSE(ps.passes.empty());
+    EXPECT_EQ(ps.passes.back().name, "lutmap") << input.name();
+    EXPECT_GT(ps.counter("lut_count"), 0.0) << input.name();
+    EXPECT_GT(ps.counter("lut_depth"), 0.0) << input.name();
+    // Every LUT is an SOP over at most k fanins.
+    for (net::NodeId id : net.topo_order()) {
+      EXPECT_LE(net.node(id).fanins.size(), 4u) << input.name();
+    }
+    EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, net)))
+        << input.name() << ": LUT netlist is not equivalent";
+  }
+}
+
+// `map`/`lut_k` are reserved keys: they append to ANY script, including
+// the SIS-style baselines, and gate mapping always precedes LUT covering
+// regardless of parameter order.
+TEST(MapPasses, ReservedKeysAppendToAnyScript) {
+  for (const char* script : {"bds", "rugged", "sis"}) {
+    const net::Network input = gen::alu(3);
+    net::Network net = input;
+    PassManager pm = PassManager::from_script(
+        script, {{"lut_k", "4"}, {"map", "mcnc"}});
+    const PipelineStats ps = pm.run(net);
+    ASSERT_GE(ps.passes.size(), 2u) << script;
+    EXPECT_EQ(ps.passes[ps.passes.size() - 2].name, "map") << script;
+    EXPECT_EQ(ps.passes.back().name, "lutmap") << script;
+    EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, net)))
+        << script;
+  }
+}
+
+// With -check, the map passes get the same per-pass CEC checkpoint as any
+// network-modifying pass (modifies_network() defaults to true).
+TEST(MapPasses, PerPassCheckCoversTheMapStage) {
+  net::Network net = gen::ripple_adder(4);
+  PassManager pm = PassManager::from_script("bds", {{"map", "mcnc"}});
+  PipelineOptions popts;
+  popts.check = true;
+  const PipelineStats ps = pm.run(net, popts);
+  EXPECT_EQ(ps.check_failures, 0u);
+  EXPECT_NE(ps.passes.back().check, PassStats::Check::kSkipped);
+}
+
+TEST(MapPasses, MapsOntoAGenlibFile) {
+  const std::string path =
+      "/tmp/bds-test-maplib-" + std::to_string(::getpid()) + ".genlib";
+  {
+    std::ofstream out(path);
+    out << "GATE not1  2 O=!a;      PIN * INV 1 999 0.5 0.1 0.5 0.1\n"
+        << "GATE nd2   3 O=!(a*b);  PIN * INV 1 999 1.0 0.2 1.0 0.2\n"
+        << "GATE zero  0 O=CONST0;\n"
+        << "GATE one   0 O=CONST1;\n";
+  }
+  const net::Network input = gen::comparator(4);
+  net::Network net = input;
+  PassManager pm = PassManager::from_script("bds", {{"map", path}});
+  const PipelineStats ps = pm.run(net);
+  EXPECT_GT(ps.counter("mapped_gates"), 0.0);
+  EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, net)));
+  std::remove(path.c_str());
+}
+
+TEST(MapPasses, BadSpecsAreTypedScriptErrors) {
+  // A missing library file fails at pipeline construction, naming the spec.
+  EXPECT_THROW(PassManager::from_script(
+                   "bds", {{"map", "/no/such/file.genlib"}}),
+               ScriptError);
+  // LUT widths outside 2..6 are rejected up front.
+  EXPECT_THROW(PassManager::from_script("bds", {{"lut_k", "1"}}),
+               ScriptError);
+  EXPECT_THROW(PassManager::from_script("bds", {{"lut_k", "9"}}),
+               ScriptError);
+}
+
+// The Popel information-measure ordering (-reorder info) is a registered
+// script parameter: results stay equivalent, and two runs are identical
+// (the ordering is deterministic).
+TEST(MapPasses, InfoReorderIsEquivalentAndDeterministic) {
+  for (const net::Network& input : map_circuits()) {
+    net::Network first = input;
+    PassManager pm1 = PassManager::from_script("bds", {{"reorder", "info"}});
+    pm1.run(first);
+    EXPECT_TRUE(static_cast<bool>(verify::check_equivalence(input, first)))
+        << input.name();
+
+    net::Network second = input;
+    PassManager pm2 = PassManager::from_script("bds", {{"reorder", "info"}});
+    pm2.run(second);
+    EXPECT_EQ(net::to_blif_string(first), net::to_blif_string(second))
+        << input.name() << ": info reordering is not deterministic";
+  }
+}
+
+}  // namespace
+}  // namespace bds::opt

@@ -14,6 +14,8 @@
 #include <string>
 #include <thread>
 
+#include "net/network.hpp"
+#include "opt/manager.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -73,6 +75,8 @@ TEST(ServiceProtocol, RequestRoundTripsAllFields) {
   req.options.jobs = 4;
   req.options.bypass_cache = true;
   req.options.check = true;
+  req.options.map_lib = "cells.genlib";
+  req.options.lut_k = 5;
 
   const OptimizeRequest out =
       decode_optimize_request(encode_optimize_request(req));
@@ -86,6 +90,8 @@ TEST(ServiceProtocol, RequestRoundTripsAllFields) {
   EXPECT_EQ(out.options.jobs, req.options.jobs);
   EXPECT_TRUE(out.options.bypass_cache);
   EXPECT_TRUE(out.options.check);
+  EXPECT_EQ(out.options.map_lib, "cells.genlib");
+  EXPECT_EQ(out.options.lut_k, 5u);
 }
 
 TEST(ServiceProtocol, ResponseAndStatsRoundTrip) {
@@ -133,23 +139,33 @@ TEST(ServiceProtocol, ResponseAndStatsRoundTrip) {
   EXPECT_EQ(s.in_flight, 2u);
 }
 
-// Rev-1 payloads simply lack the rev-2 tail; decoding them as rev 1 must
-// default the new fields to zero, and the rev-2 fields must never leak
-// into a rev-1 encoding (a rev-1 decoder would see trailing bytes).
+// Older-revision payloads simply lack the newer tails; decoding them at
+// their own revision must default the new fields to zero, and newer fields
+// must never leak into an older encoding (an older decoder would see
+// trailing bytes).
 TEST(ServiceProtocol, RevisionOnePayloadsOmitNewFields) {
   OptimizeRequest req;
   req.blif = "x";
   req.options.deadline_ms = 1234;
   req.options.priority = opt::kPriorityHigh;
+  req.options.map_lib = "mcnc";
+  req.options.lut_k = 4;
   const std::string rev1 = encode_optimize_request(req, 1);
   const std::string rev2 = encode_optimize_request(req, 2);
+  const std::string rev3 = encode_optimize_request(req, 3);
   EXPECT_EQ(rev2.size(), rev1.size() + 9);  // u64 deadline + u8 priority
+  EXPECT_EQ(rev3.size(), rev2.size() + 12);  // str "mcnc" (4+4) + u32 lut_k
   const OptimizeRequest out = decode_optimize_request(rev1, 1);
   EXPECT_EQ(out.options.deadline_ms, 0u);  // dropped by the rev-1 wire
   EXPECT_EQ(out.options.priority, opt::kPriorityNormal);
-  // A rev-1 decoder handed a rev-2 payload sees trailing bytes -- typed
+  const OptimizeRequest out2 = decode_optimize_request(rev2, 2);
+  EXPECT_EQ(out2.options.deadline_ms, 1234u);
+  EXPECT_EQ(out2.options.map_lib, "");  // dropped by the rev-2 wire
+  EXPECT_EQ(out2.options.lut_k, 0u);
+  // An older decoder handed a newer payload sees trailing bytes -- typed
   // rejection, not silent truncation.
   EXPECT_THROW(decode_optimize_request(rev2, 1), SerializeError);
+  EXPECT_THROW(decode_optimize_request(rev3, 2), SerializeError);
 
   OptimizeResponse resp;
   resp.retry_after_ms = 99;
@@ -169,24 +185,30 @@ TEST(ServiceProtocol, RevisionOnePayloadsOmitNewFields) {
 
 TEST(ServiceProtocol, MalformedPayloadsRaiseSerializeError) {
   const std::string good = encode_optimize_request(OptimizeRequest{});
-  // Truncation at every prefix boundary (rev-2 layout).
+  // Truncation at every prefix boundary (rev-3 layout).
   for (std::size_t n = 0; n < good.size(); ++n) {
     EXPECT_THROW(decode_optimize_request(good.substr(0, n)), SerializeError);
   }
   // Trailing bytes (a newer dialect of the same revision) are rejected,
   // not ignored.
   EXPECT_THROW(decode_optimize_request(good + "y"), SerializeError);
-  // Unknown flag bits (the flags byte sits 9 bytes from the rev-2 tail:
-  // u64 deadline + u8 priority follow it).
+  // Unknown flag bits (the flags byte sits 17 bytes from the rev-3 tail:
+  // u64 deadline + u8 priority + u32 map_lib length + u32 lut_k follow it).
   {
     std::string bad = good;
-    bad[bad.size() - 10] = static_cast<char>(0x80);
+    bad[bad.size() - 18] = static_cast<char>(0x80);
     EXPECT_THROW(decode_optimize_request(bad), SerializeError);
   }
-  // Priority out of range.
+  // Priority out of range (sits just before the rev-3 mapping fields).
   {
     std::string bad = good;
-    bad[bad.size() - 1] = static_cast<char>(9);
+    bad[bad.size() - 9] = static_cast<char>(9);
+    EXPECT_THROW(decode_optimize_request(bad), SerializeError);
+  }
+  // lut_k out of range (trailing u32).
+  {
+    std::string bad = good;
+    bad[bad.size() - 4] = static_cast<char>(1);
     EXPECT_THROW(decode_optimize_request(bad), SerializeError);
   }
   // Unknown response status byte.
@@ -222,7 +244,7 @@ TEST(ServiceProtocol, UnknownRevisionRejectedByName) {
   } catch (const SerializeError& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("revision-7"), std::string::npos) << what;
-    EXPECT_NE(what.find("revision 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("revision 2..3"), std::string::npos) << what;
   }
   ::close(fds[0]);
   ::close(fds[1]);
@@ -299,10 +321,10 @@ TEST(ServiceServer, SecondIdenticalRequestHitsTheCache) {
   serve_thread.join();
 }
 
-// A rev-1 client (legacy unversioned framing, short payloads) must still
-// round-trip against a rev-2 daemon: the acceptance criterion of the
-// protocol-versioning satellite.
-TEST(ServiceServer, RevisionOneClientRoundTripsAgainstRevTwoDaemon) {
+// Older clients -- a rev-1 peer with legacy unversioned framing, and a
+// rev-2 peer one revision behind -- must still round-trip against the
+// current daemon, which answers each in its own revision.
+TEST(ServiceServer, OlderClientsRoundTripAgainstCurrentDaemon) {
   ServerOptions options;
   options.socket_path = unique_socket_path("rev1");
   Server server(std::move(options));
@@ -334,6 +356,18 @@ TEST(ServiceServer, RevisionOneClientRoundTripsAgainstRevTwoDaemon) {
     const OptimizeResponse modern = client.optimize(req2);
     ASSERT_EQ(modern.status, Status::kOk) << modern.error;
     EXPECT_EQ(modern.blif, resp.blif);
+
+    // A rev-2 peer (versioned framing, one revision behind): read_frame
+    // accepts 2..kProtocolRevision, and the daemon answers in rev 2.
+    write_frame(fd, FrameType::kOptimizeRequest,
+                encode_optimize_request(req, 2), 2);
+    ASSERT_TRUE(read_frame(fd, type, payload, revision));
+    EXPECT_EQ(type, FrameType::kOptimizeResponse);
+    EXPECT_EQ(revision, 2) << "daemon must answer in the peer's revision";
+    const OptimizeResponse rev2_resp =
+        decode_optimize_response(payload, revision);
+    EXPECT_EQ(rev2_resp.status, Status::kOk) << rev2_resp.error;
+    EXPECT_EQ(rev2_resp.blif, resp.blif);
 
     // Legacy stats exchange still works and stays 9 fields long.
     write_frame(fd, FrameType::kServerStatsRequest, std::string(), 1);
@@ -381,6 +415,47 @@ TEST(ServiceServer, BypassFlagLeavesTheCacheCold) {
 
   server.stop();
   serve_thread.join();
+}
+
+// Mapping options ride the request end to end: a daemon request with
+// map_lib / lut_k set produces exactly the netlist the same script and
+// to_script_params() produce in-process (the optimize_blif path) -- the
+// acceptance criterion that the CLI and daemon mapping paths agree.
+TEST(ServiceServer, MappingOptionsMatchInProcessPipeline) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("map");
+  Server server(std::move(options));  // handle() needs no socket
+
+  OptimizeRequest req;
+  req.blif = kBlif;
+  req.options.map_lib = "mcnc";
+  req.options.lut_k = 0;
+  const OptimizeResponse resp = server.handle(req);
+  ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+  EXPECT_NE(resp.stats_table.find("map"), std::string::npos)
+      << resp.stats_table;
+  EXPECT_NE(resp.stats_table.find("mapped_area"), std::string::npos)
+      << resp.stats_table;
+
+  net::Network net = net::parse_blif_string(kBlif);
+  opt::PassManager manager =
+      opt::PassManager::from_script("bds", req.options.to_script_params());
+  manager.run(net, opt::PipelineOptions{});
+  EXPECT_EQ(resp.blif, net::to_blif_string(net));
+
+  // Same agreement for LUT covering.
+  req.options.map_lib.clear();
+  req.options.lut_k = 4;
+  const OptimizeResponse lut_resp = server.handle(req);
+  ASSERT_EQ(lut_resp.status, Status::kOk) << lut_resp.error;
+  EXPECT_NE(lut_resp.stats_table.find("lut_count"), std::string::npos)
+      << lut_resp.stats_table;
+
+  net::Network lut_net = net::parse_blif_string(kBlif);
+  opt::PassManager lut_manager =
+      opt::PassManager::from_script("bds", req.options.to_script_params());
+  lut_manager.run(lut_net, opt::PipelineOptions{});
+  EXPECT_EQ(lut_resp.blif, net::to_blif_string(lut_net));
 }
 
 }  // namespace
